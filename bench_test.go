@@ -1,0 +1,266 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablations over the design choices DESIGN.md calls out. Each bench
+// regenerates its artifact end-to-end and reports the headline numbers
+// as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// is the full reproduction. The simulated instruction budget per run is
+// kept moderate so the suite finishes in minutes; cmd/paper accepts
+// -insts for longer runs.
+
+import (
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Insts: 60_000, Warmup: 40_000, Seed: 1}
+}
+
+// BenchmarkTable1 regenerates the dependence-tracking bound (Table 1)
+// from the reconstructed graph model.
+func BenchmarkTable1(b *testing.B) {
+	match := 0
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunTable1()
+		match = 0
+		for di := range t.Distances {
+			for pi := range t.Ports {
+				if t.Model[di][pi] == t.Paper[di][pi] {
+					match++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(match), "cells-matching-paper/42")
+}
+
+// BenchmarkWires regenerates the §3.5/§5.5 wiring-cost comparison.
+func BenchmarkWires(b *testing.B) {
+	var w *experiments.Wires
+	for i := 0; i < b.N; i++ {
+		w = experiments.RunWires()
+	}
+	b.ReportMetric(float64(w.PosSelTotal8), "possel-wires-8w")
+	b.ReportMetric(float64(w.TkSelTotal8), "tksel-wires-8w")
+}
+
+// BenchmarkTable4 regenerates base IPC under PosSel on both machines.
+func BenchmarkTable4(b *testing.B) {
+	var t4 *experiments.Table4
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunTable4(experiments.NewEngine(benchOpts()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		t4 = t
+	}
+	var sum4, sum8 float64
+	for i := range t4.Bench {
+		sum4 += t4.IPC4[i]
+		sum8 += t4.IPC8[i]
+	}
+	b.ReportMetric(sum4/float64(len(t4.Bench)), "mean-ipc-4w")
+	b.ReportMetric(sum8/float64(len(t4.Bench)), "mean-ipc-8w")
+}
+
+// BenchmarkTable5 regenerates the scheduling statistics under PosSel.
+func BenchmarkTable5(b *testing.B) {
+	var t5 *experiments.Table5
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunTable5(experiments.NewEngine(benchOpts()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		t5 = t
+	}
+	var worst float64
+	for _, r := range t5.MissRate4 {
+		if r > worst {
+			worst = r
+		}
+	}
+	b.ReportMetric(100*worst, "worst-miss-pct-4w")
+}
+
+// BenchmarkTable6 regenerates token coverage under TkSel.
+func BenchmarkTable6(b *testing.B) {
+	var t6 *experiments.Table6
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunTable6(experiments.NewEngine(benchOpts()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		t6 = t
+	}
+	var sum float64
+	for _, c := range t6.Coverage8 {
+		sum += c
+	}
+	b.ReportMetric(100*sum/float64(len(t6.Coverage8)), "mean-coverage-pct-8w")
+}
+
+// BenchmarkFigure3 regenerates the serial-verification wavefront study.
+func BenchmarkFigure3(b *testing.B) {
+	var f *experiments.Figure3
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFigure3(experiments.NewEngine(benchOpts()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f = r
+	}
+	b.ReportMetric(100*f.AvgInflation, "avg-issue-inflation-pct")
+	b.ReportMetric(float64(f.MaxDepth), "max-propagation-depth")
+}
+
+// BenchmarkFigure9 regenerates the predictor coverage curves.
+func BenchmarkFigure9(b *testing.B) {
+	var f *experiments.Figure9
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFigure9(experiments.NewEngine(benchOpts()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f = r
+	}
+	var sum float64
+	for _, c := range f.Coverage[1] {
+		sum += c
+	}
+	b.ReportMetric(sum/float64(len(f.Coverage[1])), "mean-coverage-conf1")
+}
+
+// BenchmarkFigure12 regenerates the normalized issue counts.
+func BenchmarkFigure12(b *testing.B) {
+	var f *experiments.Figure12
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFigure12(experiments.NewEngine(benchOpts()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f = r
+	}
+	// NonSel on the 8-wide machine: the scalability headline.
+	var sum float64
+	for _, v := range f.Norm[1][0] {
+		sum += v
+	}
+	b.ReportMetric(sum/float64(len(f.Norm[1][0])), "nonsel-norm-issues-8w")
+}
+
+// BenchmarkFigure13 regenerates the normalized performance comparison.
+func BenchmarkFigure13(b *testing.B) {
+	var f *experiments.Figure13
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFigure13(experiments.NewEngine(benchOpts()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f = r
+	}
+	b.ReportMetric(100*f.TkSelSlowdown[0], "tksel-slowdown-pct-4w")
+	b.ReportMetric(100*f.TkSelSlowdown[1], "tksel-slowdown-pct-8w")
+}
+
+// --- Ablations beyond the paper ---
+
+func ablationRun(b *testing.B, mutate func(*core.Config)) *core.Stats {
+	b.Helper()
+	prof, err := workload.ByName("twolf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config8Wide()
+	cfg.MaxInsts = 40_000
+	cfg.Warmup = 30_000
+	mutate(&cfg)
+	m, err := core.New(cfg, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkAblationTokenPool sweeps the token pool (Table 6
+// sensitivity): coverage bought per token.
+func BenchmarkAblationTokenPool(b *testing.B) {
+	var lo, hi float64
+	for i := 0; i < b.N; i++ {
+		lo = ablationRun(b, func(c *core.Config) { c.Scheme = core.TkSel; c.Tokens = 4 }).TokenCoverage()
+		hi = ablationRun(b, func(c *core.Config) { c.Scheme = core.TkSel; c.Tokens = 32 }).TokenCoverage()
+	}
+	b.ReportMetric(100*lo, "coverage-pct-4tok")
+	b.ReportMetric(100*hi, "coverage-pct-32tok")
+}
+
+// BenchmarkAblationPipelineDepth sweeps the schedule-to-execute
+// distance (the §3.5 scaling argument): deeper pipes inflate the
+// squashing scheme's replay cost.
+func BenchmarkAblationPipelineDepth(b *testing.B) {
+	var shallow, deep float64
+	for i := 0; i < b.N; i++ {
+		shallow = ablationRun(b, func(c *core.Config) { c.Scheme = core.NonSel; c.SchedToExec = 3 }).ReplayRate()
+		deep = ablationRun(b, func(c *core.Config) { c.Scheme = core.NonSel; c.SchedToExec = 12 }).ReplayRate()
+	}
+	b.ReportMetric(100*shallow, "nonsel-replay-pct-depth3")
+	b.ReportMetric(100*deep, "nonsel-replay-pct-depth12")
+}
+
+// BenchmarkAblationPredictorSize sweeps the scheduling-miss predictor
+// table (the design-space note in §4.1).
+func BenchmarkAblationPredictorSize(b *testing.B) {
+	var small, big float64
+	for i := 0; i < b.N; i++ {
+		small = ablationRun(b, func(c *core.Config) { c.Scheme = core.TkSel; c.SMPred.Entries = 256 }).TokenCoverage()
+		big = ablationRun(b, func(c *core.Config) { c.Scheme = core.TkSel; c.SMPred.Entries = 16384 }).TokenCoverage()
+	}
+	b.ReportMetric(100*small, "coverage-pct-256e")
+	b.ReportMetric(100*big, "coverage-pct-16384e")
+}
+
+// BenchmarkAblationTable1Model times the Table 1 dynamic program at its
+// most expensive cell.
+func BenchmarkAblationTable1Model(b *testing.B) {
+	v := 0
+	for i := 0; i < b.N; i++ {
+		v = analytic.MaxParentLoads(32, 7)
+	}
+	b.ReportMetric(float64(v), "max-parent-loads-32p-7d")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (instructions per second of host time), the practical cost of every
+// experiment above.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	prof, _ := workload.ByName("gcc")
+	b.ResetTimer()
+	total := int64(0)
+	for i := 0; i < b.N; i++ {
+		gen, _ := workload.NewGenerator(prof, int64(i+1))
+		cfg := core.Config8Wide()
+		cfg.MaxInsts = 50_000
+		m, _ := core.New(cfg, gen)
+		st, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += st.Retired
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim-insts/s")
+}

@@ -1,0 +1,117 @@
+// Command paper regenerates the tables and figures of "Understanding
+// Scheduling Replay Schemes" (Kim & Lipasti, HPCA 2004) from the
+// simulator in this repository.
+//
+// Usage:
+//
+//	paper [-exp all|table1|table3|table4|table5|table6|fig3|fig9|fig12|fig13|wires]
+//	      [-insts N] [-warmup N] [-seed N] [-par N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (comma-separated): all, table1, table3, table4, table5, table6, fig3, fig9, fig12, fig13, wires, ext")
+	insts := flag.Int64("insts", 200_000, "measured instructions per simulation")
+	warmup := flag.Int64("warmup", 60_000, "warmup instructions per simulation")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	par := flag.Int("par", 0, "max concurrent simulations (0 = NumCPU)")
+	flag.Parse()
+
+	eng := experiments.NewEngine(experiments.Options{
+		Insts: *insts, Warmup: *warmup, Seed: *seed, Parallelism: *par,
+	})
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := false
+
+	emit := func(name string, f func() (string, error)) {
+		if !all && !want[name] {
+			return
+		}
+		ran = true
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	emit("table1", func() (string, error) { return experiments.RunTable1().Render(), nil })
+	emit("wires", func() (string, error) { return experiments.RunWires().Render(), nil })
+	emit("table3", func() (string, error) { return experiments.Table3(), nil })
+	emit("table4", func() (string, error) {
+		t, err := experiments.RunTable4(eng)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+	emit("table5", func() (string, error) {
+		t, err := experiments.RunTable5(eng)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+	emit("table6", func() (string, error) {
+		t, err := experiments.RunTable6(eng)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+	emit("fig3", func() (string, error) {
+		f, err := experiments.RunFigure3(eng)
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	emit("fig9", func() (string, error) {
+		f, err := experiments.RunFigure9(eng)
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	emit("fig12", func() (string, error) {
+		f, err := experiments.RunFigure12(eng)
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	emit("fig13", func() (string, error) {
+		f, err := experiments.RunFigure13(eng)
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+
+	emit("ext", func() (string, error) {
+		x, err := experiments.RunExtensions(eng)
+		if err != nil {
+			return "", err
+		}
+		return x.Render(), nil
+	})
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,124 @@
+// Command pipeview renders an ASCII pipeline timeline of a short
+// simulation window — the textual analogue of the paper's Figures 5–7
+// timing diagrams. Each row is one dynamic instruction, each column a
+// cycle:
+//
+//	D dispatch   I issue   X execute   C complete   ! squash   R retire
+//
+// A load scheduling miss is visible as an I…X…! sequence followed by a
+// second I once the data returns, with the configured replay scheme
+// deciding which neighbours get dragged along.
+//
+// Usage:
+//
+//	pipeview -bench mcf -scheme NonSel -skip 3000 -rows 48
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "mcf", "benchmark")
+	schemeName := flag.String("scheme", "PosSel", "replay scheme")
+	wide8 := flag.Bool("wide8", false, "8-wide machine")
+	skip := flag.Int64("skip", 5_000, "instructions to run before the window (warms caches)")
+	rows := flag.Int64("rows", 40, "instructions to display")
+	cols := flag.Int64("cols", 110, "cycles to display")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var scheme core.Scheme
+	found := false
+	for _, s := range core.Schemes() {
+		if strings.EqualFold(s.String(), *schemeName) {
+			scheme, found = s, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen, err := workload.NewGenerator(prof, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := core.Config4Wide()
+	if *wide8 {
+		cfg = core.Config8Wide()
+	}
+	cfg.Scheme = scheme
+	cfg.MaxInsts = *skip + *rows + 512
+
+	m, err := core.New(cfg, gen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	type row struct {
+		class  isa.Class
+		pc     uint64
+		events []core.PipeEvent
+	}
+	lo, hi := *skip, *skip+*rows
+	rowsBySeq := map[int64]*row{}
+	var t0 int64 = -1
+	m.SetObserver(func(ev core.PipeEvent) {
+		if ev.Seq < lo || ev.Seq >= hi {
+			return
+		}
+		if t0 < 0 {
+			t0 = ev.Cycle
+		}
+		r, ok := rowsBySeq[ev.Seq]
+		if !ok {
+			r = &row{class: ev.Class, pc: ev.PC}
+			rowsBySeq[ev.Seq] = r
+		}
+		r.events = append(r.events, ev)
+	})
+	if _, err := m.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s under %v — instructions %d..%d (cycle origin %d)\n",
+		*bench, cfg.Name, scheme, lo, hi-1, t0)
+	fmt.Println("D dispatch  I issue  X execute  C complete  ! squash  R retire")
+	for seq := lo; seq < hi; seq++ {
+		r := rowsBySeq[seq]
+		if r == nil {
+			continue
+		}
+		line := []byte(strings.Repeat(".", int(*cols)))
+		clipped := false
+		for _, ev := range r.events {
+			c := ev.Cycle - t0
+			if c < 0 || c >= *cols {
+				clipped = true
+				continue
+			}
+			line[c] = ev.Kind.String()[0]
+		}
+		mark := " "
+		if clipped {
+			mark = ">"
+		}
+		fmt.Printf("%6d %-7s |%s|%s\n", seq, r.class, line, mark)
+	}
+}

@@ -1,0 +1,78 @@
+// Command replaysim runs one simulation of the speculative-scheduling
+// machine and prints its scheduler statistics.
+//
+// Usage:
+//
+//	replaysim -bench gcc -scheme TkSel -wide8 -insts 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	bench := flag.String("bench", "gcc", "benchmark: "+strings.Join(repro.Benchmarks(), ", "))
+	schemeName := flag.String("scheme", "PosSel", "replay scheme (PosSel, IDSel, NonSel, DSel, TkSel, ReInsert, Refetch, Conservative, SerialVerify)")
+	wide8 := flag.Bool("wide8", false, "use the 8-wide Table 3 machine")
+	insts := flag.Int64("insts", 200_000, "measured instructions")
+	warmup := flag.Int64("warmup", 60_000, "warmup instructions")
+	seed := flag.Int64("seed", 1, "workload seed")
+	tokens := flag.Int("tokens", 0, "token pool override for TkSel (0 = Table 3 default)")
+	flag.Parse()
+
+	var scheme repro.Scheme
+	found := false
+	for _, s := range repro.Schemes() {
+		if strings.EqualFold(s.String(), *schemeName) {
+			scheme, found = s, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+
+	res, err := repro.Run(repro.Options{
+		Benchmark: *bench, Wide8: *wide8, Scheme: scheme,
+		Insts: *insts, Warmup: *warmup, Seed: *seed, Tokens: *tokens,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	width := "4-wide"
+	if *wide8 {
+		width = "8-wide"
+	}
+	st := res.Stats
+	fmt.Printf("%s on %s, %v replay\n", *bench, width, scheme)
+	fmt.Printf("  IPC                     %.4f (%d instructions, %d cycles)\n", res.IPC, st.Retired, st.Cycles)
+	fmt.Printf("  load scheduling misses  %.2f%% of load issues (%d; cache %d, alias %d)\n",
+		100*res.LoadMissRate, st.LoadSchedMisses, st.CacheMisses, st.AliasMisses)
+	fmt.Printf("  replayed issues         %.2f%% of total issues (%d of %d)\n",
+		100*res.ReplayRate, st.TotalIssues-st.FirstIssues, st.TotalIssues)
+	fmt.Printf("  branch mispredicts      %.2f%% of branches\n", 100*res.BranchMispredictRate)
+	if scheme == repro.TkSel {
+		fmt.Printf("  token coverage          %.1f%% of misses (stolen %d, refused %d)\n",
+			100*res.TokenCoverage, st.MissTokenStolen, st.MissTokenRefused)
+	}
+	if st.ReinsertEvents > 0 {
+		fmt.Printf("  re-insert replays       %d events, %d instructions re-inserted\n",
+			st.ReinsertEvents, st.ReinsertedInsts)
+	}
+	if st.RefetchEvents > 0 {
+		fmt.Printf("  refetch replays         %d\n", st.RefetchEvents)
+	}
+	if scheme == repro.SerialVerify && st.SerialDepth.N() > 0 {
+		fmt.Printf("  wavefront depth         mean %.1f, p99 %d, max %d over %d misses\n",
+			st.SerialDepth.Mean(), st.SerialDepth.Quantile(0.99), st.SerialDepth.Max(), st.SerialDepth.N())
+	}
+	fmt.Printf("  predictor               conf>=2 coverage %.2f, predicted %.2f of loads\n",
+		res.PredictorCoverage[2], res.PredictedFraction[2])
+}

@@ -1,0 +1,139 @@
+// Command sweep runs the ablation studies around the paper's design
+// choices: token pool size (Table 6 sensitivity), scheduling-miss
+// predictor size (Figure 9 sensitivity), and pipeline depth
+// (propagation-distance scaling, §3.5).
+//
+// Usage:
+//
+//	sweep -what tokens -bench mcf
+//	sweep -what depth -bench gcc -scheme NonSel
+//	sweep -what predictor -bench gcc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	what := flag.String("what", "tokens", "sweep to run: tokens, depth, predictor, window, rq, vp")
+	bench := flag.String("bench", "mcf", "benchmark")
+	schemeName := flag.String("scheme", "TkSel", "replay scheme for depth/window sweeps")
+	wide8 := flag.Bool("wide8", true, "use the 8-wide machine")
+	insts := flag.Int64("insts", 100_000, "measured instructions")
+	warmup := flag.Int64("warmup", 60_000, "warmup instructions")
+	flag.Parse()
+
+	var scheme core.Scheme
+	found := false
+	for _, s := range core.Schemes() {
+		if strings.EqualFold(s.String(), *schemeName) {
+			scheme, found = s, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+
+	run := func(mutate func(*core.Config)) *core.Stats {
+		prof, err := workload.ByName(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		gen, err := workload.NewGenerator(prof, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg := core.Config4Wide()
+		if *wide8 {
+			cfg = core.Config8Wide()
+		}
+		cfg.MaxInsts = *insts
+		cfg.Warmup = *warmup
+		mutate(&cfg)
+		m, err := core.New(cfg, gen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st, err := m.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return st
+	}
+
+	switch *what {
+	case "tokens":
+		fmt.Printf("Token pool sweep (%s, TkSel): coverage and IPC vs pool size\n", *bench)
+		tb := stats.NewTable("tokens", "coverage", "IPC", "reinserts")
+		for _, n := range []int{2, 4, 8, 16, 24, 32, 48, 64} {
+			st := run(func(c *core.Config) { c.Scheme = core.TkSel; c.Tokens = n })
+			tb.AddRow(fmt.Sprintf("%d", n), st.TokenCoverage(), st.IPC(), fmt.Sprintf("%d", st.ReinsertEvents))
+		}
+		fmt.Print(tb.String())
+	case "depth":
+		fmt.Printf("Pipeline-depth sweep (%s, %v): scheduling miss cost vs schedule-to-execute distance\n", *bench, scheme)
+		tb := stats.NewTable("schedToExec", "propDist", "IPC", "replay%")
+		for _, d := range []int{2, 3, 5, 8, 12, 16} {
+			st := run(func(c *core.Config) { c.Scheme = scheme; c.SchedToExec = d })
+			tb.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", d+1), st.IPC(),
+				fmt.Sprintf("%.2f", 100*st.ReplayRate()))
+		}
+		fmt.Print(tb.String())
+	case "predictor":
+		fmt.Printf("Predictor-size sweep (%s, TkSel): coverage vs table entries\n", *bench)
+		tb := stats.NewTable("entries", "coverage", "IPC")
+		for _, n := range []int{256, 1024, 4096, 16384} {
+			st := run(func(c *core.Config) { c.Scheme = core.TkSel; c.SMPred.Entries = n })
+			tb.AddRow(fmt.Sprintf("%d", n), st.TokenCoverage(), st.IPC())
+		}
+		fmt.Print(tb.String())
+	case "window":
+		fmt.Printf("Window sweep (%s, %v): IPC vs issue-queue size\n", *bench, scheme)
+		tb := stats.NewTable("IQ", "ROB", "IPC", "miss%")
+		for _, iq := range []int{16, 32, 64, 128, 256} {
+			st := run(func(c *core.Config) {
+				c.Scheme = scheme
+				c.IQSize = iq
+				c.ROBSize = iq * 2
+				c.LSQSize = iq
+			})
+			tb.AddRow(fmt.Sprintf("%d", iq), fmt.Sprintf("%d", iq*2), st.IPC(),
+				fmt.Sprintf("%.2f", 100*st.LoadMissRate()))
+		}
+		fmt.Print(tb.String())
+	case "rq":
+		fmt.Printf("Replay-queue model (Figure 4b) vs issue-queue model (%s, %v) across IQ sizes\n", *bench, scheme)
+		tb := stats.NewTable("IQ", "IPC iq-model", "IPC rq-model", "blind RQ replays")
+		for _, iq := range []int{12, 24, 48, 96} {
+			a := run(func(c *core.Config) { c.Scheme = scheme; c.IQSize = iq })
+			b := run(func(c *core.Config) { c.Scheme = scheme; c.IQSize = iq; c.ReplayQueue = true })
+			tb.AddRow(fmt.Sprintf("%d", iq), a.IPC(), b.IPC(), fmt.Sprintf("%d", b.RQReplays))
+		}
+		fmt.Print(tb.String())
+	case "vp":
+		fmt.Printf("Load value prediction (%s): speedup and recovery traffic per scheme\n", *bench)
+		tb := stats.NewTable("scheme", "IPC base", "IPC +VP", "mispredicts", "killed insts")
+		for _, s := range []core.Scheme{core.IDSel, core.TkSel, core.ReInsert} {
+			a := run(func(c *core.Config) { c.Scheme = s })
+			b := run(func(c *core.Config) { c.Scheme = s; c.ValuePrediction = true })
+			tb.AddRow(s.String(), a.IPC(), b.IPC(),
+				fmt.Sprintf("%d", b.ValueMispredicts), fmt.Sprintf("%d", b.ValueKilledInsts))
+		}
+		fmt.Print(tb.String())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *what)
+		os.Exit(2)
+	}
+}

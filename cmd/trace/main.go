@@ -1,0 +1,200 @@
+// Command trace records, inspects and simulates instruction traces.
+//
+// Usage:
+//
+//	trace record -bench gcc -n 200000 -o gcc.trace
+//	trace stats gcc.trace
+//	trace run -scheme TkSel -wide8 gcc.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "stats":
+		traceStats(os.Args[2:])
+	case "run":
+		run(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: trace record|stats|run ...")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	bench := fs.String("bench", "gcc", "benchmark to record")
+	n := fs.Int("n", 200_000, "instructions to record")
+	seed := fs.Int64("seed", 1, "workload seed")
+	out := fs.String("o", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fatal(fmt.Errorf("record: -o is required"))
+	}
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		fatal(err)
+	}
+	for i := 0; i < *n; i++ {
+		if err := w.Write(gen.Next()); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	info, _ := f.Stat()
+	fmt.Printf("recorded %d instructions of %s to %s (%d bytes, %.1f B/inst)\n",
+		*n, *bench, *out, info.Size(), float64(info.Size())/float64(*n))
+}
+
+func traceStats(args []string) {
+	if len(args) != 1 {
+		fatal(fmt.Errorf("stats: need exactly one trace file"))
+	}
+	insts := load(args[0])
+
+	classCounts := map[isa.Class]int{}
+	pcs := map[uint64]bool{}
+	depDistSum, depCount := int64(0), 0
+	taken, branches := 0, 0
+	lines := map[uint64]bool{}
+	for _, in := range insts {
+		classCounts[in.Class]++
+		pcs[in.PC] = true
+		for _, s := range []int64{in.Src1, in.Src2} {
+			if s >= 0 {
+				depDistSum += in.Seq - s
+				depCount++
+			}
+		}
+		if in.Class == isa.Branch {
+			branches++
+			if in.Taken {
+				taken++
+			}
+		}
+		if in.Class.IsMem() {
+			lines[in.Addr>>6] = true
+		}
+	}
+	fmt.Printf("%s: %d instructions, %d static sites, %d distinct data lines (%.0f KB touched)\n",
+		args[0], len(insts), len(pcs), len(lines), float64(len(lines))*64/1024)
+	tb := stats.NewTable("class", "count", "fraction")
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if classCounts[c] > 0 {
+			tb.AddRow(c.String(), fmt.Sprintf("%d", classCounts[c]),
+				fmt.Sprintf("%.3f", float64(classCounts[c])/float64(len(insts))))
+		}
+	}
+	fmt.Print(tb.String())
+	if depCount > 0 {
+		fmt.Printf("mean dependence distance: %.2f instructions\n", float64(depDistSum)/float64(depCount))
+	}
+	if branches > 0 {
+		fmt.Printf("branches taken: %.1f%%\n", 100*float64(taken)/float64(branches))
+	}
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	schemeName := fs.String("scheme", "PosSel", "replay scheme")
+	wide8 := fs.Bool("wide8", false, "8-wide machine")
+	insts := fs.Int64("insts", 0, "instructions to simulate (0 = one pass of the trace)")
+	warmup := fs.Int64("warmup", 0, "warmup instructions")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("run: need exactly one trace file"))
+	}
+	recorded := load(fs.Arg(0))
+
+	var scheme core.Scheme
+	found := false
+	for _, s := range core.Schemes() {
+		if strings.EqualFold(s.String(), *schemeName) {
+			scheme, found = s, true
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown scheme %q", *schemeName))
+	}
+
+	cfg := core.Config4Wide()
+	if *wide8 {
+		cfg = core.Config8Wide()
+	}
+	cfg.Scheme = scheme
+	cfg.MaxInsts = int64(len(recorded))
+	if *insts > 0 {
+		cfg.MaxInsts = *insts
+	}
+	cfg.Warmup = *warmup
+	m, err := core.New(cfg, trace.NewLoop(recorded))
+	if err != nil {
+		fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s under %v (%s): IPC %.4f, miss rate %.2f%%, replays %.2f%%\n",
+		fs.Arg(0), scheme, cfg.Name, st.IPC(), 100*st.LoadMissRate(), 100*st.ReplayRate())
+}
+
+func load(path string) []isa.Inst {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	insts, err := r.ReadAll()
+	if err != nil {
+		fatal(err)
+	}
+	if len(insts) == 0 {
+		fatal(fmt.Errorf("%s: empty trace", path))
+	}
+	return insts
+}

@@ -1,0 +1,48 @@
+// Custombench models a workload that is not in the SPEC suite — a
+// pointer-chasing, cache-hostile key-value-store-like kernel — and asks
+// the question the paper's §5.5 raises: with misses this frequent, how
+// much of the ideal scheme's performance does token-based replay keep,
+// and how many tokens does that take?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Start from mcf (the most memory-bound preset) and push it harder:
+	// more loads, hotter pointer chains, a bigger miss fraction.
+	w, err := repro.BenchmarkWorkload("mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Name = "kvstore"
+	w.LoadFrac = 0.34
+	w.ColdFrac = 0.20
+	w.WarmFrac = 0.16
+	w.DepMean = 2.6
+	w.MissyBias = 0.85
+
+	fmt.Println("synthetic kv-store kernel, 8-wide machine")
+
+	base, err := repro.Run(repro.Options{Workload: &w, Wide8: true,
+		Scheme: repro.PosSel, Insts: 80_000, Warmup: 40_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  PosSel (ideal): IPC %.3f, miss rate %.1f%%\n",
+		base.IPC, 100*base.LoadMissRate)
+
+	for _, tokens := range []int{8, 16, 32, 64} {
+		res, err := repro.Run(repro.Options{Workload: &w, Wide8: true,
+			Scheme: repro.TkSel, Tokens: tokens, Insts: 80_000, Warmup: 40_000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  TkSel %2d tokens: IPC %.3f (%.1f%% of ideal), coverage %.1f%%\n",
+			tokens, res.IPC, 100*res.IPC/base.IPC, 100*res.TokenCoverage)
+	}
+}

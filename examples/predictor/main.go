@@ -1,0 +1,36 @@
+// Predictor explores the scheduling-miss predictor standalone (the
+// paper's §4.1 / Figure 9): how much of the miss traffic a tagged
+// 4k-entry 2-bit table captures per benchmark, and the coverage/
+// accuracy trade-off as the confidence threshold rises.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("scheduling-miss predictor on the 8-wide machine")
+	fmt.Printf("%-8s %9s | %s\n", "bench", "miss%", "coverage@1..3   predicted-fraction@1..3")
+	for _, bench := range repro.Benchmarks() {
+		res, err := repro.Run(repro.Options{
+			Benchmark: bench,
+			Wide8:     true,
+			Scheme:    repro.PosSel,
+			Insts:     80_000,
+			Warmup:    40_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %8.2f%% | %.2f %.2f %.2f    %.3f %.3f %.3f\n",
+			bench, 100*res.LoadMissRate,
+			res.PredictorCoverage[1], res.PredictorCoverage[2], res.PredictorCoverage[3],
+			res.PredictedFraction[1], res.PredictedFraction[2], res.PredictedFraction[3])
+	}
+	fmt.Println("\nThe paper's observation holds when a benchmark concentrates its")
+	fmt.Println("misses on few loads: high coverage at a tiny predicted fraction")
+	fmt.Println("(perl); mcf predicts much of its load stream and still misses more.")
+}

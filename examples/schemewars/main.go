@@ -1,0 +1,44 @@
+// Schemewars compares every scheduling replay scheme on one benchmark,
+// reproducing the shape of the paper's Figure 13 for a single workload:
+// position-based (ideal) on top, squashing replay losing ground as the
+// machine widens, token-based riding within a couple percent of ideal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	bench := flag.String("bench", "twolf", "benchmark to compare on")
+	flag.Parse()
+
+	for _, wide8 := range []bool{false, true} {
+		width := "4-wide"
+		if wide8 {
+			width = "8-wide"
+		}
+		cmp, err := repro.CompareSchemes(repro.Options{
+			Benchmark: *bench,
+			Wide8:     wide8,
+			Insts:     100_000,
+			Warmup:    60_000,
+		},
+			repro.PosSel, repro.NonSel, repro.DSel, repro.TkSel,
+			repro.ReInsert, repro.Refetch, repro.Conservative)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s on the %s machine (normalized to PosSel):\n", *bench, width)
+		fmt.Printf("  %-14s %8s %10s %12s\n", "scheme", "IPC", "rel. IPC", "rel. issues")
+		for i, s := range cmp.Schemes {
+			fmt.Printf("  %-14v %8.3f %10.3f %12.3f\n",
+				s, cmp.Results[i].IPC, cmp.RelativeIPC[i], cmp.RelativeIssues[i])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,138 @@
+// Package analytic implements the paper's closed-form/graph-model
+// results that need no simulation: Table 1 (the maximum number of parent
+// loads an instruction must track, as a function of load ports and
+// propagation distance) and the §3.5/§5.5 wire-count models comparing
+// the hardware cost of position-based and token-based replay.
+package analytic
+
+// Table 1's graph model, reconstructed from the paper's assumptions
+// (§2.3): 1) only loads miss, 2) load latency > 1 (we use the minimum,
+// 2 cycles), 3) fan-in of two source operands per instruction, 4) load
+// issue bandwidth does not exceed single-cycle-instruction bandwidth
+// (so ALU bandwidth never binds before the load ports do).
+//
+// Model: the tracking instruction issues at cycle 0. The speculative
+// wavefront propagates back-to-back — a producer issued at cycle c wakes
+// consumers that issue *exactly* at c+1 (single-cycle ops) or c+2
+// (loads); the worst case for tracking is the maximally fast wavefront,
+// so no slack is allowed on dependence edges. A parent load issued at
+// cycle c is still unverified (hence must be tracked) iff c falls in a
+// window of `dist` cycles ending two cycles before issue:
+// c in [-(dist+1), -2]. Every instruction has up to two source
+// operands (assumption 3); in the worst-case tree a load's own sources
+// are single-cycle producers (its address computation), so load slots
+// host only single-cycle ops while non-load slots host either kind. At
+// most `ports` loads issue per cycle (assumption 4 keeps single-cycle
+// bandwidth from binding first). MaxParentLoads maximizes the number of
+// distinct ancestor loads in the window over all such dependence trees.
+//
+// The maximization is a dynamic program over "parent slots". A node
+// placed at cycle c opens two slots: for a non-load they are usable by
+// a single-cycle producer at exactly c-1 or by a load at exactly c-2;
+// for a load, only by a single-cycle producer at c-1. Walking cycles
+// backward, the state is (uA, uL, vA): uA/uL = unfilled slots of
+// cycle-(c+1) non-load/load nodes (single-cycle-usable now; uA becomes
+// load-usable next cycle, uL dies), vA = unfilled non-load slots of
+// cycle-(c+2) nodes (load-usable now, then dead).
+
+type dpKey struct {
+	c          int
+	uA, uL, vA int
+}
+
+type dpCtx struct {
+	ports int
+	cMin  int
+	memo  map[dpKey]int
+}
+
+// MaxParentLoads returns the Table 1 value for the given number of load
+// ports and propagation distance. It returns 0 for non-positive
+// arguments.
+func MaxParentLoads(ports, dist int) int {
+	if ports <= 0 || dist <= 0 {
+		return 0
+	}
+	ctx := &dpCtx{ports: ports, cMin: -(dist + 1), memo: make(map[dpKey]int)}
+	// The consumer at cycle 0 contributes two non-load slots:
+	// single-cycle-usable at -1, load-usable at -2.
+	return ctx.best(-1, 2, 0, 0)
+}
+
+// best returns the maximum loads placeable at cycles <= c, where uA+uL
+// slots accept a single-cycle op at c and vA slots accept a load at c.
+func (x *dpCtx) best(c, uA, uL, vA int) int {
+	if c < x.cMin {
+		return 0
+	}
+	// More slots than the remaining port-cycles could ever consume are
+	// indistinguishable; cap the state to keep the memo small.
+	cap := 2*x.ports*(c-x.cMin+1) + 2
+	if uA > cap {
+		uA = cap
+	}
+	if uL > cap {
+		uL = cap
+	}
+	if vA > cap {
+		vA = cap
+	}
+	k := dpKey{c, uA, uL, vA}
+	if r, ok := x.memo[k]; ok {
+		return r
+	}
+	maxL := 0
+	if c <= -2 {
+		maxL = min(x.ports, vA)
+	}
+	// Single-cycle ops beyond what future loads could hang off are
+	// useless.
+	maxUseful := x.ports * (c - x.cMin + 1)
+	best := 0
+	for l := 0; l <= maxL; l++ {
+		maxA := min(uA+uL, maxUseful)
+		for a := 0; a <= maxA; a++ {
+			// Consume load-node slots first: they die next cycle while
+			// non-load slots could still feed a load. This greedy split
+			// weakly dominates any other.
+			fromL := min(a, uL)
+			fromA := a - fromL
+			r := l + x.best(c-1, 2*a, 2*l, uA-fromA)
+			if r > best {
+				best = r
+			}
+		}
+	}
+	x.memo[k] = best
+	return best
+}
+
+// Table1Ports are the port counts of the paper's Table 1 columns.
+var Table1Ports = []int{1, 2, 4, 8, 16, 32}
+
+// Table1Distances are the propagation distances of the paper's rows.
+var Table1Distances = []int{1, 2, 3, 4, 5, 6, 7}
+
+// Table1Paper holds the values printed in the paper, indexed
+// [distance-1][port column]. The reconstruction above reproduces 31 of
+// the 42 cells exactly (all of ports <= 2, all of distance <= 3, and
+// the fan-in-saturated cells); the remainder — the transition region
+// where the port limit starts to bind — differs by at most p/4. The
+// paper calls its own generating equation "complex" and does not give
+// it; see EXPERIMENTS.md for the full model-vs-paper comparison.
+var Table1Paper = [7][6]int{
+	{1, 2, 2, 2, 2, 2},
+	{2, 3, 4, 4, 4, 4},
+	{3, 4, 5, 8, 8, 8},
+	{4, 6, 8, 12, 16, 16},
+	{5, 8, 12, 16, 24, 32},
+	{6, 10, 16, 24, 32, 48},
+	{7, 12, 20, 32, 48, 80},
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,51 @@
+package analytic
+
+// Wire-count models from §3.5 and §5.5: the scheduler-visible hardware
+// cost of position-based versus token-based selective replay. These are
+// the paper's scalability argument in closed form.
+
+// DependenceMatrixBits returns the size of one position-based dependence
+// matrix: one column per memory-pipeline issue slot, one row per pipe
+// stage between dispatch and completion (the propagation distance).
+func DependenceMatrixBits(memPorts, propagationDistance int) int {
+	return memPorts * propagationDistance
+}
+
+// PosSelDependenceBusWires returns the number of wires needed to carry
+// dependence matrices alongside wakeup tag broadcasts: one matrix per
+// wakeup bus, one bus per issue slot. The paper's §3.5 numbers: 48 at
+// 4-wide (2 ports) and 192 at 8-wide (4 ports), with propagation
+// distance 6.
+func PosSelDependenceBusWires(width, memPorts, propagationDistance int) int {
+	return width * DependenceMatrixBits(memPorts, propagationDistance)
+}
+
+// PosSelKillBusWires returns the kill-bus width for position-based
+// replay: schedulers monitor only the matrix bottom row, one wire per
+// memory issue slot.
+func PosSelKillBusWires(memPorts int) int {
+	return memPorts
+}
+
+// PosSelTotalReplayWires is the total extra wiring position-based replay
+// adds to the scheduling logic; §5.5 quotes 196 for the 8-wide machine
+// (192 dependence-bus wires + 4 kill wires).
+func PosSelTotalReplayWires(width, memPorts, propagationDistance int) int {
+	return PosSelDependenceBusWires(width, memPorts, propagationDistance) +
+		PosSelKillBusWires(memPorts)
+}
+
+// TkSelTotalReplayWires is token-based replay's scheduler-visible
+// wiring: a two-wire kill bus per token (Table 2's four signal states).
+// §5.5 quotes 32 for the 8-wide machine's 16 tokens. Crucially this is
+// a function of the token count only, not of machine width or depth.
+func TkSelTotalReplayWires(tokens int) int {
+	return 2 * tokens
+}
+
+// IDSelVectorBits returns the per-instruction dependence-vector size of
+// ID-based selective replay: one bit per load the window can hold
+// (§3.4.1), which is what makes the scheme infeasible at scale.
+func IDSelVectorBits(maxLoadsInWindow int) int {
+	return maxLoadsInWindow
+}

@@ -1,0 +1,215 @@
+// Package bpred implements the branch prediction machinery of the
+// paper's Table 3 machine: a combined predictor (4k-entry bimodal and
+// 4k-entry gshare arbitrated by a 4k-entry selector), a 1k-entry 4-way
+// branch target buffer, and a 16-entry return address stack.
+//
+// In the simulator the predictor steers the speculative front end;
+// mispredictions are resolved when the branch executes and cost at least
+// 11 cycles of redirection, matching Table 3.
+package bpred
+
+// counter is a 2-bit saturating counter; values 2..3 predict taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Config sizes each component. Zero values are replaced by the paper's
+// configuration (see Default).
+type Config struct {
+	// BimodalEntries is the bimodal table size (power of two).
+	BimodalEntries int
+	// GshareEntries is the gshare table size (power of two).
+	GshareEntries int
+	// SelectorEntries is the chooser table size (power of two).
+	SelectorEntries int
+	// HistoryBits is the global history length used by gshare.
+	HistoryBits int
+	// BTBEntries and BTBAssoc size the branch target buffer.
+	BTBEntries, BTBAssoc int
+	// RASEntries sizes the return address stack.
+	RASEntries int
+}
+
+// Default returns the Table 3 configuration: 4k bimodal / 4k gshare /
+// 4k selector, 12 history bits, 1k-entry 4-way BTB, 16-entry RAS.
+func Default() Config {
+	return Config{
+		BimodalEntries:  4096,
+		GshareEntries:   4096,
+		SelectorEntries: 4096,
+		HistoryBits:     12,
+		BTBEntries:      1024,
+		BTBAssoc:        4,
+		RASEntries:      16,
+	}
+}
+
+// Predictor is the combined direction predictor plus BTB and RAS.
+// The zero value is not usable; construct with New.
+type Predictor struct {
+	cfg      Config
+	bimodal  []counter
+	gshare   []counter
+	selector []counter // high counter values prefer gshare
+	history  uint64
+	btb      *btb
+	ras      *ras
+
+	lookups     uint64
+	mispredicts uint64
+}
+
+// New constructs a predictor; zero config fields take Default values.
+func New(cfg Config) *Predictor {
+	def := Default()
+	if cfg.BimodalEntries == 0 {
+		cfg.BimodalEntries = def.BimodalEntries
+	}
+	if cfg.GshareEntries == 0 {
+		cfg.GshareEntries = def.GshareEntries
+	}
+	if cfg.SelectorEntries == 0 {
+		cfg.SelectorEntries = def.SelectorEntries
+	}
+	if cfg.HistoryBits == 0 {
+		cfg.HistoryBits = def.HistoryBits
+	}
+	if cfg.BTBEntries == 0 {
+		cfg.BTBEntries = def.BTBEntries
+	}
+	if cfg.BTBAssoc == 0 {
+		cfg.BTBAssoc = def.BTBAssoc
+	}
+	if cfg.RASEntries == 0 {
+		cfg.RASEntries = def.RASEntries
+	}
+	p := &Predictor{
+		cfg:      cfg,
+		bimodal:  make([]counter, cfg.BimodalEntries),
+		gshare:   make([]counter, cfg.GshareEntries),
+		selector: make([]counter, cfg.SelectorEntries),
+		btb:      newBTB(cfg.BTBEntries, cfg.BTBAssoc),
+		ras:      newRAS(cfg.RASEntries),
+	}
+	// Weakly-not-taken start, weakly-prefer-bimodal chooser, matching
+	// common sim-outorder initialization.
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 1
+	}
+	for i := range p.selector {
+		p.selector[i] = 1
+	}
+	return p
+}
+
+// Prediction is the front end's view of one branch.
+type Prediction struct {
+	// Taken is the predicted direction.
+	Taken bool
+	// Target is the predicted target (0 when the BTB misses; a taken
+	// prediction without a target still redirects fetch but only once
+	// the target is computed, which the pipeline charges as a stall).
+	Target uint64
+	// usedGshare records which component produced the direction, for
+	// the selector update.
+	usedGshare bool
+	// history snapshot for recovery-free speculative history updates.
+	history uint64
+}
+
+func (p *Predictor) bimodalIdx(pc uint64) int {
+	return int((pc >> 2) & uint64(len(p.bimodal)-1))
+}
+
+func (p *Predictor) gshareIdx(pc uint64) int {
+	return int(((pc >> 2) ^ p.history) & uint64(len(p.gshare)-1))
+}
+
+func (p *Predictor) selectorIdx(pc uint64) int {
+	return int((pc >> 2) & uint64(len(p.selector)-1))
+}
+
+// Lookup predicts the branch at pc and speculatively updates global
+// history with the predicted direction.
+func (p *Predictor) Lookup(pc uint64) Prediction {
+	p.lookups++
+	pr := Prediction{history: p.history}
+	b := p.bimodal[p.bimodalIdx(pc)].taken()
+	g := p.gshare[p.gshareIdx(pc)].taken()
+	if p.selector[p.selectorIdx(pc)].taken() {
+		pr.Taken, pr.usedGshare = g, true
+	} else {
+		pr.Taken = b
+	}
+	if t, ok := p.btb.lookup(pc); ok {
+		pr.Target = t
+	}
+	p.history = ((p.history << 1) | boolBit(pr.Taken)) & ((1 << p.cfg.HistoryBits) - 1)
+	return pr
+}
+
+// Update trains the predictor with the branch's actual outcome. pr must
+// be the Prediction returned by the matching Lookup. It returns whether
+// the direction or target was mispredicted.
+func (p *Predictor) Update(pc uint64, pr Prediction, taken bool, target uint64) bool {
+	// Recompute component predictions under the history the lookup saw.
+	saved := p.history
+	p.history = pr.history
+	bi, gi, si := p.bimodalIdx(pc), p.gshareIdx(pc), p.selectorIdx(pc)
+	p.history = saved
+
+	b := p.bimodal[bi].taken()
+	g := p.gshare[gi].taken()
+	p.bimodal[bi] = p.bimodal[bi].update(taken)
+	p.gshare[gi] = p.gshare[gi].update(taken)
+	// Train the selector toward whichever component was right, when they
+	// disagree.
+	if b != g {
+		p.selector[si] = p.selector[si].update(g == taken)
+	}
+	if taken {
+		p.btb.insert(pc, target)
+	}
+	mis := pr.Taken != taken || (taken && pr.Target != target)
+	if mis {
+		p.mispredicts++
+		// Repair global history: squash the wrong speculative bit and
+		// insert the true outcome.
+		p.history = ((pr.history << 1) | boolBit(taken)) & ((1 << p.cfg.HistoryBits) - 1)
+	}
+	return mis
+}
+
+// PushRAS records a call's return address.
+func (p *Predictor) PushRAS(retPC uint64) { p.ras.push(retPC) }
+
+// PopRAS predicts a return target.
+func (p *Predictor) PopRAS() (uint64, bool) { return p.ras.pop() }
+
+// Stats returns lookup and misprediction counts.
+func (p *Predictor) Stats() (lookups, mispredicts uint64) {
+	return p.lookups, p.mispredicts
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

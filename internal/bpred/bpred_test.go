@@ -1,0 +1,202 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 || !c.taken() {
+		t.Fatalf("saturated-up counter = %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 || c.taken() {
+		t.Fatalf("saturated-down counter = %d", c)
+	}
+}
+
+func TestAlwaysTakenBranchLearns(t *testing.T) {
+	p := New(Config{})
+	pc := uint64(0x400100)
+	target := uint64(0x400800)
+	mis := 0
+	for i := 0; i < 100; i++ {
+		pr := p.Lookup(pc)
+		if p.Update(pc, pr, true, target) {
+			mis++
+		}
+	}
+	if mis > 5 {
+		t.Fatalf("always-taken branch mispredicted %d/100 times", mis)
+	}
+	// After training, the BTB must supply the target.
+	pr := p.Lookup(pc)
+	if !pr.Taken || pr.Target != target {
+		t.Fatalf("trained prediction = %+v", pr)
+	}
+}
+
+func TestAlternatingBranchLearnedByGshare(t *testing.T) {
+	// A strict T/NT alternation is hopeless for bimodal but trivial for
+	// gshare with global history; the combined predictor must converge.
+	p := New(Config{})
+	pc := uint64(0x400200)
+	mis := 0
+	for i := 0; i < 400; i++ {
+		taken := i%2 == 0
+		pr := p.Lookup(pc)
+		if p.Update(pc, pr, taken, 0x400900) {
+			mis++
+		}
+	}
+	// Allow warmup; the tail must be near-perfect.
+	misTail := 0
+	for i := 0; i < 100; i++ {
+		taken := i%2 == 0
+		pr := p.Lookup(pc)
+		if p.Update(pc, pr, taken, 0x400900) {
+			misTail++
+		}
+	}
+	if misTail > 4 {
+		t.Fatalf("alternating branch mispredicted %d/100 after training", misTail)
+	}
+	_ = mis
+}
+
+func TestRandomBranchMispredictsOften(t *testing.T) {
+	p := New(Config{})
+	rng := rand.New(rand.NewSource(42))
+	mis := 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		pc := uint64(0x400000 + (i%16)*4)
+		taken := rng.Intn(2) == 0
+		pr := p.Lookup(pc)
+		if p.Update(pc, pr, taken, 0x500000) {
+			mis++
+		}
+	}
+	rate := float64(mis) / float64(n)
+	if rate < 0.3 {
+		t.Fatalf("random branches mispredicted only %.2f; predictor is cheating", rate)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 7; i++ {
+		pr := p.Lookup(0x1000)
+		p.Update(0x1000, pr, true, 0x2000)
+	}
+	lookups, _ := p.Stats()
+	if lookups != 7 {
+		t.Fatalf("lookups = %d, want 7", lookups)
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	b := newBTB(8, 2) // 4 sets, 2 ways
+	// Five PCs mapping to the same set (stride 16 with >>2 indexing, 4 sets).
+	pcs := []uint64{0x00, 0x10, 0x20, 0x30, 0x40}
+	for _, pc := range pcs {
+		b.insert(pc, pc+0x1000)
+	}
+	// Only the last two inserted survive in the 2-way set.
+	if _, ok := b.lookup(0x00); ok {
+		t.Error("oldest entry should have been evicted")
+	}
+	if tg, ok := b.lookup(0x40); !ok || tg != 0x1040 {
+		t.Errorf("newest entry lookup = (%#x,%v)", tg, ok)
+	}
+}
+
+func TestBTBUpdateInPlace(t *testing.T) {
+	b := newBTB(8, 2)
+	b.insert(0x100, 0x200)
+	b.insert(0x100, 0x300)
+	if tg, ok := b.lookup(0x100); !ok || tg != 0x300 {
+		t.Fatalf("lookup after re-insert = (%#x,%v)", tg, ok)
+	}
+}
+
+func TestRASLifoOrder(t *testing.T) {
+	r := newRAS(4)
+	r.push(1)
+	r.push(2)
+	r.push(3)
+	for want := uint64(3); want >= 1; want-- {
+		got, ok := r.pop()
+		if !ok || got != want {
+			t.Fatalf("pop = (%d,%v), want %d", got, ok, want)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("empty RAS returned a prediction")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := newRAS(2)
+	r.push(1)
+	r.push(2)
+	r.push(3) // overwrites 1
+	if v, _ := r.pop(); v != 3 {
+		t.Fatalf("pop = %d, want 3", v)
+	}
+	if v, _ := r.pop(); v != 2 {
+		t.Fatalf("pop = %d, want 2", v)
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("RAS should be empty after wrap")
+	}
+}
+
+// Property: push/pop on the RAS behaves like a bounded stack for depths
+// within capacity.
+func TestQuickRASWithinCapacity(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) > 16 {
+			vals = vals[:16]
+		}
+		r := newRAS(16)
+		for _, v := range vals {
+			r.push(v)
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			got, ok := r.pop()
+			if !ok || got != vals[i] {
+				return false
+			}
+		}
+		_, ok := r.pop()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Update returns true exactly when direction or (taken-)target
+// disagrees with the prediction.
+func TestQuickMispredictDefinition(t *testing.T) {
+	p := New(Config{})
+	f := func(pcSeed uint16, taken bool, tSeed uint16) bool {
+		pc := uint64(pcSeed) << 2
+		target := uint64(tSeed)<<2 + 4
+		pr := p.Lookup(pc)
+		mis := p.Update(pc, pr, taken, target)
+		want := pr.Taken != taken || (taken && pr.Target != target)
+		return mis == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

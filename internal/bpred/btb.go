@@ -1,0 +1,98 @@
+package bpred
+
+// btb is a set-associative branch target buffer with LRU replacement.
+type btb struct {
+	sets  [][]btbEntry
+	mask  uint64
+	clock uint64
+}
+
+type btbEntry struct {
+	pc      uint64
+	target  uint64
+	valid   bool
+	lastUse uint64
+}
+
+func newBTB(entries, assoc int) *btb {
+	if entries <= 0 || assoc <= 0 || entries%assoc != 0 {
+		panic("bpred: invalid BTB geometry")
+	}
+	nsets := entries / assoc
+	if nsets&(nsets-1) != 0 {
+		panic("bpred: BTB set count must be a power of two")
+	}
+	sets := make([][]btbEntry, nsets)
+	backing := make([]btbEntry, entries)
+	for i := range sets {
+		sets[i], backing = backing[:assoc], backing[assoc:]
+	}
+	return &btb{sets: sets, mask: uint64(nsets - 1)}
+}
+
+func (b *btb) set(pc uint64) []btbEntry { return b.sets[(pc>>2)&b.mask] }
+
+func (b *btb) lookup(pc uint64) (uint64, bool) {
+	b.clock++
+	set := b.set(pc)
+	for i := range set {
+		if set[i].valid && set[i].pc == pc {
+			set[i].lastUse = b.clock
+			return set[i].target, true
+		}
+	}
+	return 0, false
+}
+
+func (b *btb) insert(pc, target uint64) {
+	b.clock++
+	set := b.set(pc)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].pc == pc {
+			set[i].target = target
+			set[i].lastUse = b.clock
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	set[victim] = btbEntry{pc: pc, target: target, valid: true, lastUse: b.clock}
+}
+
+// ras is a circular return address stack. Overflow wraps and overwrites
+// the oldest entry; underflow returns no prediction.
+type ras struct {
+	buf   []uint64
+	top   int // index of the next push slot
+	depth int // live entries, capped at len(buf)
+}
+
+func newRAS(entries int) *ras {
+	if entries <= 0 {
+		panic("bpred: RAS must have at least one entry")
+	}
+	return &ras{buf: make([]uint64, entries)}
+}
+
+func (r *ras) push(pc uint64) {
+	r.buf[r.top] = pc
+	r.top = (r.top + 1) % len(r.buf)
+	if r.depth < len(r.buf) {
+		r.depth++
+	}
+}
+
+func (r *ras) pop() (uint64, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.buf)) % len(r.buf)
+	r.depth--
+	return r.buf[r.top], true
+}

@@ -1,0 +1,143 @@
+// Package cache models the memory hierarchy of the paper's Table 3
+// machine: split 32KB L1 caches, a unified 512KB L2, and main memory,
+// with miss-status-holding registers (MSHRs) so that secondary accesses
+// to a line whose fill is still in flight observe the residual fill
+// latency. That last behaviour matters for this paper: §5.3 notes that
+// load *scheduling* miss rates exceed cache miss rates precisely because
+// every access to a still-in-flight line is a scheduling miss while only
+// the first is a cache miss.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// Name is used in error messages and stats output.
+	Name string
+	// SizeBytes is the total capacity. Must be Assoc*LineBytes*nsets.
+	SizeBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// LineBytes is the line size; a power of two.
+	LineBytes int
+	// Latency is the access latency in cycles.
+	Latency int
+}
+
+func (c Config) validate() error {
+	if c.SizeBytes <= 0 || c.Assoc <= 0 || c.LineBytes <= 0 || c.Latency < 0 {
+		return fmt.Errorf("cache %s: non-positive geometry %+v", c.Name, c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	if c.SizeBytes%(c.Assoc*c.LineBytes) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by assoc*line %d",
+			c.Name, c.SizeBytes, c.Assoc*c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.Assoc * c.LineBytes)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	// lastUse drives true-LRU replacement within the set.
+	lastUse uint64
+}
+
+// Cache is a single set-associative level with true-LRU replacement.
+// It is a tag store only: data values are never simulated.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setShift uint
+	setMask  uint64
+	useClock uint64
+	accesses uint64
+	misses   uint64
+}
+
+// New builds a cache from cfg. It panics on invalid geometry: cache
+// geometry is static machine configuration, so a bad value is a
+// programming error, not a runtime condition.
+func New(cfg Config) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setShift: shift,
+		setMask:  uint64(nsets - 1),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr maps a byte address to its line-granular address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.setShift }
+
+// Access looks up addr, updates LRU state, and on a miss installs the
+// line (evicting the LRU way). It returns true on a hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	c.useClock++
+	la := addr >> c.setShift
+	set := c.sets[la&c.setMask]
+	tag := la // the full line address; trivially injective
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.useClock
+			return true
+		}
+		if set[i].lastUse < set[victim].lastUse || !set[i].valid && set[victim].valid {
+			victim = i
+		}
+	}
+	c.misses++
+	set[victim] = line{tag: tag, valid: true, lastUse: c.useClock}
+	return false
+}
+
+// Probe reports whether addr currently hits without disturbing LRU or
+// contents. Useful for tests and for modeling non-allocating checks.
+func (c *Cache) Probe(addr uint64) bool {
+	la := addr >> c.setShift
+	set := c.sets[la&c.setMask]
+	tag := la
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns cumulative access and miss counts.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.useClock, c.accesses, c.misses = 0, 0, 0
+}

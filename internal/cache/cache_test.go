@@ -1,0 +1,192 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() Config {
+	return Config{Name: "t", SizeBytes: 1024, Assoc: 2, LineBytes: 64, Latency: 2}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	bad := []Config{
+		{Name: "zero", SizeBytes: 0, Assoc: 1, LineBytes: 64, Latency: 1},
+		{Name: "line-npot", SizeBytes: 1024, Assoc: 2, LineBytes: 48, Latency: 1},
+		{Name: "indivisible", SizeBytes: 1000, Assoc: 2, LineBytes: 64, Latency: 1},
+		{Name: "sets-npot", SizeBytes: 3 * 128, Assoc: 1, LineBytes: 64, Latency: 1},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New did not panic", cfg.Name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(small())
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x1038) { // same 64B line
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x2000) {
+		t.Fatal("different line hit cold")
+	}
+	acc, miss := c.Stats()
+	if acc != 4 || miss != 2 {
+		t.Fatalf("stats = (%d,%d), want (4,2)", acc, miss)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 1024B, 2-way, 64B lines -> 8 sets. Addresses with identical bits
+	// 6..8 share a set; stride 512 re-maps to set 0.
+	c := New(small())
+	a, b, d := uint64(0), uint64(512), uint64(1024)
+	c.Access(a) // miss, install
+	c.Access(b) // miss, install (set full)
+	c.Access(a) // touch a so b is LRU
+	c.Access(d) // evicts b
+	if !c.Probe(a) {
+		t.Error("a should have survived")
+	}
+	if c.Probe(b) {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be resident")
+	}
+}
+
+func TestProbeDoesNotDisturb(t *testing.T) {
+	c := New(small())
+	c.Access(0)
+	c.Access(512) // set 0 now full: {0, 512}, 0 is LRU
+	for i := 0; i < 10; i++ {
+		c.Probe(0) // must not refresh recency
+	}
+	c.Access(1024) // should evict 0, the LRU way
+	if c.Probe(0) {
+		t.Error("probe refreshed LRU state")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(small())
+	c.Access(0x40)
+	c.Reset()
+	if c.Probe(0x40) {
+		t.Error("contents survived reset")
+	}
+	if acc, miss := c.Stats(); acc != 0 || miss != 0 {
+		t.Error("stats survived reset")
+	}
+}
+
+// Property: after an Access, an immediate re-Access of any address in the
+// same line hits.
+func TestQuickAccessThenHit(t *testing.T) {
+	c := New(Config{Name: "q", SizeBytes: 8 << 10, Assoc: 4, LineBytes: 64, Latency: 2})
+	f := func(addr uint64, off uint8) bool {
+		c.Access(addr)
+		return c.Access((addr &^ 63) | uint64(off&63))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: misses never exceed accesses, and a direct-mapped cache of one
+// line thrashes (alternating lines always miss).
+func TestQuickStatsSanity(t *testing.T) {
+	c := New(Config{Name: "one", SizeBytes: 64, Assoc: 1, LineBytes: 64, Latency: 1})
+	for i := 0; i < 100; i++ {
+		c.Access(uint64(i%2) * 64)
+	}
+	acc, miss := c.Stats()
+	if acc != 100 || miss != 100 {
+		t.Fatalf("thrash stats = (%d,%d), want (100,100)", acc, miss)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	// Cold access: memory.
+	r := h.Data(0x10000, 0)
+	if r.Level != LevelMemory || r.Latency != 2+8+100 {
+		t.Fatalf("cold access = %+v, want memory 110", r)
+	}
+	// Second access one cycle later: the fill is still in flight.
+	r = h.Data(0x10008, 1)
+	if r.Level != LevelInFlight {
+		t.Fatalf("second access level = %v, want in-flight", r.Level)
+	}
+	if r.Latency != 109+2 {
+		t.Fatalf("in-flight latency = %d, want 111", r.Latency)
+	}
+	// After the fill completes: DL1 hit.
+	r = h.Data(0x10010, 200)
+	if r.Level != LevelL1 || r.Latency != 2 {
+		t.Fatalf("post-fill access = %+v, want L1 hit 2", r)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	// Fill a line, then evict it from DL1 with conflicting lines while it
+	// stays in the larger L2.
+	h.Data(0x0, 0)
+	// DL1 is 32KB 4-way 64B: 128 sets, so stride 8192 conflicts in DL1.
+	// L2 is 512KB 4-way 128B: 1024 sets, stride 8192 maps to different
+	// L2 sets for the first few, so 0x0 survives in L2.
+	for i := 1; i <= 4; i++ {
+		h.Data(uint64(i)*8192, int64(i)*1000)
+	}
+	r := h.Data(0x0, 100000)
+	if r.Level != LevelL2 {
+		t.Fatalf("re-access level = %v, want L2", r.Level)
+	}
+	if r.Latency != 2+8 {
+		t.Fatalf("L2 latency = %d, want 10", r.Latency)
+	}
+}
+
+func TestHierarchyInstPath(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	r := h.Inst(0x4000, 0)
+	if r.Level != LevelMemory {
+		t.Fatalf("cold fetch level = %v", r.Level)
+	}
+	r = h.Inst(0x4000, 500)
+	if r.Level != LevelL1 || r.Latency != 2 {
+		t.Fatalf("warm fetch = %+v", r)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	h.Data(0x123400, 0)
+	h.Reset()
+	if r := h.Data(0x123400, 0); r.Level != LevelMemory {
+		t.Fatalf("after reset, access = %+v, want cold memory miss", r)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	names := map[Level]string{LevelL1: "L1", LevelInFlight: "in-flight", LevelL2: "L2", LevelMemory: "memory"}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", l, l.String(), want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package cache
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level uint8
+
+const (
+	// LevelL1 means the access hit in the first-level cache.
+	LevelL1 Level = iota
+	// LevelInFlight means the line missed earlier and its fill has not
+	// completed; the access waits for the residual fill latency.
+	LevelInFlight
+	// LevelL2 means the access missed L1 and hit the unified L2.
+	LevelL2
+	// LevelMemory means the access went to main memory.
+	LevelMemory
+)
+
+// String names the level for stats output.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelInFlight:
+		return "in-flight"
+	case LevelL2:
+		return "L2"
+	default:
+		return "memory"
+	}
+}
+
+// Result describes one data access.
+type Result struct {
+	// Latency is the total load-to-use latency in cycles.
+	Latency int
+	// Level is where the access was satisfied.
+	Level Level
+}
+
+// HierarchyConfig assembles the Table 3 memory system.
+type HierarchyConfig struct {
+	IL1, DL1, L2 Config
+	// MemLatency is main-memory latency in cycles (100 in the paper).
+	MemLatency int
+}
+
+// DefaultHierarchy returns the paper's Table 3 memory system: 32KB 2-way
+// 64B IL1 (2 cycles), 32KB 4-way 64B DL1 (2 cycles), 512KB 4-way 128B
+// unified L2 (8 cycles), 100-cycle main memory.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		IL1:        Config{Name: "IL1", SizeBytes: 32 << 10, Assoc: 2, LineBytes: 64, Latency: 2},
+		DL1:        Config{Name: "DL1", SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64, Latency: 2},
+		L2:         Config{Name: "L2", SizeBytes: 512 << 10, Assoc: 4, LineBytes: 128, Latency: 8},
+		MemLatency: 100,
+	}
+}
+
+// Hierarchy is the two-level data/instruction memory system with MSHR
+// tracking of in-flight fills.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	il1 *Cache
+	dl1 *Cache
+	l2  *Cache
+	// fills maps DL1 line address -> cycle the fill completes.
+	fills map[uint64]int64
+	// instFills does the same for IL1 lines.
+	instFills map[uint64]int64
+}
+
+// NewHierarchy builds the hierarchy. Invalid geometry panics (static
+// configuration error).
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		cfg:       cfg,
+		il1:       New(cfg.IL1),
+		dl1:       New(cfg.DL1),
+		l2:        New(cfg.L2),
+		fills:     make(map[uint64]int64),
+		instFills: make(map[uint64]int64),
+	}
+}
+
+// Data performs a data access (load or store) at the given cycle and
+// returns the latency and satisfying level. Write misses allocate, like
+// SimpleScalar's default write-allocate policy.
+func (h *Hierarchy) Data(addr uint64, now int64) Result {
+	la := h.dl1.LineAddr(addr)
+	if ready, ok := h.fills[la]; ok {
+		if ready > now {
+			// Secondary access to an in-flight line: waits for the fill.
+			return Result{Latency: int(ready-now) + h.cfg.DL1.Latency, Level: LevelInFlight}
+		}
+		delete(h.fills, la)
+	}
+	if h.dl1.Access(addr) {
+		return Result{Latency: h.cfg.DL1.Latency, Level: LevelL1}
+	}
+	var lat int
+	var lvl Level
+	if h.l2.Access(addr) {
+		lat = h.cfg.DL1.Latency + h.cfg.L2.Latency
+		lvl = LevelL2
+	} else {
+		lat = h.cfg.DL1.Latency + h.cfg.L2.Latency + h.cfg.MemLatency
+		lvl = LevelMemory
+	}
+	h.fills[la] = now + int64(lat)
+	return Result{Latency: lat, Level: lvl}
+}
+
+// Inst performs an instruction fetch access for the line containing pc.
+func (h *Hierarchy) Inst(pc uint64, now int64) Result {
+	la := h.il1.LineAddr(pc)
+	if ready, ok := h.instFills[la]; ok {
+		if ready > now {
+			return Result{Latency: int(ready-now) + h.cfg.IL1.Latency, Level: LevelInFlight}
+		}
+		delete(h.instFills, la)
+	}
+	if h.il1.Access(pc) {
+		return Result{Latency: h.cfg.IL1.Latency, Level: LevelL1}
+	}
+	var lat int
+	var lvl Level
+	if h.l2.Access(pc) {
+		lat = h.cfg.IL1.Latency + h.cfg.L2.Latency
+		lvl = LevelL2
+	} else {
+		lat = h.cfg.IL1.Latency + h.cfg.L2.Latency + h.cfg.MemLatency
+		lvl = LevelMemory
+	}
+	h.instFills[la] = now + int64(lat)
+	return Result{Latency: lat, Level: lvl}
+}
+
+// DL1 exposes the data cache (stats, probing in tests).
+func (h *Hierarchy) DL1() *Cache { return h.dl1 }
+
+// IL1 exposes the instruction cache.
+func (h *Hierarchy) IL1() *Cache { return h.il1 }
+
+// L2 exposes the unified second level.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// HitLatency returns the scheduled (assumed) load-to-use latency, i.e.
+// the DL1 hit latency the scheduler speculates with.
+func (h *Hierarchy) HitLatency() int { return h.cfg.DL1.Latency }
+
+// Reset clears all levels and in-flight state.
+func (h *Hierarchy) Reset() {
+	h.il1.Reset()
+	h.dl1.Reset()
+	h.l2.Reset()
+	h.fills = make(map[uint64]int64)
+	h.instFills = make(map[uint64]int64)
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestDiagLossAccounting attributes cycles to front-end and back-end
+// stall causes per benchmark. Diagnostic; run with -v.
+func TestDiagLossAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, wide8 := range []bool{false, true} {
+		for _, bench := range []string{"gcc", "gzip", "mcf", "eon", "vortex"} {
+			p, _ := workload.ByName(bench)
+			gen, _ := workload.NewGenerator(p, 1)
+			cfg := Config4Wide()
+			if wide8 {
+				cfg = Config8Wide()
+			}
+			cfg.MaxInsts = 60_000
+			cfg.Warmup = 60_000
+			m, _ := New(cfg, gen)
+
+			var blockedBr, stalledIL1, fqEmpty, iqFull, robFull, winEmpty int64
+			var issueSum, measured int64
+			var holdHead, issuedHead int64
+			for m.stats.Retired < cfg.MaxInsts+cfg.Warmup && m.cycle < 3_000_000 {
+				pre := m.stats.TotalIssues
+				m.step()
+				if m.stats.Retired < cfg.Warmup {
+					continue
+				}
+				measured++
+				issueSum += int64(m.stats.TotalIssues - pre)
+				if m.blockedOnSeq >= 0 {
+					blockedBr++
+				}
+				if m.cycle < m.fetchStall {
+					stalledIL1++
+				}
+				if len(m.fetchQ) == 0 {
+					fqEmpty++
+				}
+				if m.iqCount >= m.cfg.IQSize {
+					iqFull++
+				}
+				if m.robCount >= m.cfg.ROBSize {
+					robFull++
+				}
+				if m.robCount == 0 {
+					winEmpty++
+				} else {
+					h := m.rob[m.robHead]
+					if !h.completed && h.holdUntil > m.cycle {
+						holdHead++
+					}
+					if !h.completed && h.issued {
+						issuedHead++
+					}
+				}
+			}
+			c := float64(measured)
+			t.Logf("%-7s %s IPC~%.2f | brBlk=%.2f il1=%.2f fqEmpty=%.2f iqFull=%.2f robFull=%.2f winEmpty=%.2f holdHead=%.2f issHead=%.2f issues/cyc=%.2f",
+				bench, map[bool]string{false: "4w", true: "8w"}[wide8],
+				float64(60_000)/c,
+				float64(blockedBr)/c, float64(stalledIL1)/c, float64(fqEmpty)/c,
+				float64(iqFull)/c, float64(robFull)/c, float64(winEmpty)/c,
+				float64(holdHead)/c, float64(issuedHead)/c, float64(issueSum)/c)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestDiagTokens shows token-coverage loss causes per benchmark.
+// Diagnostic; run with -v.
+func TestDiagTokens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, bench := range []string{"gcc", "vortex", "gap", "mcf"} {
+		p, _ := workload.ByName(bench)
+		gen, _ := workload.NewGenerator(p, 1)
+		cfg := Config8Wide()
+		cfg.Scheme = TkSel
+		_ = cfg
+		cfg.MaxInsts = 80_000
+		cfg.Warmup = 60_000
+		m, _ := New(cfg, gen)
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs, steals, refused := m.alloc.Stats()
+		t.Logf("%-7s miss=%d first=%d withTok=%d stolen=%d refused=%d | alloc=%d steal=%d allocRefused=%d | reins=%d inflight=%d l2=%d mem=%d cov=%.2f",
+			bench, st.LoadSchedMisses, st.MissOnFirstIssue, st.MissesWithToken, st.MissTokenStolen, st.MissTokenRefused,
+			allocs, steals, refused, st.ReinsertEvents, st.MissInFlight, st.MissL2, st.MissMemory, st.TokenCoverage())
+	}
+}

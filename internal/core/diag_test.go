@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestDiagBottlenecks is a diagnostic aid, not a correctness test: it
+// prints IPC under progressively idealized workloads to localize
+// performance modeling losses. Run with -v.
+func TestDiagBottlenecks(t *testing.T) {
+	base, _ := workload.ByName("gcc")
+
+	variants := []struct {
+		name   string
+		mutate func(*workload.Profile)
+	}{
+		{"baseline", func(p *workload.Profile) {}},
+		{"no-branches", func(p *workload.Profile) { p.BranchFrac = 0 }},
+		{"no-miss", func(p *workload.Profile) { p.ColdFrac, p.WarmFrac = 0, 0; p.AliasFrac = 0 }},
+		{"no-stores", func(p *workload.Profile) { p.StoreFrac = 0; p.AliasFrac = 0 }},
+		{"wide-deps", func(p *workload.Profile) { p.DepMean = 8 }},
+		{"ideal", func(p *workload.Profile) {
+			p.BranchFrac = 0
+			p.ColdFrac, p.WarmFrac, p.AliasFrac = 0, 0, 0
+			p.StoreFrac = 0
+			p.DepMean = 12
+		}},
+	}
+	for _, v := range variants {
+		p := base
+		v.mutate(&p)
+		gen, err := workload.NewGenerator(p, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config4Wide()
+		cfg.MaxInsts = 60_000
+		cfg.Warmup = 40_000
+		m, _ := New(cfg, gen)
+
+		// Drive manually and sample machine state after warmup.
+		var sumIQ, sumROB, sumFQ, emptyWin, headWait int64
+		var headNotReady, headHold, headIssued int64
+		var measured int64
+		var warmCycle int64
+		var warmBase Stats
+		for m.stats.Retired < cfg.MaxInsts+cfg.Warmup && m.cycle < 2_000_000 {
+			m.step()
+			if m.stats.Retired < cfg.Warmup {
+				continue
+			}
+			if warmCycle == 0 {
+				warmCycle = m.cycle
+				warmBase = m.stats
+			}
+			measured++
+			sumIQ += int64(m.iqCount)
+			sumROB += int64(m.robCount)
+			sumFQ += int64(len(m.fetchQ))
+			if m.robCount == 0 {
+				emptyWin++
+				continue
+			}
+			h := m.rob[m.robHead]
+			if !h.completed {
+				headWait++
+				switch {
+				case h.issued:
+					headIssued++
+				case h.holdUntil > m.cycle:
+					headHold++
+				case !h.allReady():
+					headNotReady++
+				}
+			}
+		}
+		m.stats.Cycles = m.cycle
+		m.stats.subtract(&warmBase)
+		m.stats.Cycles = m.cycle - warmCycle
+		st := &m.stats
+		c := float64(measured)
+		mis := 0.0
+		if st.BranchLookups > 0 {
+			mis = float64(st.BranchMispredicts) / float64(st.BranchLookups)
+		}
+		ia, im := m.hier.IL1().Stats()
+		da, dm := m.hier.DL1().Stats()
+		l2a, l2m := m.hier.L2().Stats()
+		t.Logf("%-12s IPC=%.3f missRate=%.4f brMis=%.3f | avgIQ=%.1f avgROB=%.1f avgFQ=%.1f emptyWin=%.2f headIssued=%.2f headHold=%.2f headNotReady=%.2f | il1 %d/%d dl1 %d/%d l2 %d/%d",
+			v.name, st.IPC(), st.LoadMissRate(), mis,
+			float64(sumIQ)/c, float64(sumROB)/c, float64(sumFQ)/c,
+			float64(emptyWin)/c, float64(headIssued)/c, float64(headHold)/c, float64(headNotReady)/c,
+			im, ia, dm, da, l2m, l2a)
+	}
+}

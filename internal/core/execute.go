@@ -1,0 +1,368 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// handleExec models the instruction reaching the execute stage:
+// loads access the memory hierarchy and check store-to-load aliasing,
+// resolving their actual latency; scheduling misses are detected at the
+// (scheduled) completion stage and signal the kill one verify-latency
+// later.
+func (m *Machine) handleExec(ev event) {
+	u := ev.u
+	if u.gen != ev.gen || u.retired {
+		return
+	}
+
+	m.emit(u, EvExecute)
+
+	switch u.inst.Class {
+	case isa.Load:
+		m.execLoad(u)
+	case isa.Store:
+		// The store address enters the LSQ; data may still be pending
+		// (split store-address/store-data). Warm the cache
+		// (write-allocate) and complete.
+		m.hier.Data(u.inst.Addr, m.cycle)
+		u.actualLat = u.schedLat
+		u.completeCycle = u.execStart + int64(u.actualLat)
+		u.dataReadyAt = u.completeCycle
+		m.schedule(u.completeCycle, event{kind: evComplete, u: u, gen: u.gen})
+	default:
+		u.actualLat = u.schedLat
+		u.completeCycle = u.execStart + int64(u.actualLat)
+		u.dataReadyAt = u.completeCycle
+		m.schedule(u.completeCycle, event{kind: evComplete, u: u, gen: u.gen})
+	}
+}
+
+// execLoad resolves a load's actual latency from forwarding or the
+// cache hierarchy.
+func (m *Machine) execLoad(u *uop) {
+	var dataAt int64
+	kind := missNone
+
+	if s := m.aliasingStore(u); s != nil {
+		sd := m.storeDataReadyAt(s)
+		switch {
+		case sd <= m.cycle:
+			// Forwarded in time: behaves like a hit.
+			dataAt = m.cycle + int64(u.schedLat)
+		case sd == unknown:
+			// The store's data producer hasn't even resolved; retry
+			// after the kill with a short back-off.
+			dataAt = unknown
+			kind = missAlias
+		default:
+			dataAt = sd + 1
+			kind = missAlias
+		}
+	} else {
+		res := m.hier.Data(u.inst.Addr, m.cycle)
+		lat := u.inst.Class.ExecLatency() + res.Latency
+		dataAt = m.cycle + int64(lat)
+		if lat > u.schedLat {
+			kind = missCache
+			switch res.Level {
+			case cache.LevelInFlight:
+				m.stats.MissInFlight++
+			case cache.LevelL2:
+				m.stats.MissL2++
+			case cache.LevelMemory:
+				m.stats.MissMemory++
+			}
+		}
+	}
+
+	u.dataReadyAt = dataAt
+
+	// Train the scheduling-miss predictor and the Figure 9 meter on the
+	// first execution of each dynamic load; conservative-delayed loads
+	// are recorded against what would have happened to a speculative
+	// schedule.
+	if u.issues == 1 {
+		missedNow := kind != missNone
+		m.sp.Update(u.inst.PC, missedNow)
+		m.meter.Record(u.conf, missedNow)
+	}
+
+	if u.conservative {
+		// Pessimistically scheduled: dependents were never woken, so
+		// there is no scheduling miss to recover — the load simply
+		// broadcasts once the latency is known and completes when the
+		// data arrives.
+		if dataAt == unknown {
+			// Unresolvable alias: retry execution shortly.
+			u.unissue()
+			u.holdUntil = m.cycle + 4
+			return
+		}
+		bc := m.cycle + 1
+		if t := dataAt - int64(m.cfg.SchedToExec); t > bc {
+			bc = t
+		}
+		u.broadcastCycle = bc
+		m.schedule(bc, event{kind: evBroadcast, u: u, gen: u.gen})
+		u.actualLat = int(dataAt - u.execStart)
+		u.completeCycle = dataAt
+		m.schedule(u.completeCycle, event{kind: evComplete, u: u, gen: u.gen})
+		return
+	}
+
+	if kind == missNone {
+		u.actualLat = int(dataAt - u.execStart)
+		u.completeCycle = dataAt
+		m.schedule(u.completeCycle, event{kind: evComplete, u: u, gen: u.gen})
+		return
+	}
+
+	u.missed = true
+	u.missKind = kind
+	u.everMissed = true
+	// Detected at the scheduled completion stage; the kill reaches the
+	// scheduler VerifyLatency later (together: the propagation
+	// distance).
+	detect := u.execStart + int64(u.schedLat)
+	m.schedule(detect+int64(m.cfg.VerifyLatency), event{kind: evKill, u: u, gen: u.gen})
+}
+
+// aliasingStore returns the youngest older in-window store writing the
+// load's (word-granular) address, or nil.
+func (m *Machine) aliasingStore(u *uop) *uop {
+	var found *uop
+	for _, s := range m.lsq {
+		if s.seq() >= u.seq() {
+			break
+		}
+		if s.inst.Class == isa.Store && s.inst.Addr>>3 == u.inst.Addr>>3 {
+			found = s
+		}
+	}
+	return found
+}
+
+// storeDataReadyAt returns when the store's data value is available for
+// forwarding, or unknown.
+func (m *Machine) storeDataReadyAt(s *uop) int64 {
+	if s.storeDataSeq < 0 {
+		return s.execStart
+	}
+	p := m.lookup(s.storeDataSeq)
+	if p == nil {
+		// Producer retired: data long available.
+		return s.execStart
+	}
+	if p.dataReadyAt != unknown {
+		at := p.dataReadyAt
+		if at < s.execStart {
+			at = s.execStart
+		}
+		return at
+	}
+	return unknown
+}
+
+// dataValidFor reports whether producer p's result was actually valid
+// when consumed at cycle `at` — the simulator's ground truth standing
+// in for poison bits.
+func dataValidFor(p *uop, at int64) bool {
+	if p == nil || p.retired {
+		return true
+	}
+	if p.valuePredicted && !p.valueWrong {
+		// Consumers ride the predicted value; validity is settled by the
+		// load's own verification (valueKill on a wrong prediction).
+		return true
+	}
+	return p.completed && p.dataReadyAt <= at
+}
+
+// handleComplete models the completion stage for an instruction whose
+// scheduled execution finished. The completion verifies the schedule:
+// an instruction that consumed a value which was not actually valid
+// (its producer mis-scheduled) must not complete — under DSel this is
+// the poison bit arriving at completion; under the precise schemes the
+// kill normally beat us here and this path is a safety net.
+func (m *Machine) handleComplete(ev event) {
+	u := ev.u
+	if u.gen != ev.gen || u.retired || u.completed {
+		return
+	}
+
+	// Ground-truth poison check. Stores are exempt on their data
+	// operand: they issue on address readiness alone (split
+	// store-address/store-data), and data lateness is handled by the
+	// forwarding check at dependent loads.
+	nsrc := 2
+	if u.inst.Class == isa.Store {
+		nsrc = 1
+	}
+	bad := false
+	for i := 0; i < nsrc; i++ {
+		p := u.src[i].producer
+		if u.srcSeq(i) >= 0 && !dataValidFor(p, u.execStart) {
+			bad = true
+		}
+	}
+	if bad {
+		// Consumed a stale value: squash, clear the stale operands and
+		// wait for the producers' re-broadcasts.
+		if m.cfg.Scheme != DSel && m.cfg.Scheme != SerialVerify {
+			m.stats.SafetyReplays++
+		}
+		m.squash(u)
+		for i := 0; i < nsrc; i++ {
+			p := u.src[i].producer
+			if u.srcSeq(i) >= 0 && !dataValidFor(p, u.execStart) {
+				u.src[i].ready = false
+				m.rearmOperand(u, i)
+				// Under serial verification this stale execution IS the
+				// invalid wavefront advancing one level; inherit the
+				// producer's chain so chained misses keep extending it.
+				if m.cfg.Scheme == SerialVerify && p != nil && p.serialChain != nil {
+					if u.serialChain == nil || p.serialDepth+1 > u.serialDepth {
+						u.serialChain = p.serialChain
+						u.serialDepth = p.serialDepth + 1
+						if u.serialDepth > u.serialChain.maxDepth {
+							u.serialChain.maxDepth = u.serialDepth
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+
+	// Value verification: only now, with the memory access done, is the
+	// predicted value checked — the non-deterministic verification delay
+	// of §3.5 (cache-miss latencies included).
+	if u.valuePredicted && m.vp != nil {
+		correct := u.inst.ValueRepeat
+		m.vp.Update(u.inst.PC, correct, true)
+		if !correct {
+			u.valueWrong = true
+			m.stats.ValueMispredicts++
+			m.valueKill(u)
+		}
+	} else if u.isLoad() && m.vp != nil {
+		// Train the last-value table on unpredicted loads too.
+		m.vp.Update(u.inst.PC, u.inst.ValueRepeat, false)
+	}
+
+	u.completed = true
+	m.emit(u, EvComplete)
+	if u.dataReadyAt == unknown || u.dataReadyAt < m.cycle {
+		u.dataReadyAt = m.cycle
+	}
+	if u.inRQ {
+		// Verified: the replay-queue entry is reclaimed.
+		u.inRQ = false
+		m.rqCount--
+	}
+
+	// Branch resolution unblocks a mispredict-stalled front end.
+	if u.inst.Class == isa.Branch && u.seq() == m.blockedOnSeq {
+		m.blockedOnSeq = -1
+		m.fetchStall = m.cycle + 1
+	}
+
+	switch m.cfg.Scheme {
+	case TkSel:
+		if u.tokenID >= 0 {
+			m.completeToken(u)
+		}
+		if u.depVec.Empty() {
+			m.releaseIQ(u)
+		}
+	case DSel:
+		// Completion bus: revalidate consumers whose ready bits the
+		// kill cleared (they re-arm via evOpWake when cleared, so
+		// nothing to do here; the bus is modeled by those wakes).
+		m.releaseIQ(u)
+	default:
+		m.releaseIQ(u)
+	}
+}
+
+// completeToken broadcasts the token "complete" state (Table 2, "10"):
+// release the token and clear its bit everywhere; instructions whose
+// vector empties release their issue entries if already issued.
+func (m *Machine) completeToken(u *uop) {
+	id := u.tokenID
+	u.tokenID = -1
+	m.alloc.Release(id)
+	for i := 0; i < m.robCount; i++ {
+		w := m.rob[(m.robHead+i)%len(m.rob)]
+		if !w.depVec.Has(id) {
+			continue
+		}
+		w.depVec = w.depVec.Without(id)
+		if w.depVec.Empty() && w.issued && w.inIQ {
+			m.releaseIQ(w)
+		}
+	}
+	for seq, v := range m.renameVec {
+		if v.Has(id) {
+			m.renameVec[seq] = v.Without(id)
+		}
+	}
+}
+
+// rearmOperand ensures a cleared operand will be woken again: if the
+// producer is in flight with known timing, schedule a targeted wake;
+// if it is waiting or replaying, its re-issue broadcast covers it.
+func (m *Machine) rearmOperand(c *uop, i int) {
+	p := c.src[i].producer
+	if p == nil || p.retired || c.src[i].ready {
+		if p == nil || p.retired {
+			c.src[i].ready = true
+			c.src[i].wokenAt = m.cycle
+		}
+		return
+	}
+	switch {
+	case p.completed:
+		m.schedule(m.cycle+1, event{kind: evOpWake, u: c, op: i})
+	case p.issued && p.completeCycle != unknown:
+		m.schedule(p.completeCycle+1, event{kind: evOpWake, u: c, op: i})
+	case p.issued:
+		m.schedule(p.execStart+1, event{kind: evOpWake, u: c, op: i})
+	}
+	// Otherwise: p waits in the queue; its issue broadcast will wake us.
+}
+
+// retire commits up to Width completed instructions from the ROB head.
+func (m *Machine) retire() {
+	for n := 0; n < m.cfg.Width && m.robCount > 0; n++ {
+		u := m.rob[m.robHead]
+		if !u.completed {
+			return
+		}
+		u.retired = true
+		m.emit(u, EvRetire)
+		m.releaseIQ(u)
+		if u.inRQ {
+			u.inRQ = false
+			m.rqCount--
+		}
+		if u.tokenID >= 0 {
+			// Safety: tokens are normally released at completion.
+			m.alloc.Release(u.tokenID)
+			u.tokenID = -1
+		}
+		if u.inst.Class.IsMem() {
+			// LSQ head must be this instruction (program order).
+			if len(m.lsq) > 0 && m.lsq[0] == u {
+				m.lsq = m.lsq[1:]
+			}
+		}
+		m.rob[m.robHead] = nil
+		m.robHead = (m.robHead + 1) % len(m.rob)
+		m.robCount--
+		m.headSeq++
+		m.stats.Retired++
+		delete(m.renameVec, u.seq()-int64(len(m.rob)))
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/token"
+)
+
+// fetchQCap bounds the fetch buffer: a few front-end pipelines' worth.
+func (m *Machine) fetchQCap() int { return m.cfg.Width * (m.cfg.FrontEndDepth + 2) }
+
+// fetch models the in-order front end: up to Width instructions per
+// cycle from the trace, stopping at the first taken branch; IL1 misses
+// stall fetch; a mispredicted branch blocks fetch until it resolves
+// (the trace is the correct path, so wrong-path instructions are
+// modeled as a fetch bubble — the standard trace-driven treatment; the
+// resulting minimum misprediction penalty matches Table 3's ">= 11
+// cycles").
+func (m *Machine) fetch() {
+	if m.blockedOnSeq >= 0 || m.cycle < m.fetchStall {
+		return
+	}
+	for n := 0; n < m.cfg.Width; n++ {
+		if len(m.fetchQ) >= m.fetchQCap() {
+			return
+		}
+		if !m.haveNext {
+			m.nextInst = m.src.Next()
+			m.haveNext = true
+		}
+		in := m.nextInst
+
+		// Instruction cache: access once per new line.
+		line := in.PC >> 6
+		if !m.haveLastLine || line != m.lastLine {
+			m.haveLastLine = true
+			m.lastLine = line
+			res := m.hier.Inst(in.PC, m.cycle)
+			if res.Latency > m.cfg.Hierarchy.IL1.Latency {
+				// Miss: deliver nothing more this cycle and stall for
+				// the extra fill latency.
+				m.fetchStall = m.cycle + int64(res.Latency-m.cfg.Hierarchy.IL1.Latency)
+				return
+			}
+		}
+
+		m.haveNext = false
+		mispred := false
+		if in.Class == isa.Branch {
+			m.stats.BranchLookups++
+			pr := m.bp.Lookup(in.PC)
+			if m.bp.Update(in.PC, pr, in.Taken, in.Target) {
+				mispred = true
+				m.stats.BranchMispredicts++
+			}
+		}
+		m.fetchQ = append(m.fetchQ, fetchEntry{
+			inst:    in,
+			readyAt: m.cycle + int64(m.cfg.FrontEndDepth),
+		})
+		if mispred {
+			// Block fetch until the branch resolves at execute.
+			m.blockedOnSeq = in.Seq
+			return
+		}
+		if in.Class == isa.Branch && in.Taken {
+			// Fetch stops at the first taken branch in a cycle.
+			return
+		}
+	}
+}
+
+// dispatch moves instructions from the front end into the window:
+// rename (producer linking, token-vector propagation), ROB/IQ/LSQ
+// allocation, scheduling-miss prediction and token allocation for
+// loads. Stalls while a re-insert replay is draining.
+func (m *Machine) dispatch() {
+	if m.reinsertActive {
+		return
+	}
+	for n := 0; n < m.cfg.Width; n++ {
+		if len(m.fetchQ) == 0 || m.fetchQ[0].readyAt > m.cycle {
+			return
+		}
+		if m.robCount >= m.cfg.ROBSize || m.iqCount >= m.cfg.IQSize {
+			return
+		}
+		in := m.fetchQ[0].inst
+		if in.Class.IsMem() && len(m.lsq) >= m.cfg.LSQSize {
+			return
+		}
+		m.fetchQ = m.fetchQ[1:]
+		m.insert(in)
+	}
+}
+
+// insert renames and installs one instruction into the window.
+func (m *Machine) insert(in isa.Inst) {
+	u := &uop{
+		inst:           in,
+		inIQ:           true,
+		tokenID:        -1,
+		broadcastCycle: unknown,
+		completeCycle:  unknown,
+		dataReadyAt:    unknown,
+		storeDataSeq:   -1,
+		schedLat:       m.schedLatOf(in),
+	}
+
+	// Rename: wire source operands to in-window producers.
+	for i := 0; i < 2; i++ {
+		seq := u.srcSeq(i)
+		if seq < 0 {
+			continue
+		}
+		p := m.lookup(seq)
+		if p == nil || !p.inst.Class.HasDest() {
+			// Producer retired (value architecturally available) — or,
+			// defensively, the stream violated the contract and named a
+			// producer with no register result, which would otherwise
+			// never wake this operand.
+			u.src[i].ready = true
+			u.src[i].wokenAt = 0
+			continue
+		}
+		u.src[i].producer = p
+		p.consumers = append(p.consumers, u)
+		if p.completed {
+			u.src[i].ready = true
+			u.src[i].wokenAt = p.completeCycle
+		} else if p.valuePredicted && !p.valueWrong {
+			// The producer load's value was predicted at rename: the
+			// dependence is collapsed and the operand is available now,
+			// pending the load's eventual verification.
+			u.src[i].ready = true
+			u.src[i].wokenAt = m.cycle
+		} else if p.issued && p.broadcastCycle != unknown && p.broadcastCycle <= m.cycle {
+			// The speculative wakeup already flew past; the operand is
+			// ready in the scheduler's eyes.
+			u.src[i].ready = true
+			u.src[i].wokenAt = p.broadcastCycle
+		} else if m.cfg.Scheme == SerialVerify && p.issues > 0 {
+			// Serial verification has no parallel dependence tracking:
+			// the register-file scoreboard shows a value was written
+			// (possibly invalid), so newly renamed consumers see the
+			// operand as available and the invalid wavefront keeps
+			// propagating into fresh instructions (§2.1, Figure 2a).
+			u.src[i].ready = true
+			u.src[i].wokenAt = m.cycle
+		}
+	}
+	if in.Class == isa.Store {
+		u.storeDataSeq = in.Src2
+	}
+
+	// Token-vector propagation in program order through the rename
+	// table (TkSel); the vector is the union of the sources' vectors.
+	if m.cfg.Scheme == TkSel {
+		var v token.Vector
+		for i := 0; i < 2; i++ {
+			if seq := u.srcSeq(i); seq >= 0 {
+				v = v.Merge(m.renameVec[seq])
+			}
+		}
+		u.depVec = v
+	}
+
+	// Loads: predict scheduling misses; allocate tokens; attempt value
+	// prediction.
+	if in.Class == isa.Load {
+		u.conf = m.sp.Lookup(in.PC)
+		wantValue := m.cfg.ValuePrediction && m.vp.Predict(in.PC)
+		switch m.cfg.Scheme {
+		case TkSel:
+			// Value-predicted loads are speculation heads: they need a
+			// token for the arbitrary-delay verification kill, so they
+			// allocate at elevated priority — and without a token the
+			// prediction is simply not used (the safe fallback).
+			allocConf := u.conf
+			if wantValue && allocConf < 2 {
+				allocConf = 2
+			}
+			if id, ok, stolenFrom := m.alloc.Allocate(u.seq(), allocConf); ok {
+				if stolenFrom >= 0 {
+					m.reclaimToken(id, stolenFrom)
+				}
+				u.tokenID = id
+				u.depVec = u.depVec.With(id)
+			} else {
+				wantValue = false
+			}
+		case Conservative:
+			if u.conf >= 2 {
+				u.conservative = true
+				m.stats.ConservativeDelayed++
+			}
+		}
+		if wantValue {
+			u.valuePredicted = true
+			m.stats.ValuePredictions++
+		}
+	}
+
+	if in.Class.HasDest() && m.cfg.Scheme == TkSel {
+		m.renameVec[in.Seq] = u.depVec
+	}
+
+	// Window allocation.
+	m.rob[(m.robHead+m.robCount)%len(m.rob)] = u
+	m.robCount++
+	m.iqCount++
+	if in.Class.IsMem() {
+		m.lsq = append(m.lsq, u)
+	}
+	m.emit(u, EvDispatch)
+}
+
+// schedLatOf returns the latency the scheduler assumes for a class:
+// fixed execution latencies, with loads assumed to hit the DL1.
+func (m *Machine) schedLatOf(in isa.Inst) int {
+	if in.Class == isa.Load {
+		return in.Class.ExecLatency() + m.cfg.Hierarchy.DL1.Latency
+	}
+	return in.Class.ExecLatency()
+}
+
+// reclaimToken broadcasts the reclaim state (Table 2, "11"): clear the
+// token's bit from every in-window instruction and every rename-table
+// vector, and strip the old head.
+func (m *Machine) reclaimToken(id int, oldHead int64) {
+	for i := 0; i < m.robCount; i++ {
+		u := m.rob[(m.robHead+i)%len(m.rob)]
+		u.depVec = u.depVec.Without(id)
+		if u.seq() == oldHead {
+			u.tokenID = -1
+			u.tokenStolen = true
+		}
+	}
+	for seq, v := range m.renameVec {
+		if v.Has(id) {
+			m.renameVec[seq] = v.Without(id)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// stepUntil drives the machine until cond holds or maxCycles pass.
+func stepUntil(t *testing.T, m *Machine, maxCycles int64, cond func() bool) {
+	t.Helper()
+	for i := int64(0); i < maxCycles; i++ {
+		if cond() {
+			return
+		}
+		m.step()
+	}
+	t.Fatalf("condition not reached within %d cycles", maxCycles)
+}
+
+func newSynthMachine(t *testing.T, cfg Config, f func(int64) isa.Inst) *Machine {
+	t.Helper()
+	m, err := New(cfg, &synthStream{next: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Fetch must stop at the first taken branch each cycle, capping fetch
+// bandwidth at one basic block per cycle.
+func TestFetchStopsAtTakenBranch(t *testing.T) {
+	// A taken branch every 2 instructions: fetch delivers at most 2 per
+	// cycle despite width 4, so IPC caps at ~2.
+	pat := func(seq int64) isa.Inst {
+		if seq%2 == 1 {
+			return isa.Inst{PC: 0x400004, Class: isa.Branch, Src1: -1, Src2: -1,
+				Taken: true, Target: 0x400000}
+		}
+		return isa.Inst{PC: 0x400000, Class: isa.IntALU, Src1: -1, Src2: -1}
+	}
+	cfg := Config4Wide()
+	cfg.MaxInsts = 10_000
+	m := newSynthMachine(t, cfg, pat)
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc := st.IPC(); ipc > 2.2 {
+		t.Errorf("IPC %.3f exceeds the taken-branch fetch cap of ~2", ipc)
+	}
+}
+
+// A never-taken, perfectly predictable branch must not throttle fetch.
+func TestFetchFlowsPastNotTakenBranches(t *testing.T) {
+	pat := func(seq int64) isa.Inst {
+		if seq%4 == 3 {
+			return isa.Inst{PC: 0x40000c, Class: isa.Branch, Src1: -1, Src2: -1}
+		}
+		return isa.Inst{PC: 0x400000 + uint64(seq%4)*4, Class: isa.IntALU, Src1: -1, Src2: -1}
+	}
+	cfg := Config4Wide()
+	cfg.MaxInsts = 10_000
+	m := newSynthMachine(t, cfg, pat)
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc := st.IPC(); ipc < 3.5 {
+		t.Errorf("IPC %.3f; predictable not-taken branches should not stall fetch", ipc)
+	}
+}
+
+// Unpredictable branches must charge the Table 3 ">= 11 cycle" recovery:
+// a 50/50 branch with data-dependent outcome every 8 instructions caps
+// throughput well below width.
+func TestMispredictPenalty(t *testing.T) {
+	flip := false
+	pat := func(seq int64) isa.Inst {
+		if seq%8 == 7 {
+			flip = !flip
+			// Alternating outcomes on one PC confuse even gshare when
+			// mixed with the noise below.
+			taken := flip != (seq%16 == 15)
+			return isa.Inst{PC: 0x400020, Class: isa.Branch, Src1: -1, Src2: -1,
+				Taken: taken, Target: 0x400000}
+		}
+		return isa.Inst{PC: 0x400000 + uint64(seq%8)*4, Class: isa.IntALU, Src1: -1, Src2: -1}
+	}
+	cfg := Config4Wide()
+	cfg.MaxInsts = 10_000
+	m := newSynthMachine(t, cfg, pat)
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BranchMispredicts == 0 {
+		t.Fatal("pattern produced no mispredicts")
+	}
+	misRate := float64(st.BranchMispredicts) / float64(st.BranchLookups)
+	// Each mispredict blocks fetch until the branch resolves
+	// (fetch-to-execute >= 11 cycles); with one mispredict per
+	// 8/misRate instructions the per-instruction penalty is bounded
+	// below by misRate*11/8 cycles.
+	maxIPC := 1 / (0.25 + misRate*11/8)
+	if ipc := st.IPC(); ipc > maxIPC+0.3 {
+		t.Errorf("IPC %.3f too high for mispredict rate %.2f (cap ~%.2f)", ipc, misRate, maxIPC)
+	}
+}
+
+// Dispatch must stall when the issue queue fills: a window full of
+// un-issuable instructions (all waiting on one very slow load) blocks
+// new dispatch until it drains.
+func TestDispatchStallsOnFullIQ(t *testing.T) {
+	// One cold load, then a long run of its dependents.
+	pat := func(seq int64) isa.Inst {
+		if seq == 0 {
+			return isa.Inst{PC: 0x400000, Class: isa.Load, Src1: -1, Src2: -1,
+				Addr: 0x4000_0000}
+		}
+		return isa.Inst{PC: 0x400004, Class: isa.IntALU, Src1: 0, Src2: -1}
+	}
+	cfg := Config4Wide()
+	cfg.MaxInsts = 200
+	m := newSynthMachine(t, cfg, pat)
+	sawFull := false
+	stepUntil(t, m, 100_000, func() bool {
+		if m.iqCount >= cfg.IQSize {
+			sawFull = true
+		}
+		return m.stats.Retired >= cfg.MaxInsts
+	})
+	if !sawFull {
+		t.Error("issue queue never filled behind the blocking load")
+	}
+}
+
+// The memory-dependence policy (§5.1): a load may not issue while an
+// older store has not issued. A store whose address operand depends on
+// a slow op must delay the following load even when their addresses
+// differ.
+func TestLoadWaitsForOlderStoreIssue(t *testing.T) {
+	pat := func(seq int64) isa.Inst {
+		switch seq % 16 {
+		case 0:
+			return isa.Inst{PC: 0x400000, Class: isa.IntDiv, Src1: -1, Src2: -1} // 20 cycles
+		case 1:
+			// Store address depends on the divide.
+			return isa.Inst{PC: 0x400004, Class: isa.Store, Src1: seq - 1, Src2: -1,
+				Addr: 0x1000_0100}
+		case 2:
+			// Independent load at a different address: policy still
+			// blocks it until the store issues.
+			return isa.Inst{PC: 0x400008, Class: isa.Load, Src1: -1, Src2: -1,
+				Addr: 0x1000_0800}
+		default:
+			return isa.Inst{PC: 0x400010, Class: isa.IntALU, Src1: -1, Src2: -1}
+		}
+	}
+	cfg := Config4Wide()
+	cfg.MaxInsts = 3200
+	m := newSynthMachine(t, cfg, pat)
+	// Step the machine and assert the §5.1 invariant directly: no load
+	// issues in a cycle where an older store is still unissued.
+	for m.stats.Retired < cfg.MaxInsts {
+		m.step()
+		oldestUnissuedStore := unknown
+		for _, s := range m.lsq {
+			if s.inst.Class == isa.Store && !s.issued && !s.completed {
+				oldestUnissuedStore = s.seq()
+				break
+			}
+		}
+		for _, l := range m.lsq {
+			if l.isLoad() && l.issued && l.issueCycle == m.cycle && l.seq() > oldestUnissuedStore {
+				t.Fatalf("cycle %d: load %d issued past unissued store %d",
+					m.cycle, l.seq(), oldestUnissuedStore)
+			}
+		}
+	}
+}
+
+// The IL1 must make a huge code footprint visibly slower than a tight
+// loop.
+func TestInstructionCachePressure(t *testing.T) {
+	run := func(footprint uint64) float64 {
+		pat := func(seq int64) isa.Inst {
+			return isa.Inst{PC: 0x400000 + (uint64(seq)%footprint)*4,
+				Class: isa.IntALU, Src1: -1, Src2: -1}
+		}
+		cfg := Config4Wide()
+		cfg.MaxInsts = 30_000
+		m := newSynthMachine(t, cfg, pat)
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.IPC()
+	}
+	tight := run(256)      // 1KB loop: IL1 resident
+	huge := run(64 * 1024) // 256KB loop: misses IL1 every line
+	if huge >= tight*0.8 {
+		t.Errorf("IL1 pressure invisible: tight %.3f vs huge %.3f", tight, huge)
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/smpred"
+	"repro/internal/token"
+	"repro/internal/vpred"
+	"repro/internal/workload"
+)
+
+// Machine is one simulated processor instance. Build with New, run with
+// Run. A Machine is single-use: Run may be called once.
+type Machine struct {
+	cfg  Config
+	src  workload.Stream
+	hier *cache.Hierarchy
+	bp   *bpred.Predictor
+	sp   *smpred.Predictor
+	// alloc is the token pool (TkSel only, nil otherwise).
+	alloc *token.Allocator
+	// vp is the load value predictor (nil unless ValuePrediction).
+	vp *vpred.Predictor
+
+	cycle int64
+
+	// rob is the reorder buffer, a ring of in-window uops. headSeq is
+	// the sequence number at robHead; sequence numbers are dense, so
+	// window lookup is arithmetic.
+	rob      []*uop
+	robHead  int
+	robCount int
+	headSeq  int64
+
+	// iqCount tracks occupied issue-queue entries.
+	iqCount int
+	// rqCount tracks issued-unverified instructions under the
+	// replay-queue model.
+	rqCount int
+	// lsq holds in-window loads and stores in program order.
+	lsq []*uop
+
+	// Front end: fetchQ holds fetched instructions waiting out the
+	// front-end depth. nextInst is the read-ahead from the trace.
+	fetchQ       []fetchEntry
+	nextInst     isa.Inst
+	haveNext     bool
+	fetchStall   int64 // no fetch until this cycle
+	blockedOnSeq int64 // mispredicted branch gating fetch, -1 if none
+	lastLine     uint64
+	haveLastLine bool
+
+	// events is the cycle-indexed event queue.
+	events map[int64][]event
+
+	// Re-insert replay state: reinsertPending counts flagged
+	// instructions awaiting program-order re-insertion.
+	reinsertActive  bool
+	reinsertPending int
+
+	// serialChains collects every wavefront under SerialVerify; the
+	// depth histogram is folded at the end of Run.
+	serialChains []*serialChain
+
+	// renameVec is the rename-table dependence-vector model for TkSel:
+	// the vector stored for each value-producing instruction, kept for
+	// recently retired producers too (pruned as the window advances).
+	renameVec map[int64]token.Vector
+
+	stats Stats
+	// meter feeds Figure 9 (predictor coverage); recorded on each
+	// load's first execution.
+	meter smpred.CoverageMeter
+	// observer receives pipeline lifecycle events (tooling only).
+	observer func(PipeEvent)
+
+	ran bool
+}
+
+type fetchEntry struct {
+	inst isa.Inst
+	// readyAt is when the instruction becomes eligible for dispatch.
+	readyAt int64
+}
+
+type evKind uint8
+
+const (
+	// evExec: the uop reaches the execute stage.
+	evExec evKind = iota
+	// evBroadcast: the uop broadcasts its result tag (wakeup).
+	evBroadcast
+	// evComplete: the uop reaches completion with valid data.
+	evComplete
+	// evKill: a load scheduling miss's kill signal reaches the
+	// scheduler.
+	evKill
+	// evOpWake: targeted revalidation of one operand (completion bus /
+	// completion-group effects).
+	evOpWake
+	// evReinsertStart: begin re-insert replay for the payload load.
+	evReinsertStart
+	// evSerialStep: one level of serial verification propagation.
+	evSerialStep
+)
+
+type event struct {
+	kind evKind
+	u    *uop
+	gen  int
+	// op is the operand index for evOpWake.
+	op int
+	// depth is the propagation level for evSerialStep.
+	depth int
+	// chain tracks an in-progress serial propagation.
+	chain *serialChain
+}
+
+// serialChain tracks one invalid speculative wavefront under serial
+// verification, across the dependence levels it reaches — including
+// continuations through chained misses (a replayed load whose tainted
+// address misses again extends its parent wavefront, which is how the
+// paper's 800-level propagations arise).
+type serialChain struct {
+	maxDepth int
+}
+
+// New builds a machine over the given workload stream. The stream must
+// produce valid instructions (see isa.Inst.Validate); the workload
+// generator guarantees this.
+func New(cfg Config, src workload.Stream) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:          cfg,
+		src:          src,
+		hier:         cache.NewHierarchy(cfg.Hierarchy),
+		bp:           bpred.New(cfg.Bpred),
+		sp:           smpred.New(cfg.SMPred),
+		rob:          make([]*uop, cfg.ROBSize),
+		events:       make(map[int64][]event),
+		renameVec:    make(map[int64]token.Vector),
+		blockedOnSeq: -1,
+	}
+	if cfg.Scheme == TkSel {
+		m.alloc = token.NewAllocator(cfg.Tokens)
+	}
+	if cfg.ValuePrediction {
+		m.vp = vpred.New(cfg.VPred)
+	}
+	return m, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Stats returns the accumulated statistics; valid after Run.
+func (m *Machine) Stats() *Stats { return &m.stats }
+
+// Meter returns the scheduling-miss predictor coverage meter (Figure 9
+// data); valid after Run.
+func (m *Machine) Meter() *smpred.CoverageMeter { return &m.meter }
+
+// ValuePredictor exposes the load value predictor (nil unless value
+// prediction is enabled).
+func (m *Machine) ValuePredictor() *vpred.Predictor { return m.vp }
+
+// deadlockWindow is how many cycles without a retirement trigger a
+// diagnostic panic; real stalls (memory misses, re-inserts) are two
+// orders of magnitude shorter.
+const deadlockWindow = 200_000
+
+// Run simulates Warmup instructions unmeasured, then MaxInsts measured
+// instructions, and returns the statistics.
+func (m *Machine) Run() (*Stats, error) {
+	if m.ran {
+		return nil, fmt.Errorf("core: machine already ran")
+	}
+	m.ran = true
+	lastRetire := int64(0)
+	lastCount := int64(0)
+	target := m.cfg.Warmup + m.cfg.MaxInsts
+	var base Stats
+	warm := m.cfg.Warmup == 0
+	for m.stats.Retired < target {
+		m.step()
+		if !warm && m.stats.Retired >= m.cfg.Warmup {
+			warm = true
+			base = m.stats
+			base.Cycles = m.cycle
+		}
+		if m.stats.Retired != lastCount {
+			lastCount = m.stats.Retired
+			lastRetire = m.cycle
+		} else if m.cycle-lastRetire > deadlockWindow {
+			return nil, fmt.Errorf("core: no retirement for %d cycles at cycle %d (scheme %v, head %s)",
+				deadlockWindow, m.cycle, m.cfg.Scheme, m.describeHead())
+		}
+	}
+	m.stats.Cycles = m.cycle
+	if m.cfg.Warmup > 0 {
+		m.stats.subtract(&base)
+	}
+	for _, ch := range m.serialChains {
+		m.stats.SerialDepth.Add(ch.maxDepth)
+	}
+	return &m.stats, nil
+}
+
+// step advances one cycle. Phase order matters: kills must apply before
+// completions so a dependent detected mis-scheduled never completes in
+// the same cycle, and retirement sees the cycle's final state.
+func (m *Machine) step() {
+	m.cycle++
+	m.runEvents()
+	m.retire()
+	m.reinsertStep()
+	m.selectAndIssue()
+	m.dispatch()
+	m.fetch()
+	delete(m.events, m.cycle)
+}
+
+// runEvents drains this cycle's event list in schedule order. Handlers
+// may append more events for the same cycle (e.g. a kill scheduling an
+// operand wake); the loop picks those up.
+func (m *Machine) runEvents() {
+	list := m.events[m.cycle]
+	for i := 0; i < len(list); i++ {
+		ev := list[i]
+		switch ev.kind {
+		case evKill:
+			// Kills run before anything else this cycle; they were
+			// scheduled first (detection precedes dependent completion
+			// by construction).
+			m.handleKill(ev)
+		case evExec:
+			m.handleExec(ev)
+		case evBroadcast:
+			m.handleBroadcast(ev)
+		case evComplete:
+			m.handleComplete(ev)
+		case evOpWake:
+			m.handleOpWake(ev)
+		case evReinsertStart:
+			m.handleReinsertStart(ev)
+		case evSerialStep:
+			m.handleSerialStep(ev)
+		}
+		list = m.events[m.cycle]
+	}
+}
+
+func (m *Machine) schedule(cycle int64, ev event) {
+	if cycle <= m.cycle {
+		cycle = m.cycle + 1
+	}
+	m.events[cycle] = append(m.events[cycle], ev)
+}
+
+// scheduleNow appends an event to the current cycle's list (used by
+// handlers that fan out work within the cycle).
+func (m *Machine) scheduleNow(ev event) {
+	m.events[m.cycle] = append(m.events[m.cycle], ev)
+}
+
+// lookup returns the in-window uop with the given sequence number, or
+// nil when it has retired (or never dispatched).
+func (m *Machine) lookup(seq int64) *uop {
+	if seq < m.headSeq || seq >= m.headSeq+int64(m.robCount) {
+		return nil
+	}
+	return m.rob[(m.robHead+int(seq-m.headSeq))%len(m.rob)]
+}
+
+// tailSeq returns the sequence number one past the youngest in-window
+// instruction.
+func (m *Machine) tailSeq() int64 { return m.headSeq + int64(m.robCount) }
+
+func (m *Machine) describeHead() string {
+	if m.robCount == 0 {
+		return "empty window"
+	}
+	u := m.rob[m.robHead]
+	return fmt.Sprintf("seq=%d class=%v issued=%v completed=%v inIQ=%v ready=%v hold=%d",
+		u.seq(), u.inst.Class, u.issued, u.completed, u.inIQ, u.allReady(), u.holdUntil)
+}

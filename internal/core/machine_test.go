@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func TestRunIsDeterministic(t *testing.T) {
+	run := func() *Stats {
+		p, _ := workload.ByName("twolf")
+		gen, _ := workload.NewGenerator(p, 99)
+		cfg := Config4Wide()
+		cfg.Scheme = TkSel
+		cfg.MaxInsts = 15_000
+		cfg.Warmup = 5_000
+		m, _ := New(cfg, gen)
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.TotalIssues != b.TotalIssues ||
+		a.LoadSchedMisses != b.LoadSchedMisses || a.MissesWithToken != b.MissesWithToken ||
+		a.SquashedIssues != b.SquashedIssues {
+		t.Fatalf("non-deterministic runs:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	p, _ := workload.ByName("gap")
+	gen, _ := workload.NewGenerator(p, 1)
+	cfg := Config4Wide()
+	cfg.MaxInsts = 1000
+	m, _ := New(cfg, gen)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Fatal("second Run must fail")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	p, _ := workload.ByName("gap")
+	gen, _ := workload.NewGenerator(p, 1)
+	cfg := Config4Wide()
+	cfg.Width = -1
+	if _, err := New(cfg, gen); err == nil {
+		t.Fatal("New accepted invalid config")
+	}
+}
+
+func TestWarmupSubtraction(t *testing.T) {
+	p, _ := workload.ByName("gap")
+	base := func(warmup int64) *Stats {
+		gen, _ := workload.NewGenerator(p, 7)
+		cfg := Config4Wide()
+		cfg.MaxInsts = 10_000
+		cfg.Warmup = warmup
+		m, _ := New(cfg, gen)
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	cold := base(0)
+	warm := base(20_000)
+	// Retirement proceeds in batches of up to Width, so the measured
+	// count may overshoot by a few.
+	for _, st := range []*Stats{warm, cold} {
+		if st.Retired < 10_000-8 || st.Retired > 10_000+8 {
+			t.Fatalf("retired counts wrong: %d / %d", warm.Retired, cold.Retired)
+		}
+	}
+	// Warm measurement must not include the compulsory-miss start-up:
+	// higher IPC than the cold-start window.
+	if warm.IPC() <= cold.IPC() {
+		t.Errorf("warm IPC %.3f should exceed cold IPC %.3f", warm.IPC(), cold.IPC())
+	}
+}
+
+// Window invariants checked every cycle while stepping a live machine.
+func TestWindowInvariants(t *testing.T) {
+	p, _ := workload.ByName("vpr")
+	gen, _ := workload.NewGenerator(p, 3)
+	cfg := Config4Wide()
+	cfg.Scheme = TkSel
+	cfg.MaxInsts = 20_000
+	m, _ := New(cfg, gen)
+	for m.stats.Retired < cfg.MaxInsts {
+		m.step()
+		if m.robCount < 0 || m.robCount > cfg.ROBSize {
+			t.Fatalf("cycle %d: robCount %d out of range", m.cycle, m.robCount)
+		}
+		// TkSel's replay slot reservation may transiently exceed by a
+		// few entries, never wildly.
+		if m.iqCount < 0 || m.iqCount > cfg.IQSize+8 {
+			t.Fatalf("cycle %d: iqCount %d out of range", m.cycle, m.iqCount)
+		}
+		if len(m.lsq) > cfg.LSQSize {
+			t.Fatalf("cycle %d: LSQ %d over capacity", m.cycle, len(m.lsq))
+		}
+		// LSQ stays in program order.
+		for i := 1; i < len(m.lsq); i++ {
+			if m.lsq[i].seq() <= m.lsq[i-1].seq() {
+				t.Fatalf("cycle %d: LSQ out of order", m.cycle)
+			}
+		}
+		// ROB sequence density.
+		if m.robCount > 0 {
+			head := m.rob[m.robHead]
+			if head.seq() != m.headSeq {
+				t.Fatalf("cycle %d: head seq %d != headSeq %d", m.cycle, head.seq(), m.headSeq)
+			}
+		}
+	}
+}
+
+// Retirement must be strictly in program order with no gaps.
+func TestRetireInOrder(t *testing.T) {
+	p, _ := workload.ByName("gcc")
+	gen, _ := workload.NewGenerator(p, 5)
+	cfg := Config4Wide()
+	cfg.Scheme = NonSel
+	cfg.MaxInsts = 10_000
+	m, _ := New(cfg, gen)
+	prevHead := int64(0)
+	for m.stats.Retired < cfg.MaxInsts {
+		m.step()
+		if m.headSeq < prevHead {
+			t.Fatalf("headSeq went backward: %d -> %d", prevHead, m.headSeq)
+		}
+		prevHead = m.headSeq
+	}
+	if m.headSeq != m.stats.Retired {
+		t.Fatalf("headSeq %d != retired %d", m.headSeq, m.stats.Retired)
+	}
+}
+
+// Property: on random mixed streams, every scheme preserves the basic
+// accounting identities.
+func TestQuickSchemeAccounting(t *testing.T) {
+	f := func(seed int64, schemeRaw uint8) bool {
+		scheme := Scheme(schemeRaw % uint8(numSchemes))
+		rng := rand.New(rand.NewSource(seed))
+		// producers tracks recent value-producing sequence numbers so
+		// dependences honor the isa.Inst contract.
+		var producers []int64
+		pick := func() int64 {
+			if len(producers) == 0 || rng.Intn(2) == 0 {
+				return -1
+			}
+			return producers[len(producers)-1-rng.Intn(min(4, len(producers)))]
+		}
+		pat := func(seq int64) isa.Inst {
+			r := rng.Float64()
+			var in isa.Inst
+			switch {
+			case r < 0.25:
+				in = isa.Inst{PC: 0x400000 + uint64(seq%64)*4, Class: isa.Load,
+					Src1: pick(), Src2: -1, Addr: 0x1000_0000 + uint64(rng.Intn(64))*64}
+			case r < 0.33:
+				in = isa.Inst{PC: 0x400200 + uint64(seq%32)*4, Class: isa.Store,
+					Src1: -1, Src2: pick(),
+					Addr: 0x1000_0000 + uint64(rng.Intn(64))*64}
+			default:
+				in = isa.Inst{PC: 0x400400 + uint64(seq%64)*4, Class: isa.IntALU,
+					Src1: pick(), Src2: -1}
+			}
+			if in.Class.HasDest() {
+				producers = append(producers, seq)
+				if len(producers) > 16 {
+					producers = producers[1:]
+				}
+			}
+			return in
+		}
+		cfg := Config4Wide()
+		cfg.Scheme = scheme
+		cfg.MaxInsts = 3000
+		m, err := New(cfg, &synthStream{next: pat})
+		if err != nil {
+			return false
+		}
+		st, err := m.Run()
+		if err != nil {
+			return false
+		}
+		return st.Retired >= 3000 &&
+			st.TotalIssues >= st.FirstIssues &&
+			st.FirstIssues >= uint64(st.Retired)-uint64(cfg.ROBSize) &&
+			st.MissesWithToken <= st.LoadSchedMisses &&
+			st.LoadIssues <= st.TotalIssues
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Store producers referenced by loads via forwarding must behave: a
+// load right after a store to the same address whose data is long ready
+// forwards without a scheduling miss.
+func TestStoreToLoadForwardingHit(t *testing.T) {
+	pat := func(seq int64) isa.Inst {
+		switch seq % 8 {
+		case 0:
+			return isa.Inst{PC: 0x400000, Class: isa.Store, Src1: -1, Src2: -1,
+				Addr: 0x1000_0000 + uint64(seq%4)*8}
+		case 1:
+			return isa.Inst{PC: 0x400004, Class: isa.Load, Src1: -1, Src2: -1,
+				Addr: 0x1000_0000 + uint64((seq-1)%4)*8}
+		default:
+			return isa.Inst{PC: 0x400010, Class: isa.IntALU, Src1: -1, Src2: -1}
+		}
+	}
+	cfg := Config4Wide()
+	cfg.MaxInsts = 4000
+	m, _ := New(cfg, &synthStream{next: pat})
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AliasMisses > 0 {
+		t.Errorf("ready store data still caused %d alias misses", st.AliasMisses)
+	}
+}
+
+// A load aliasing a store whose data producer is a long-latency divide
+// must incur an alias scheduling miss and still complete.
+func TestStoreToLoadAliasMiss(t *testing.T) {
+	pat := func(seq int64) isa.Inst {
+		switch seq % 8 {
+		case 0:
+			return isa.Inst{PC: 0x400000, Class: isa.IntDiv, Src1: -1, Src2: -1}
+		case 1:
+			// Store whose data is the divide: data late by ~20 cycles.
+			return isa.Inst{PC: 0x400004, Class: isa.Store, Src1: -1, Src2: seq - 1,
+				Addr: 0x1000_0000 + uint64(seq%4)*8}
+		case 2:
+			return isa.Inst{PC: 0x400008, Class: isa.Load, Src1: -1, Src2: -1,
+				Addr: 0x1000_0000 + uint64((seq-1)%4)*8}
+		default:
+			return isa.Inst{PC: 0x400010, Class: isa.IntALU, Src1: -1, Src2: -1}
+		}
+	}
+	cfg := Config4Wide()
+	cfg.MaxInsts = 4000
+	m, _ := New(cfg, &synthStream{next: pat})
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AliasMisses == 0 {
+		t.Error("late store data never caused an alias scheduling miss")
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import "repro/internal/isa"
+
+// PipeEventKind labels one pipeline lifecycle event.
+type PipeEventKind uint8
+
+const (
+	// EvDispatch: the instruction entered the window (rename/dispatch).
+	EvDispatch PipeEventKind = iota
+	// EvIssue: selected by the scheduler (speculatively).
+	EvIssue
+	// EvExecute: reached the execute stage.
+	EvExecute
+	// EvComplete: completed with valid data (verified).
+	EvComplete
+	// EvSquash: invalidated by a replay event; will re-issue.
+	EvSquash
+	// EvRetire: committed.
+	EvRetire
+)
+
+// String returns a one-letter mnemonic used by timeline renderers.
+func (k PipeEventKind) String() string {
+	switch k {
+	case EvDispatch:
+		return "D"
+	case EvIssue:
+		return "I"
+	case EvExecute:
+		return "X"
+	case EvComplete:
+		return "C"
+	case EvSquash:
+		return "!"
+	default:
+		return "R"
+	}
+}
+
+// PipeEvent is one observed lifecycle event, delivered to the machine's
+// observer as it happens.
+type PipeEvent struct {
+	Cycle int64
+	Seq   int64
+	PC    uint64
+	Class isa.Class
+	Kind  PipeEventKind
+}
+
+// SetObserver installs a callback receiving every pipeline lifecycle
+// event. Observation is for tooling (pipeline visualization, debugging)
+// and has no effect on simulation; pass nil to disable. Must be set
+// before Run.
+func (m *Machine) SetObserver(f func(PipeEvent)) { m.observer = f }
+
+func (m *Machine) emit(u *uop, kind PipeEventKind) {
+	if m.observer == nil {
+		return
+	}
+	m.observer(PipeEvent{
+		Cycle: m.cycle, Seq: u.seq(), PC: u.inst.PC, Class: u.inst.Class, Kind: kind,
+	})
+}

@@ -1,0 +1,427 @@
+package core
+
+import "repro/internal/isa"
+
+// redirectGap is the refetch scheme's pipeline redirect delay before
+// flushed instructions re-enter the front end (on top of the front-end
+// depth, matching the ">= 11 cycle" branch-recovery cost of Table 3).
+const redirectGap = 3
+
+// handleKill is the scheduler's reaction to a load scheduling miss
+// arriving on the kill wire, dispatched to the configured scheme.
+func (m *Machine) handleKill(ev event) {
+	u := ev.u
+	if u.gen != ev.gen || u.retired || !u.missed {
+		return
+	}
+	m.stats.LoadSchedMisses++
+	if u.issues == 1 {
+		m.stats.MissOnFirstIssue++
+	}
+	switch u.missKind {
+	case missCache:
+		m.stats.CacheMisses++
+	case missAlias:
+		m.stats.AliasMisses++
+	}
+	hadToken := u.tokenID >= 0
+	if hadToken {
+		m.stats.MissesWithToken++
+	} else if m.cfg.Scheme == TkSel {
+		if u.tokenStolen {
+			m.stats.MissTokenStolen++
+		} else {
+			m.stats.MissTokenRefused++
+		}
+	}
+
+	m.replayLoad(u)
+
+	if u.valuePredicted {
+		// Dependents are riding the predicted value, not the load's
+		// memory timing: the scheduling miss delays only the load's own
+		// verification. No dependent invalidation happens here.
+		return
+	}
+
+	switch m.cfg.Scheme {
+	case PosSel, IDSel:
+		m.selectiveKill(u)
+	case TkSel:
+		if hadToken {
+			// Token head: the kill state on the token's two wires
+			// invalidates exactly the instructions carrying the token
+			// bit — behaviourally the position-based precise kill.
+			m.selectiveKill(u)
+		} else {
+			m.startReinsert(u)
+		}
+	case NonSel:
+		m.shadowKill(u, true)
+	case DSel:
+		m.shadowKill(u, false)
+	case ReInsert, Conservative:
+		m.startReinsert(u)
+	case Refetch:
+		m.refetch(u)
+	case SerialVerify:
+		m.serialKill(u)
+	}
+}
+
+// replayLoad returns the mis-scheduled load to the waiting state; it
+// re-issues once its data is close enough that the re-execution hits
+// (cache fill arrived / store data forwardable).
+func (m *Machine) replayLoad(u *uop) {
+	dataAt := u.dataReadyAt
+	m.emit(u, EvSquash)
+	u.unissue()
+	if m.cfg.ReplayQueue {
+		// Figure 4b: the load waits in the replay queue; its own
+		// latency is known, so the retry aligns with the fill.
+	} else if !m.reacquireIQ(u) {
+		// The queue is momentarily full (possible only under TkSel's
+		// early release). The replay slot is architecturally reserved;
+		// model that by letting the count exceed transiently.
+		u.inIQ = true
+		m.iqCount++
+	}
+	if dataAt == unknown {
+		// Alias on a store whose data producer is unresolved: poll.
+		u.holdUntil = m.cycle + 4
+	} else {
+		h := dataAt - int64(m.cfg.SchedToExec)
+		if h <= m.cycle {
+			h = m.cycle + 1
+		}
+		u.holdUntil = h
+	}
+	u.rqRetryAt = u.holdUntil
+}
+
+// selectiveKill precisely invalidates the transitive dependents of the
+// squashed root: exactly position-based replay's effect (and the token
+// kill's, for token heads — the rename-propagated dependence vectors
+// identify the same set). Cleared instructions re-wake when their
+// producers re-issue and re-broadcast.
+func (m *Machine) selectiveKill(root *uop) {
+	stack := []*uop{root}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range p.consumers {
+			if c.retired || c.completed {
+				continue
+			}
+			touched := false
+			for i := 0; i < 2; i++ {
+				if c.src[i].producer == p && c.src[i].ready {
+					c.src[i].ready = false
+					touched = true
+				}
+			}
+			if !touched {
+				continue
+			}
+			if c.issued {
+				m.squash(c)
+				m.stats.SquashedIssues++
+			}
+			if c.killMark != m.cycle {
+				c.killMark = m.cycle
+				stack = append(stack, c)
+			}
+		}
+	}
+}
+
+// shadowKill is the timestamp-based invalidation shared by NonSel and
+// DSel (§3.3): every operand woken within the propagation distance has
+// a non-zero countdown timer and is invalidated. NonSel additionally
+// flushes the whole schedule-to-execute pipeline region
+// (flushPipeline); DSel lets issued instructions flow, poisoned results
+// squashing at completion and clean completions revalidating their
+// consumers (the evOpWake re-arms modeling the completion bus).
+func (m *Machine) shadowKill(load *uop, flushPipeline bool) {
+	P := int64(m.cfg.PropagationDistance())
+
+	if flushPipeline {
+		for i := 0; i < m.robCount; i++ {
+			w := m.rob[(m.robHead+i)%len(m.rob)]
+			if w.issued && !w.completed && w.execStart > m.cycle {
+				m.squash(w)
+				m.stats.SquashedIssues++
+			}
+		}
+	}
+
+	for i := 0; i < m.robCount; i++ {
+		w := m.rob[(m.robHead+i)%len(m.rob)]
+		if w.retired || w.completed {
+			continue
+		}
+		for op := 0; op < 2; op++ {
+			o := &w.src[op]
+			if !o.ready || w.srcSeq(op) < 0 {
+				continue
+			}
+			if m.cycle-o.wokenAt > P {
+				// Timer expired: the parent verified long ago.
+				continue
+			}
+			p := o.producer
+			if p == nil || p.retired {
+				continue
+			}
+			// Note: when the parent has already completed, the kill still
+			// clears the timer-marked operand; the instruction re-wakes
+			// only when the completion group replays (NonSel) or the
+			// completion bus refires (DSel) — modeled as a one-cycle
+			// re-arm. Issued DSel instructions keep flowing (poison is
+			// handled at their completion); their cleared ready state
+			// only matters for future replays.
+			o.ready = false
+			m.rearmOperand(w, op)
+		}
+	}
+}
+
+// startReinsert schedules re-insert replay: after the detection
+// penalty, every instruction younger than the load is flushed from the
+// scheduler and re-inserted from the ROB in program order at dispatch
+// bandwidth; dispatch stalls meanwhile (§4.2).
+func (m *Machine) startReinsert(load *uop) {
+	// The paper's 4-cycle penalty runs from detection; the kill already
+	// consumed VerifyLatency of it.
+	delay := int64(m.cfg.ReinsertPenalty - m.cfg.VerifyLatency)
+	if delay < 0 {
+		delay = 0
+	}
+	m.schedule(m.cycle+delay, event{kind: evReinsertStart, u: load})
+}
+
+func (m *Machine) handleReinsertStart(ev event) {
+	load := ev.u
+	if load.retired {
+		return
+	}
+	m.stats.ReinsertEvents++
+	for i := 0; i < m.robCount; i++ {
+		w := m.rob[(m.robHead+i)%len(m.rob)]
+		if w.seq() <= load.seq() || w.retired || w.completed || w.needsReinsert {
+			continue
+		}
+		if w.issued {
+			// A flushed load that already discovered its own miss must
+			// not re-issue into the still-outstanding fill: keep it held
+			// until its data is near, as replayLoad would have.
+			if w.isLoad() && w.dataReadyAt != unknown && w.dataReadyAt > m.cycle {
+				if h := w.dataReadyAt - int64(m.cfg.SchedToExec); h > w.holdUntil {
+					w.holdUntil = h
+				}
+			}
+			w.unissue()
+			m.stats.SquashedIssues++
+		}
+		m.releaseIQ(w)
+		w.needsReinsert = true
+		m.reinsertPending++
+	}
+	m.reinsertActive = m.reinsertPending > 0
+}
+
+// reinsertStep drains flagged instructions in program order at dispatch
+// bandwidth, restoring correct operand status from the map table as
+// each re-enters the scheduler. Overlapping re-insert replays simply
+// flag more instructions; the program-order window scan serves them
+// all.
+func (m *Machine) reinsertStep() {
+	if !m.reinsertActive {
+		return
+	}
+	n := 0
+	for i := 0; i < m.robCount && n < m.cfg.Width; i++ {
+		w := m.rob[(m.robHead+i)%len(m.rob)]
+		if !w.needsReinsert {
+			continue
+		}
+		if !m.reacquireIQ(w) {
+			return // queue full; resume next cycle
+		}
+		w.needsReinsert = false
+		m.reinsertPending--
+		n++
+		m.stats.ReinsertedInsts++
+		for op := 0; op < 2; op++ {
+			if w.srcSeq(op) < 0 {
+				continue
+			}
+			p := w.src[op].producer
+			if dataValidFor(p, m.cycle) {
+				w.src[op].ready = true
+				w.src[op].wokenAt = m.cycle
+			} else {
+				w.src[op].ready = false
+				m.rearmOperand(w, op)
+			}
+		}
+	}
+	if m.reinsertPending == 0 {
+		m.reinsertActive = false
+	}
+}
+
+// refetch implements §3.2: treat the scheduling miss like a branch
+// misprediction — flush every younger instruction from the machine and
+// refetch it through the front end.
+func (m *Machine) refetch(load *uop) {
+	m.stats.RefetchEvents++
+	flushFrom := load.seq() + 1
+	if flushFrom >= m.tailSeq() {
+		return
+	}
+
+	var insts []isa.Inst
+	for seq := flushFrom; seq < m.tailSeq(); seq++ {
+		w := m.lookup(seq)
+		insts = append(insts, w.inst)
+		if w.issued {
+			m.stats.SquashedIssues++
+		}
+		m.releaseIQ(w)
+		if w.tokenID >= 0 {
+			old := w.tokenID
+			w.tokenID = -1
+			holder := m.alloc.Holder(old)
+			m.alloc.Release(old)
+			m.reclaimToken(old, holder)
+		}
+		w.retired = true // dead: events and consumer walks skip it
+		w.gen++
+		m.rob[(m.robHead+int(seq-m.headSeq))%len(m.rob)] = nil
+	}
+	m.robCount = int(flushFrom - m.headSeq)
+
+	// Truncate the LSQ at the flush point.
+	for i, s := range m.lsq {
+		if s.seq() >= flushFrom {
+			m.lsq = m.lsq[:i]
+			break
+		}
+	}
+
+	// Rebuild the front end: flushed instructions come back first, then
+	// whatever was already fetched, all paying redirect + refill.
+	old := m.fetchQ
+	m.fetchQ = nil
+	base := m.cycle + redirectGap + int64(m.cfg.FrontEndDepth)
+	n := 0
+	push := func(in isa.Inst) {
+		m.fetchQ = append(m.fetchQ, fetchEntry{
+			inst:    in,
+			readyAt: base + int64(n/m.cfg.Width),
+		})
+		n++
+	}
+	for _, in := range insts {
+		push(in)
+	}
+	for _, fe := range old {
+		push(fe.inst)
+	}
+}
+
+// valueKill recovers a wrong value prediction: every transitive
+// dependent — including ones that already completed on the bogus value
+// — is squashed and re-wakes off the load's now-correct result. This is
+// the arbitrary-boundary replay of Figure 8b, possible here because the
+// dependence name space (token vector / full IDs / program order) does
+// not rely on issue timing.
+func (m *Machine) valueKill(root *uop) {
+	stack := []*uop{root}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range p.consumers {
+			if c.retired {
+				continue
+			}
+			touched := false
+			for i := 0; i < 2; i++ {
+				if c.src[i].producer == p && (c.src[i].ready || c.completed) {
+					c.src[i].ready = false
+					touched = true
+				}
+			}
+			if !touched {
+				continue
+			}
+			if c.issued || c.completed {
+				m.squash(c)
+				m.stats.SquashedIssues++
+				m.stats.ValueKilledInsts++
+			}
+			for i := 0; i < 2; i++ {
+				if c.src[i].producer == p && !c.src[i].ready {
+					m.rearmOperand(c, i)
+				}
+			}
+			if c.killMark != m.cycle {
+				c.killMark = m.cycle
+				stack = append(stack, c)
+			}
+		}
+	}
+}
+
+// serialKill starts (or continues) the one-level-per-cycle serial
+// verification wave of §2.1/Figure 2a. A miss by a load that is itself
+// already on a wavefront (serially invalidated earlier, or executed
+// with a tainted address) extends that wavefront rather than starting a
+// new one — per the paper's footnote, propagation is sustained through
+// newly inserted instructions and chained misses, far past the window
+// size. Depth histograms are folded into Stats at the end of Run.
+func (m *Machine) serialKill(load *uop) {
+	ch := load.serialChain
+	depth := load.serialDepth
+	if ch == nil {
+		ch = &serialChain{}
+		depth = 0
+		load.serialChain = ch
+		m.serialChains = append(m.serialChains, ch)
+	}
+	m.scheduleNow(event{kind: evSerialStep, u: load, depth: depth, chain: ch})
+}
+
+func (m *Machine) handleSerialStep(ev event) {
+	ch := ev.chain
+	if ev.depth > ch.maxDepth {
+		ch.maxDepth = ev.depth
+	}
+	p := ev.u
+	if p.retired {
+		return
+	}
+	for _, c := range p.consumers {
+		if c.retired || c.completed {
+			continue
+		}
+		touched := false
+		for i := 0; i < 2; i++ {
+			if c.src[i].producer == p && c.src[i].ready && !dataValidFor(p, m.cycle) {
+				c.src[i].ready = false
+				touched = true
+			}
+		}
+		if !touched {
+			continue
+		}
+		if c.issued {
+			m.squash(c)
+			m.stats.SquashedIssues++
+		}
+		c.serialChain = ch
+		c.serialDepth = ev.depth + 1
+		m.schedule(m.cycle+1, event{kind: evSerialStep, u: c, depth: ev.depth + 1, chain: ch})
+	}
+}

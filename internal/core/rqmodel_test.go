@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// The replay-queue model (Figure 4b) trades issue-queue capacity for
+// blind replays: these tests pin both sides of the trade.
+
+func runRQ(t *testing.T, scheme Scheme, rq bool, iqSize int, pattern func(int64) isa.Inst, insts int64) *Stats {
+	t.Helper()
+	cfg := Config4Wide()
+	cfg.Scheme = scheme
+	cfg.ReplayQueue = rq
+	if iqSize > 0 {
+		cfg.IQSize = iqSize
+	}
+	cfg.MaxInsts = insts
+	m, err := New(cfg, &synthStream{next: pattern})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("rq=%v: %v", rq, err)
+	}
+	return st
+}
+
+func TestRQConfigValidation(t *testing.T) {
+	cfg := Config4Wide()
+	cfg.ReplayQueue = true
+	cfg.Scheme = TkSel
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("replay-queue model must reject re-insert-based schemes")
+	}
+	cfg.Scheme = PosSel
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("PosSel + replay queue rejected: %v", err)
+	}
+	cfg.RQSize = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative RQSize accepted")
+	}
+}
+
+// With a tiny issue queue and long-latency misses, releasing entries at
+// issue (Figure 4b) must recover window capacity: the replay-queue
+// model beats the issue-queue model.
+func TestRQRecoversWindowCapacity(t *testing.T) {
+	// Frequent memory misses whose dependents clog a tiny IQ.
+	pat := missingLoadPattern(12, 2)
+	iq, rq := runRQ(t, PosSel, false, 12, pat, 6000), runRQ(t, PosSel, true, 12, pat, 6000)
+	if rq.IPC() <= iq.IPC() {
+		t.Errorf("replay-queue IPC %.3f should beat issue-queue IPC %.3f with a 12-entry IQ",
+			rq.IPC(), iq.IPC())
+	}
+}
+
+// The flip side (§3.1): instructions cannot react to replay events once
+// they leave the scheduler, so the same instructions replay multiple
+// times — blind RQ replays must appear, and total issues exceed the
+// issue-queue model's.
+func TestRQIncursMultipleReplays(t *testing.T) {
+	pat := missingLoadPattern(12, 4)
+	iq, rq := runRQ(t, PosSel, false, 0, pat, 6000), runRQ(t, PosSel, true, 0, pat, 6000)
+	if rq.RQReplays == 0 {
+		t.Fatal("no blind replay-queue replays recorded")
+	}
+	if iq.RQReplays != 0 {
+		t.Fatal("issue-queue model recorded RQ replays")
+	}
+	if rq.TotalIssues <= iq.TotalIssues {
+		t.Errorf("RQ issues %d should exceed IQ issues %d (multiple replays)",
+			rq.TotalIssues, iq.TotalIssues)
+	}
+}
+
+// The replay queue's occupancy accounting must stay consistent across
+// a stressful workload.
+func TestRQOccupancyInvariant(t *testing.T) {
+	p, _ := workload.ByName("mcf")
+	gen, _ := workload.NewGenerator(p, 4)
+	cfg := Config4Wide()
+	cfg.Scheme = NonSel
+	cfg.ReplayQueue = true
+	cfg.RQSize = 48
+	cfg.MaxInsts = 15_000
+	m, err := New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m.stats.Retired < cfg.MaxInsts {
+		m.step()
+		if m.rqCount < 0 || m.rqCount > cfg.RQSize {
+			t.Fatalf("cycle %d: rqCount %d out of [0,%d]", m.cycle, m.rqCount, cfg.RQSize)
+		}
+		// Cross-check against ground truth occasionally.
+		if m.cycle%1024 == 0 {
+			n := 0
+			for i := 0; i < m.robCount; i++ {
+				if m.rob[(m.robHead+i)%len(m.rob)].inRQ {
+					n++
+				}
+			}
+			if n != m.rqCount {
+				t.Fatalf("cycle %d: rqCount %d != actual %d", m.cycle, m.rqCount, n)
+			}
+		}
+	}
+}
+
+// A bounded replay queue must throttle issue rather than overflow, and
+// the machine still completes.
+func TestRQBoundedQueue(t *testing.T) {
+	pat := missingLoadPattern(8, 3)
+	st := runRQ(t, DSel, true, 0, pat, 4000)
+	if st.Retired < 4000 {
+		t.Fatalf("retired %d", st.Retired)
+	}
+	// Tight queue.
+	cfg := Config4Wide()
+	cfg.Scheme = DSel
+	cfg.ReplayQueue = true
+	cfg.RQSize = 8
+	cfg.MaxInsts = 4000
+	m, _ := New(cfg, &synthStream{next: pat})
+	st2, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Retired < 4000 {
+		t.Fatalf("tight queue retired %d", st2.Retired)
+	}
+	if st2.IPC() >= st.IPC() {
+		t.Errorf("8-entry RQ IPC %.3f should trail unbounded RQ IPC %.3f", st2.IPC(), st.IPC())
+	}
+}
+
+// All supported scheme × replay-queue combinations must complete the
+// calibrated workloads.
+func TestRQAllSupportedSchemes(t *testing.T) {
+	p, _ := workload.ByName("twolf")
+	for _, s := range []Scheme{PosSel, IDSel, NonSel, DSel} {
+		gen, _ := workload.NewGenerator(p, 2)
+		cfg := Config4Wide()
+		cfg.Scheme = s
+		cfg.ReplayQueue = true
+		cfg.MaxInsts = 8000
+		m, err := New(cfg, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if st.Retired < 8000 {
+			t.Errorf("%v retired %d", s, st.Retired)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import "repro/internal/isa"
+
+// fuBudget tracks per-cycle functional-unit and port availability.
+type fuBudget struct {
+	intALU, fpALU, intMulDiv, fpMulDiv, memPorts, total int
+}
+
+func (m *Machine) newBudget() fuBudget {
+	return fuBudget{
+		intALU:    m.cfg.IntALU,
+		fpALU:     m.cfg.FPALU,
+		intMulDiv: m.cfg.IntMulDiv,
+		fpMulDiv:  m.cfg.FPMulDiv,
+		memPorts:  m.cfg.MemPorts,
+		total:     m.cfg.Width,
+	}
+}
+
+// take consumes capacity for one instruction of the given class,
+// reporting whether it fit.
+func (b *fuBudget) take(c isa.Class) bool {
+	if b.total == 0 {
+		return false
+	}
+	var slot *int
+	switch c {
+	case isa.IntALU, isa.Branch:
+		slot = &b.intALU
+	case isa.FPALU:
+		slot = &b.fpALU
+	case isa.IntMult, isa.IntDiv:
+		slot = &b.intMulDiv
+	case isa.FPMult, isa.FPDiv:
+		slot = &b.fpMulDiv
+	case isa.Load, isa.Store:
+		slot = &b.memPorts
+	default:
+		return false
+	}
+	if *slot == 0 {
+		return false
+	}
+	*slot--
+	b.total--
+	return true
+}
+
+// selectAndIssue implements the atomic wakeup/select loop: scan the
+// window oldest-first, issue ready instructions up to the machine width
+// and functional-unit limits. Issued instructions stay in the issue
+// queue until verified (the Figure 4a issue-queue-based replay model).
+func (m *Machine) selectAndIssue() {
+	budget := m.newBudget()
+
+	// Memory-dependence policy (§5.1): a load may not issue while an
+	// older store has not issued.
+	oldestUnissuedStore := unknown
+	for _, s := range m.lsq {
+		if s.inst.Class == isa.Store && !s.issued && !s.completed {
+			oldestUnissuedStore = s.seq()
+			break
+		}
+	}
+
+	for i := 0; i < m.robCount && budget.total > 0; i++ {
+		u := m.rob[(m.robHead+i)%len(m.rob)]
+		if u.issued || u.completed || u.retired {
+			continue
+		}
+		if u.holdUntil > m.cycle {
+			continue
+		}
+		switch {
+		case u.inIQ:
+			// Normal wakeup/select from the issue queue.
+			if !u.allReady() {
+				continue
+			}
+			if u.isLoad() && u.seq() > oldestUnissuedStore {
+				continue
+			}
+			// Under the replay-queue model, issue admits into the
+			// bounded replay queue.
+			if m.cfg.ReplayQueue && m.rqCount >= m.cfg.rqSize() {
+				continue
+			}
+		case u.inRQ:
+			// Figure 4b: a squashed replay-queue instruction cannot
+			// observe wakeups; it re-issues blindly after its retry
+			// delay and will squash again at completion if its inputs
+			// are still invalid.
+			if u.rqRetryAt > m.cycle {
+				continue
+			}
+			if u.isLoad() && u.seq() > oldestUnissuedStore {
+				continue
+			}
+		default:
+			continue
+		}
+		if !budget.take(u.inst.Class) {
+			continue
+		}
+		if u.inRQ {
+			m.stats.RQReplays++
+		}
+		m.issue(u)
+	}
+}
+
+// issue marks u selected this cycle and schedules its pipeline events.
+func (m *Machine) issue(u *uop) {
+	u.issued = true
+	u.issues++
+	u.issueCycle = m.cycle
+	u.execStart = m.cycle + int64(m.cfg.SchedToExec)
+	u.completeCycle = unknown
+	u.dataReadyAt = unknown
+	u.broadcastCycle = unknown
+	u.missed = false
+	u.missKind = missNone
+	u.poisoned = false
+
+	m.stats.TotalIssues++
+	if u.issues == 1 {
+		m.stats.FirstIssues++
+	}
+	m.emit(u, EvIssue)
+	if u.isLoad() {
+		m.stats.LoadIssues++
+	}
+
+	// Speculative wakeup: dependents become selectable schedLat cycles
+	// after issue, projecting the speculative execution wavefront.
+	// Conservative-scheduled loads defer the broadcast until the actual
+	// latency is known at execute.
+	if u.inst.Class.HasDest() && !u.conservative {
+		u.broadcastCycle = m.cycle + int64(u.schedLat)
+		m.schedule(u.broadcastCycle, event{kind: evBroadcast, u: u, gen: u.gen})
+	}
+	m.schedule(u.execStart, event{kind: evExec, u: u, gen: u.gen})
+
+	// TkSel releases the issue-queue entry at issue when the dependence
+	// vector is empty: no outstanding token head can invalidate it, and
+	// the re-insert safety path recovers from the ROB, not the queue.
+	if m.cfg.Scheme == TkSel && u.inIQ && u.depVec.Empty() && u.tokenID < 0 {
+		m.releaseIQ(u)
+	}
+
+	// Replay-queue model: every instruction leaves the issue queue at
+	// issue and waits for verification in the replay queue instead.
+	if m.cfg.ReplayQueue && !u.inRQ {
+		m.releaseIQ(u)
+		u.inRQ = true
+		m.rqCount++
+	}
+}
+
+// squash returns u to the waiting state; under the replay-queue model
+// it also arms the blind retry that stands in for wakeup observation.
+// A squashed instruction that holds no scheduler slot of any kind
+// (possible when a kill reaches an early-released entry) re-acquires an
+// issue-queue slot so it can ever issue again.
+func (m *Machine) squash(u *uop) {
+	m.emit(u, EvSquash)
+	u.unissue()
+	if u.inRQ {
+		u.rqRetryAt = m.cycle + int64(m.cfg.rqRetryDelay())
+		return
+	}
+	if !u.inIQ && !u.needsReinsert {
+		if !m.reacquireIQ(u) {
+			// Replay slots are architecturally reserved; let the count
+			// exceed transiently rather than orphan the instruction.
+			u.inIQ = true
+			m.iqCount++
+		}
+	}
+}
+
+// releaseIQ frees u's issue-queue entry.
+func (m *Machine) releaseIQ(u *uop) {
+	if u.inIQ {
+		u.inIQ = false
+		m.iqCount--
+	}
+}
+
+// reacquireIQ puts a previously released instruction back into the
+// queue (re-insert replay). Returns false when the queue is full.
+func (m *Machine) reacquireIQ(u *uop) bool {
+	if u.inIQ {
+		return true
+	}
+	if m.iqCount >= m.cfg.IQSize {
+		return false
+	}
+	u.inIQ = true
+	m.iqCount++
+	return true
+}
+
+// handleBroadcast delivers a producer's wakeup tag to its consumers.
+func (m *Machine) handleBroadcast(ev event) {
+	p := ev.u
+	if p.gen != ev.gen || p.retired {
+		return
+	}
+	for _, c := range p.consumers {
+		if c.retired {
+			continue
+		}
+		for i := 0; i < 2; i++ {
+			if c.src[i].producer == p && !c.src[i].ready {
+				c.src[i].ready = true
+				c.src[i].wokenAt = m.cycle
+			}
+		}
+	}
+}
+
+// handleOpWake revalidates one operand if the producer's data is now
+// actually available (completion-bus / completion-group effects). If
+// the producer was squashed meanwhile, its re-issue broadcast covers
+// the wakeup and this event does nothing.
+func (m *Machine) handleOpWake(ev event) {
+	c := ev.u
+	if c.retired {
+		return
+	}
+	op := &c.src[ev.op]
+	p := op.producer
+	if op.ready || p == nil {
+		return
+	}
+	if p.retired || (p.completed && p.dataReadyAt <= m.cycle) {
+		op.ready = true
+		op.wokenAt = m.cycle
+		return
+	}
+	// Producer still in flight with a known completion: re-arm; if it
+	// is waiting or replaying, its next broadcast will wake us instead.
+	if p.issued && p.completeCycle != unknown {
+		m.schedule(p.completeCycle+1, event{kind: evOpWake, u: c, op: ev.op})
+	} else if p.issued {
+		m.schedule(p.execStart+1, event{kind: evOpWake, u: c, op: ev.op})
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// missingLoadPattern builds a stream where every loadPeriod-th
+// instruction is a load to a fresh line (guaranteed cold miss), followed
+// by depChain dependents of that load; everything else is independent
+// ALU work. It is the controlled workload for scheme-behaviour tests.
+func missingLoadPattern(loadPeriod, depChain int) func(seq int64) isa.Inst {
+	return func(seq int64) isa.Inst {
+		pos := int(seq % int64(loadPeriod))
+		switch {
+		case pos == 0:
+			return isa.Inst{PC: 0x400000, Class: isa.Load, Src1: -1, Src2: -1,
+				Addr: 0x4000_0000 + uint64(seq)*64} // new line every time: always misses
+		case pos <= depChain:
+			// Chain hanging off the load.
+			return isa.Inst{PC: 0x400004 + uint64(pos)*4, Class: isa.IntALU,
+				Src1: seq - 1, Src2: -1}
+		default:
+			// Independent work.
+			return isa.Inst{PC: 0x400100 + uint64(pos)*4, Class: isa.IntALU,
+				Src1: -1, Src2: -1}
+		}
+	}
+}
+
+func runScheme(t *testing.T, scheme Scheme, pattern func(int64) isa.Inst, insts int64) (*Stats, *Machine) {
+	t.Helper()
+	cfg := Config4Wide()
+	cfg.Scheme = scheme
+	cfg.MaxInsts = insts
+	m, err := New(cfg, &synthStream{next: pattern})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("%v: %v", scheme, err)
+	}
+	return st, m
+}
+
+// Position-based replay must not touch independent instructions: every
+// independent ALU issues exactly once, so total issues exceed first
+// issues only by the load replays and their true dependents.
+func TestPosSelPreciseReplay(t *testing.T) {
+	pat := missingLoadPattern(16, 3)
+	st, _ := runScheme(t, PosSel, pat, 4000)
+	// Each period: 1 load (misses, issues ~2x) + 3 dependents (replay
+	// once) + 12 independents (1 issue each). Replayed issues should be
+	// near (1+3)/16 of first issues, certainly below 40%.
+	replayFrac := float64(st.TotalIssues-st.FirstIssues) / float64(st.FirstIssues)
+	if replayFrac > 0.40 {
+		t.Errorf("PosSel replay fraction %.3f too high for precise replay", replayFrac)
+	}
+	if st.LoadSchedMisses == 0 {
+		t.Fatal("pattern generated no scheduling misses")
+	}
+	if st.SafetyReplays > st.LoadSchedMisses/10 {
+		t.Errorf("PosSel leaked %d safety replays for %d misses", st.SafetyReplays, st.LoadSchedMisses)
+	}
+}
+
+// Squashing replay flushes independents in the shadow too, so it must
+// issue measurably more than position-based replay on the same stream.
+func TestNonSelSquashesIndependents(t *testing.T) {
+	pat := missingLoadPattern(16, 3)
+	pos, _ := runScheme(t, PosSel, pat, 4000)
+	non, _ := runScheme(t, NonSel, pat, 4000)
+	if non.TotalIssues <= pos.TotalIssues {
+		t.Errorf("NonSel issues (%d) should exceed PosSel issues (%d)",
+			non.TotalIssues, pos.TotalIssues)
+	}
+	if non.SquashedIssues <= pos.SquashedIssues {
+		t.Errorf("NonSel squashes (%d) should exceed PosSel squashes (%d)",
+			non.SquashedIssues, pos.SquashedIssues)
+	}
+}
+
+// Delayed selective replay never flushes issued instructions at the
+// kill: independents flow to completion, so kill-time squashes are zero
+// and issue counts stay near the precise scheme's.
+func TestDSelDoesNotFlushIssued(t *testing.T) {
+	pat := missingLoadPattern(16, 3)
+	st, _ := runScheme(t, DSel, pat, 4000)
+	if st.SquashedIssues != 0 {
+		t.Errorf("DSel squashed %d issues at kill; it must let them flow", st.SquashedIssues)
+	}
+	if st.LoadSchedMisses == 0 {
+		t.Fatal("no misses")
+	}
+}
+
+// Token-based replay with a single, always-missing static load: the
+// predictor trains immediately and every subsequent miss must be
+// covered by a token (no re-inserts after warm-up).
+func TestTkSelCoverageOnPredictableLoad(t *testing.T) {
+	pat := missingLoadPattern(32, 2)
+	st, _ := runScheme(t, TkSel, pat, 6000)
+	if st.LoadSchedMisses < 50 {
+		t.Fatalf("only %d misses", st.LoadSchedMisses)
+	}
+	if cov := st.TokenCoverage(); cov < 0.9 {
+		t.Errorf("coverage %.3f for a single trained load; want > 0.9", cov)
+	}
+}
+
+// Re-insert replay pushes every younger instruction back through the
+// scheduler: re-inserted instruction counts must dwarf the miss count.
+func TestReInsertPushesWindowBack(t *testing.T) {
+	pat := missingLoadPattern(16, 3)
+	st, _ := runScheme(t, ReInsert, pat, 4000)
+	if st.ReinsertEvents == 0 {
+		t.Fatal("no re-insert events")
+	}
+	if st.ReinsertedInsts < st.ReinsertEvents*4 {
+		t.Errorf("re-inserted %d instructions over %d events; window flush looks too small",
+			st.ReinsertedInsts, st.ReinsertEvents)
+	}
+}
+
+// Refetch treats misses as mispredictions; it must record refetch
+// events and still retire everything correctly.
+func TestRefetchFlushesAndRecovers(t *testing.T) {
+	pat := missingLoadPattern(24, 2)
+	st, _ := runScheme(t, Refetch, pat, 4000)
+	if st.RefetchEvents == 0 {
+		t.Fatal("no refetch events")
+	}
+	if st.Retired < 4000 {
+		t.Fatalf("retired %d", st.Retired)
+	}
+}
+
+// Conservative scheduling: once the predictor learns the always-missing
+// load, dependents wait for the real latency, so scheduling misses stop
+// being signalled and no replays occur for covered loads.
+func TestConservativeAvoidsReplays(t *testing.T) {
+	pat := missingLoadPattern(32, 2)
+	st, _ := runScheme(t, Conservative, pat, 6000)
+	if st.ConservativeDelayed == 0 {
+		t.Fatal("no loads were scheduled conservatively")
+	}
+	// After training, misses are absorbed; only the first few count.
+	if st.LoadSchedMisses > 20 {
+		t.Errorf("%d scheduling misses despite conservative scheduling", st.LoadSchedMisses)
+	}
+}
+
+// Serial verification must record propagation depths at least as deep
+// as the dependent chain the pattern hangs off each load.
+func TestSerialDepthsRecorded(t *testing.T) {
+	pat := missingLoadPattern(16, 6)
+	st, _ := runScheme(t, SerialVerify, pat, 4000)
+	if st.SerialDepth.N() == 0 {
+		t.Fatal("no serial propagation recorded")
+	}
+	if st.SerialDepth.Max() < 3 {
+		t.Errorf("max serial depth %d; chain of 6 dependents should propagate deeper", st.SerialDepth.Max())
+	}
+}
+
+// IDSel is behaviourally identical to PosSel; their runs must produce
+// identical statistics on identical streams.
+func TestIDSelMatchesPosSel(t *testing.T) {
+	pat := missingLoadPattern(16, 3)
+	a, _ := runScheme(t, PosSel, pat, 4000)
+	b, _ := runScheme(t, IDSel, pat, 4000)
+	if a.Cycles != b.Cycles || a.TotalIssues != b.TotalIssues || a.LoadSchedMisses != b.LoadSchedMisses {
+		t.Errorf("IDSel diverges from PosSel: cycles %d/%d issues %d/%d misses %d/%d",
+			a.Cycles, b.Cycles, a.TotalIssues, b.TotalIssues, a.LoadSchedMisses, b.LoadSchedMisses)
+	}
+}
+
+// All schemes must retire the same architectural work: the stream is
+// deterministic, so retired counts match MaxInsts everywhere and no
+// scheme deadlocks on the adversarial all-miss pattern.
+func TestAllSchemesCompleteAdversarialPattern(t *testing.T) {
+	// Every fourth instruction a missing load, deep chains.
+	pat := missingLoadPattern(4, 3)
+	for _, s := range Schemes() {
+		st, _ := runScheme(t, s, pat, 2000)
+		if st.Retired < 2000 {
+			t.Errorf("%v retired only %d", s, st.Retired)
+		}
+	}
+}

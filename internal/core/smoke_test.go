@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func runSmoke(t *testing.T, scheme Scheme, bench string, insts int64) *Stats {
+	t.Helper()
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config4Wide()
+	cfg.Scheme = scheme
+	cfg.MaxInsts = insts
+	m, err := New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("%v on %s: %v", scheme, bench, err)
+	}
+	return st
+}
+
+func TestSmokeAllSchemes(t *testing.T) {
+	for _, s := range Schemes() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			st := runSmoke(t, s, "gcc", 20_000)
+			if st.Retired < 20_000 {
+				t.Fatalf("retired %d", st.Retired)
+			}
+			ipc := st.IPC()
+			if ipc <= 0.05 || ipc > 4.0 {
+				t.Fatalf("implausible IPC %.3f", ipc)
+			}
+			if st.FirstIssues == 0 || st.TotalIssues < st.FirstIssues {
+				t.Fatalf("issue accounting broken: total=%d first=%d", st.TotalIssues, st.FirstIssues)
+			}
+			t.Logf("%v: IPC=%.3f missRate=%.3f replayRate=%.3f safety=%d",
+				s, ipc, st.LoadMissRate(), st.ReplayRate(), st.SafetyReplays)
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import "repro/internal/stats"
+
+// Stats aggregates one simulation's measurements. All counters are
+// event counts over the measured run.
+type Stats struct {
+	// Cycles is the total simulated cycles.
+	Cycles int64
+	// Retired is the number of committed instructions.
+	Retired int64
+
+	// TotalIssues counts every issue event, including replays.
+	TotalIssues uint64
+	// FirstIssues counts instructions issued at least once.
+	FirstIssues uint64
+	// LoadIssues counts load issue events.
+	LoadIssues uint64
+
+	// LoadSchedMisses counts load scheduling-miss detections (an issued
+	// load whose actual latency exceeded the scheduled latency).
+	LoadSchedMisses uint64
+	// CacheMisses and AliasMisses split LoadSchedMisses by cause.
+	CacheMisses, AliasMisses uint64
+	// MissOnFirstIssue counts misses detected on a load's first issue;
+	// the remainder are misses of replayed issues.
+	MissOnFirstIssue uint64
+	// MissInFlight/MissL2/MissMemory split cache-latency misses by the
+	// level that satisfied them.
+	MissInFlight, MissL2, MissMemory uint64
+	// MissesWithToken counts scheduling misses whose load held a token
+	// (TkSel; Table 6's numerator).
+	MissesWithToken uint64
+	// MissTokenStolen counts scheduling misses whose load had a token
+	// that was reclaimed before the kill; MissTokenRefused counts
+	// misses whose load never got one.
+	MissTokenStolen, MissTokenRefused uint64
+
+	// SquashedIssues counts issue events canceled by replay (the
+	// "replays" of Table 5 / Figure 12).
+	SquashedIssues uint64
+	// ReinsertEvents counts re-insert replays; ReinsertedInsts the
+	// instructions pushed back through the scheduler by them.
+	ReinsertEvents, ReinsertedInsts uint64
+	// RefetchEvents counts refetch replays (Refetch scheme).
+	RefetchEvents uint64
+	// RQReplays counts blind re-issues from the replay queue (Figure 4b
+	// model); the queue cannot observe wakeups, so the same instruction
+	// may replay several times per miss.
+	RQReplays uint64
+	// SafetyReplays counts instructions caught completing with invalid
+	// data by the simulator's ground-truth check (should be rare; large
+	// values indicate a scheme implementation gap).
+	SafetyReplays uint64
+
+	// BranchLookups/BranchMispredicts are front-end branch stats.
+	BranchLookups, BranchMispredicts uint64
+
+	// ConservativeDelayed counts loads scheduled pessimistically under
+	// the Conservative scheme.
+	ConservativeDelayed uint64
+
+	// ValuePredictions counts loads whose consumers used a predicted
+	// value; ValueMispredicts counts wrong ones; ValueKilledInsts the
+	// dependents squashed by value-misprediction recovery.
+	ValuePredictions, ValueMispredicts, ValueKilledInsts uint64
+
+	// SerialDepth is the per-miss wavefront propagation depth histogram
+	// under SerialVerify (Figure 3).
+	SerialDepth stats.Histogram
+}
+
+// subtract removes a warmup snapshot from the numeric counters so the
+// reported statistics cover only the measured region. The serial-depth
+// histogram and predictor meter intentionally keep their full history
+// (they are distributional, and warmup barely shifts them).
+func (s *Stats) subtract(base *Stats) {
+	s.Cycles -= base.Cycles
+	s.Retired -= base.Retired
+	s.TotalIssues -= base.TotalIssues
+	s.FirstIssues -= base.FirstIssues
+	s.LoadIssues -= base.LoadIssues
+	s.LoadSchedMisses -= base.LoadSchedMisses
+	s.CacheMisses -= base.CacheMisses
+	s.MissOnFirstIssue -= base.MissOnFirstIssue
+	s.MissInFlight -= base.MissInFlight
+	s.MissL2 -= base.MissL2
+	s.MissMemory -= base.MissMemory
+	s.AliasMisses -= base.AliasMisses
+	s.MissesWithToken -= base.MissesWithToken
+	s.MissTokenStolen -= base.MissTokenStolen
+	s.MissTokenRefused -= base.MissTokenRefused
+	s.SquashedIssues -= base.SquashedIssues
+	s.ReinsertEvents -= base.ReinsertEvents
+	s.ReinsertedInsts -= base.ReinsertedInsts
+	s.RefetchEvents -= base.RefetchEvents
+	s.RQReplays -= base.RQReplays
+	s.SafetyReplays -= base.SafetyReplays
+	s.BranchLookups -= base.BranchLookups
+	s.BranchMispredicts -= base.BranchMispredicts
+	s.ConservativeDelayed -= base.ConservativeDelayed
+	s.ValuePredictions -= base.ValuePredictions
+	s.ValueMispredicts -= base.ValueMispredicts
+	s.ValueKilledInsts -= base.ValueKilledInsts
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// LoadMissRate returns load scheduling misses per load issue (Table 5,
+// column 2).
+func (s *Stats) LoadMissRate() float64 {
+	return stats.Ratio(s.LoadSchedMisses, s.LoadIssues)
+}
+
+// ReplayRate returns replayed issues per total issue (Table 5, column
+// 3): the fraction of issue bandwidth spent re-executing.
+func (s *Stats) ReplayRate() float64 {
+	if s.TotalIssues == 0 {
+		return 0
+	}
+	return float64(s.TotalIssues-s.FirstIssues) / float64(s.TotalIssues)
+}
+
+// TokenCoverage returns the fraction of scheduling misses recovered
+// with a token (Table 6).
+func (s *Stats) TokenCoverage() float64 {
+	return stats.Ratio(s.MissesWithToken, s.LoadSchedMisses)
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/smpred"
+	"repro/internal/token"
+)
+
+// unknown marks a cycle that has not been determined yet.
+const unknown int64 = math.MaxInt64
+
+// uop is one in-flight dynamic instruction with its scheduling state.
+type uop struct {
+	inst isa.Inst
+
+	// inIQ reports whether the instruction currently occupies an issue
+	// queue entry (the issue-queue-based replay model keeps issued
+	// instructions in the queue until verified).
+	inIQ bool
+	// issued reports the instruction is currently issued (selected) and
+	// flowing toward / through execution.
+	issued bool
+	// completed reports the instruction finished execution with valid
+	// data and has been verified.
+	completed bool
+	// squashes counts how many times the instruction was invalidated
+	// and returned to the waiting state.
+	squashes int
+	// issues counts issue events (first issue plus replays).
+	issues int
+	// gen increments whenever the instruction is squashed; in-flight
+	// events carry the gen they were scheduled under and are dropped on
+	// mismatch.
+	gen int
+
+	// issueCycle is the cycle of the most recent issue.
+	issueCycle int64
+	// holdUntil blocks re-selection until the given cycle (a replayed
+	// load waits for its miss to resolve before re-issuing).
+	holdUntil int64
+	// execStart is issueCycle + SchedToExec for the current issue.
+	execStart int64
+	// schedLat is the latency the scheduler assumed (loads: agen + DL1
+	// hit).
+	schedLat int
+	// actualLat is the execution latency resolved at execute time for
+	// the current issue (loads: agen + memory latency); equals schedLat
+	// for non-loads.
+	actualLat int
+	// broadcastCycle is when the current issue's wakeup tag reaches
+	// consumers (normally issueCycle+schedLat; conservative loads defer
+	// it to execute time; unknown until scheduled).
+	broadcastCycle int64
+	// completeCycle is when the current issue completes (execStart +
+	// actualLat); unknown until execution resolves it.
+	completeCycle int64
+	// dataReadyAt is when the result value is actually available to
+	// consumers; unknown until resolved.
+	dataReadyAt int64
+
+	// Per-operand scheduling state, indexed 0/1 for Src1/Src2.
+	src [2]operand
+
+	// consumers are in-window instructions with an operand fed by this
+	// instruction.
+	consumers []*uop
+
+	// missed reports the current issue incurred a scheduling miss
+	// (resolved at execute for loads).
+	missed bool
+	// missLevel is the cache level that caused the miss, for stats.
+	missKind missKind
+	// everMissed reports any issue of this load mis-scheduled (for
+	// per-load statistics and predictor training).
+	everMissed bool
+
+	// poisoned marks a DSel instruction that consumed a speculative
+	// value sourced from a mis-scheduled load (poison bit, §3.4.2).
+	poisoned bool
+
+	// conf is the scheduling-miss confidence looked up at dispatch
+	// (loads only).
+	conf smpred.Confidence
+	// conservative marks a load scheduled pessimistically under the
+	// Conservative scheme.
+	conservative bool
+
+	// valuePredicted marks a load whose consumers received a predicted
+	// value at rename; valueWrong records the verification outcome once
+	// the load's memory access completes.
+	valuePredicted bool
+	valueWrong     bool
+
+	// tokenID is the token held by this load, or -1 (TkSel).
+	tokenID int
+	// tokenStolen records that a token this load held was reclaimed
+	// for a higher-confidence load (coverage-loss accounting).
+	tokenStolen bool
+	// depVec is the token dependence vector propagated at rename.
+	depVec token.Vector
+
+	// predTaken/predTarget record the branch prediction made at fetch.
+	predTaken  bool
+	predTarget uint64
+	mispred    bool
+
+	// storeDataSeq is the store's data producer (Src2) — kept explicit
+	// because stores issue on address readiness only, with the data
+	// operand tracked for forwarding (split store-address/store-data).
+	// -1 when the data is immediately available.
+	storeDataSeq int64
+
+	// retired marks the instruction as committed (or flushed dead by
+	// refetch replay).
+	retired bool
+
+	// killMark de-duplicates BFS visits within one kill broadcast.
+	killMark int64
+
+	// needsReinsert flags the instruction as flushed and awaiting
+	// re-insert replay from the ROB.
+	needsReinsert bool
+
+	// inRQ marks an instruction living in the replay queue (Figure 4b
+	// model): it released its issue-queue entry at issue and, once
+	// squashed, re-issues blindly at rqRetryAt.
+	inRQ      bool
+	rqRetryAt int64
+
+	// serialChain/serialDepth place the instruction on an invalid
+	// wavefront under SerialVerify: set when serial invalidation (or a
+	// stale-data execution) reaches it, so chained misses extend the
+	// parent wavefront's depth.
+	serialChain *serialChain
+	serialDepth int
+}
+
+// operand tracks one source's scheduling state.
+type operand struct {
+	// producer is the in-window producing uop, or nil when the value
+	// was ready at dispatch.
+	producer *uop
+	// ready reports the operand is (speculatively) available for
+	// select.
+	ready bool
+	// wokenAt is the cycle the operand last became ready; drives the
+	// countdown-timer invalidation of §3.3 (an operand is "in the
+	// shadow" while now-wokenAt < propagation distance).
+	wokenAt int64
+}
+
+// missKind classifies a scheduling miss for statistics.
+type missKind uint8
+
+const (
+	missNone missKind = iota
+	// missCache is an access-latency misprediction (DL1 miss or
+	// secondary access to an in-flight line).
+	missCache
+	// missAlias is a store-to-load alias whose store data was not ready.
+	missAlias
+)
+
+func (u *uop) seq() int64 { return u.inst.Seq }
+
+// isLoad reports whether the instruction is a load.
+func (u *uop) isLoad() bool { return u.inst.Class == isa.Load }
+
+// opCount returns how many register source operands the uop waits on.
+func (u *uop) opCount() int {
+	n := 0
+	if u.inst.Src1 >= 0 {
+		n++
+	}
+	if u.inst.Src2 >= 0 {
+		n++
+	}
+	return n
+}
+
+// srcSeq returns the producer sequence of operand i (or -1).
+func (u *uop) srcSeq(i int) int64 {
+	if i == 0 {
+		return u.inst.Src1
+	}
+	return u.inst.Src2
+}
+
+// allReady reports whether every used operand is (speculatively) ready.
+// Stores wait only on their address operand (Src1); the data operand is
+// tracked separately for forwarding.
+func (u *uop) allReady() bool {
+	if u.inst.Class == isa.Store {
+		return u.inst.Src1 < 0 || u.src[0].ready
+	}
+	for i := 0; i < 2; i++ {
+		if u.srcSeq(i) >= 0 && !u.src[i].ready {
+			return false
+		}
+	}
+	return true
+}
+
+// unissue returns an issued (or completed-candidate) uop to the waiting
+// state, invalidating any in-flight events for the old issue.
+func (u *uop) unissue() {
+	u.issued = false
+	u.completed = false
+	u.missed = false
+	u.missKind = missNone
+	u.broadcastCycle = unknown
+	u.completeCycle = unknown
+	u.dataReadyAt = unknown
+	u.squashes++
+	u.gen++
+}

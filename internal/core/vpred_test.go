@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// Value prediction (§3.5's motivating data-speculation technique)
+// collapses load-use dependences; these tests pin the speedup, the
+// misprediction recovery, and the scheme restrictions.
+
+// valueChainPattern: a hot (always-hitting) load whose value is highly
+// repetitive, followed by a chain of dependents — the best case for
+// value prediction.
+func valueChainPattern(repeat bool, chain int) func(int64) isa.Inst {
+	period := int64(chain + 1)
+	return func(seq int64) isa.Inst {
+		pos := seq % period
+		if pos == 0 {
+			return isa.Inst{PC: 0x400000, Class: isa.Load, Src1: -1, Src2: -1,
+				Addr: 0x1000_0000 + uint64(seq%8)*64, ValueRepeat: repeat}
+		}
+		return isa.Inst{PC: 0x400004 + uint64(pos)*4, Class: isa.IntALU,
+			Src1: seq - 1, Src2: -1}
+	}
+}
+
+func runVP(t *testing.T, scheme Scheme, vp bool, pat func(int64) isa.Inst, insts int64) *Stats {
+	t.Helper()
+	cfg := Config4Wide()
+	cfg.Scheme = scheme
+	cfg.ValuePrediction = vp
+	cfg.MaxInsts = insts
+	m, err := New(cfg, &synthStream{next: pat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("vp=%v: %v", vp, err)
+	}
+	return st
+}
+
+func TestVPConfigValidation(t *testing.T) {
+	cfg := Config4Wide()
+	cfg.ValuePrediction = true
+	for _, s := range []Scheme{PosSel, NonSel, DSel, Conservative, SerialVerify} {
+		cfg.Scheme = s
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%v must reject value prediction (timing-based dependence tracking)", s)
+		}
+	}
+	for _, s := range []Scheme{IDSel, TkSel, ReInsert, Refetch} {
+		cfg.Scheme = s
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%v should support value prediction: %v", s, err)
+		}
+	}
+	cfg.Scheme = IDSel
+	cfg.ReplayQueue = true
+	if err := cfg.Validate(); err == nil {
+		t.Error("value prediction + replay queue must be rejected")
+	}
+}
+
+// A perfectly repetitive load value feeding a serial chain: value
+// prediction must collapse the load-use latency and speed the chain up.
+func TestVPCollapsesDependence(t *testing.T) {
+	pat := valueChainPattern(true, 4)
+	off := runVP(t, TkSel, false, pat, 8000)
+	on := runVP(t, TkSel, true, valueChainPattern(true, 4), 8000)
+	if on.ValuePredictions == 0 {
+		t.Fatal("no value predictions consumed")
+	}
+	if on.ValueMispredicts != 0 {
+		t.Fatalf("%d mispredicts on a perfectly repetitive value", on.ValueMispredicts)
+	}
+	if on.IPC() <= off.IPC()*1.05 {
+		t.Errorf("value prediction IPC %.3f should clearly beat baseline %.3f", on.IPC(), off.IPC())
+	}
+}
+
+// A never-repeating value must train the predictor down: after warmup,
+// predictions stop (reset-on-miss confidence) and mispredictions stay
+// bounded.
+func TestVPBacksOffOnUnpredictableValues(t *testing.T) {
+	st := runVP(t, TkSel, true, valueChainPattern(false, 4), 8000)
+	if st.ValueMispredicts > 10 {
+		t.Errorf("%d value mispredicts; confidence should shut prediction off", st.ValueMispredicts)
+	}
+}
+
+// Misprediction recovery: values that usually repeat but sometimes
+// don't cause valueKills that must squash completed dependents and
+// still retire correct state.
+func TestVPMispredictRecovery(t *testing.T) {
+	n := 0
+	pat := func(seq int64) isa.Inst {
+		pos := seq % 5
+		if pos == 0 {
+			n++
+			return isa.Inst{PC: 0x400000, Class: isa.Load, Src1: -1, Src2: -1,
+				Addr: 0x1000_0000 + uint64(seq%8)*64, ValueRepeat: n%6 != 0}
+		}
+		return isa.Inst{PC: 0x400004 + uint64(pos)*4, Class: isa.IntALU,
+			Src1: seq - 1, Src2: -1}
+	}
+	st := runVP(t, TkSel, true, pat, 10_000)
+	if st.ValueMispredicts == 0 {
+		t.Fatal("pattern produced no mispredictions")
+	}
+	if st.ValueKilledInsts == 0 {
+		t.Fatal("mispredictions squashed no dependents")
+	}
+	if st.Retired < 10_000 {
+		t.Fatalf("retired %d", st.Retired)
+	}
+}
+
+// The §3.5 punchline: value prediction breaks pointer-chase
+// serialization. Each missing load's *address* depends on the previous
+// load's value, so without prediction the memory latencies serialize;
+// with a (repetitive) predicted value the misses overlap.
+func TestVPBreaksPointerChase(t *testing.T) {
+	chase := func() func(int64) isa.Inst {
+		return func(seq int64) isa.Inst {
+			pos := seq % 4
+			if pos == 0 {
+				var src int64 = -1
+				if seq > 0 {
+					src = seq - 1 // chains back to the previous load's value
+				}
+				return isa.Inst{PC: 0x400000, Class: isa.Load, Src1: src, Src2: -1,
+					Addr: 0x4000_0000 + uint64(seq)*64, ValueRepeat: true}
+			}
+			return isa.Inst{PC: 0x400004 + uint64(pos)*4, Class: isa.IntALU,
+				Src1: seq - 1, Src2: -1}
+		}
+	}
+	off := runVP(t, TkSel, false, chase(), 3000)
+	on := runVP(t, TkSel, true, chase(), 3000)
+	if on.IPC() <= off.IPC()*1.5 {
+		t.Errorf("value prediction over a pointer chase: IPC %.3f vs %.3f; expected >1.5x",
+			on.IPC(), off.IPC())
+	}
+}
+
+// Value prediction must also work under plain re-insert replay (the
+// other rename-order scheme) and under IDSel.
+func TestVPOtherSchemes(t *testing.T) {
+	for _, s := range []Scheme{IDSel, ReInsert} {
+		st := runVP(t, s, true, valueChainPattern(true, 3), 6000)
+		if st.ValuePredictions == 0 {
+			t.Errorf("%v: no predictions", s)
+		}
+		if st.Retired < 6000 {
+			t.Errorf("%v retired %d", s, st.Retired)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testEngine() *Engine {
+	return NewEngine(Options{Insts: 15_000, Warmup: 8_000, Seed: 1})
+}
+
+func TestEngineMemoizes(t *testing.T) {
+	e := testEngine()
+	spec := RunSpec{Bench: "gap", Scheme: core.PosSel}
+	a, err := e.run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second run was not served from the cache")
+	}
+}
+
+func TestEngineRejectsUnknownBench(t *testing.T) {
+	e := testEngine()
+	if _, err := e.run(RunSpec{Bench: "nope", Scheme: core.PosSel}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRunAllPreservesOrderAndDedupes(t *testing.T) {
+	e := testEngine()
+	specs := []RunSpec{
+		{Bench: "gap", Scheme: core.PosSel},
+		{Bench: "gzip", Scheme: core.PosSel},
+		{Bench: "gap", Scheme: core.PosSel}, // duplicate
+	}
+	outs, err := e.runAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 || outs[0].Spec.Bench != "gap" || outs[1].Spec.Bench != "gzip" {
+		t.Fatalf("order broken: %+v", outs)
+	}
+	if outs[0] != outs[2] {
+		t.Fatal("duplicate spec not deduplicated")
+	}
+}
+
+func TestTable1Artifact(t *testing.T) {
+	t1 := RunTable1()
+	if len(t1.Model) != 7 || len(t1.Model[0]) != 6 {
+		t.Fatalf("grid shape wrong")
+	}
+	out := t1.Render()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "80") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestWiresArtifact(t *testing.T) {
+	w := RunWires()
+	if w.DepBus4 != 48 || w.DepBus8 != 192 || w.PosSelTotal8 != 196 || w.TkSelTotal8 != 32 {
+		t.Fatalf("wire counts diverge from §5.5: %+v", w)
+	}
+	if !strings.Contains(w.Render(), "196") {
+		t.Fatal("render missing totals")
+	}
+	if !strings.Contains(Table3(), "8-wide") {
+		t.Fatal("Table3 render broken")
+	}
+}
+
+func TestTable4And5ShareRuns(t *testing.T) {
+	e := testEngine()
+	t4, err := RunTable4(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.IPC4) != 12 || len(t4.IPC8) != 12 {
+		t.Fatal("table 4 incomplete")
+	}
+	for i, b := range t4.Bench {
+		if t4.IPC4[i] <= 0 || t4.IPC8[i] <= 0 {
+			t.Errorf("%s: zero IPC", b)
+		}
+		// The defining property of the width comparison: the 8-wide
+		// machine never loses to the 4-wide one.
+		if t4.IPC8[i] < t4.IPC4[i]*0.9 {
+			t.Errorf("%s: 8-wide IPC %.3f below 4-wide %.3f", b, t4.IPC8[i], t4.IPC4[i])
+		}
+	}
+	// Table 5 reuses the cached PosSel runs: no new simulations needed.
+	before := len(e.cache)
+	t5, err := RunTable5(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.cache) != before {
+		t.Error("Table 5 re-simulated instead of reusing Table 4's runs")
+	}
+	// mcf must be the miss-rate outlier, as in the paper.
+	mcf := t5.MissRate4[6]
+	for i, b := range t5.Bench {
+		if b != "mcf" && t5.MissRate4[i] >= mcf {
+			t.Errorf("%s miss rate %.3f >= mcf %.3f", b, t5.MissRate4[i], mcf)
+		}
+	}
+	if !strings.Contains(t4.Render(), "mcf") || !strings.Contains(t5.Render(), "miss%4w") {
+		t.Error("renders broken")
+	}
+}
+
+func TestTable6Coverage(t *testing.T) {
+	e := testEngine()
+	t6, err := RunTable6(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range t6.Bench {
+		if t6.Coverage4[i] < 0 || t6.Coverage4[i] > 1 || t6.Coverage8[i] < 0 || t6.Coverage8[i] > 1 {
+			t.Errorf("%s: coverage out of range", b)
+		}
+	}
+	// mcf's concurrency starvation keeps it the coverage minimum.
+	mcf := t6.Coverage8[6]
+	better := 0
+	for i := range t6.Bench {
+		if t6.Coverage8[i] > mcf {
+			better++
+		}
+	}
+	if better < 9 {
+		t.Errorf("mcf should be near the coverage floor; only %d benchmarks above it", better)
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	e := testEngine()
+	f, err := RunFigure13(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TkSel stays within a few percent of ideal at both widths.
+	for w := 0; w < 2; w++ {
+		if f.TkSelSlowdown[w] < -0.05 || f.TkSelSlowdown[w] > 0.08 {
+			t.Errorf("width %d: TkSel slowdown %.3f implausible", w, f.TkSelSlowdown[w])
+		}
+	}
+	// NonSel must be the weakest of NonSel/DSel/TkSel on average at
+	// 8-wide (the scalability claim).
+	avg := func(vals []float64) float64 {
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals))
+	}
+	non, dsel, tk := avg(f.Norm[1][0]), avg(f.Norm[1][1]), avg(f.Norm[1][2])
+	if non >= dsel || non >= tk {
+		t.Errorf("NonSel (%.3f) should trail DSel (%.3f) and TkSel (%.3f) at 8-wide", non, dsel, tk)
+	}
+	if !strings.Contains(f.Render(), "TkSel average slowdown") {
+		t.Error("render broken")
+	}
+}
+
+func TestFigure12And3And9(t *testing.T) {
+	e := testEngine()
+	f12, err := RunFigure12(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 2; w++ {
+		for bi := range f12.Bench {
+			if non := f12.Norm[w][0][bi]; non < 0.97 {
+				t.Errorf("NonSel normalized issues %.3f < 1 for %s", non, f12.Bench[bi])
+			}
+		}
+	}
+	f3, err := RunFigure3(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3.AvgInflation <= 0 {
+		t.Error("serial verification should inflate issue counts")
+	}
+	if f3.MaxDepth < 5 {
+		t.Errorf("max propagation depth %d too shallow", f3.MaxDepth)
+	}
+	f9, err := RunFigure9(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f9.Bench {
+		if f9.Coverage[0][i] != 1 {
+			t.Errorf("%s: coverage at threshold 0 must be 1", f9.Bench[i])
+		}
+		if f9.Coverage[3][i] > f9.Coverage[1][i] {
+			t.Errorf("%s: coverage must fall with threshold", f9.Bench[i])
+		}
+	}
+	for _, r := range []string{f12.Render(), f3.Render(), f9.Render()} {
+		if len(r) < 100 {
+			t.Error("suspiciously short render")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Extensions reports the two beyond-the-paper studies: the
+// replay-queue-based model of Figure 4b (window-capacity recovery vs
+// blind replays) and load value prediction under the rename-order
+// replay schemes (§3.5's motivating technique).
+type Extensions struct {
+	// RQ: per issue-queue size, IPC under the issue-queue and
+	// replay-queue models on a miss-heavy benchmark (twolf, PosSel).
+	RQSizes                []int
+	RQIssueModel, RQQueued []float64
+	RQBlindReplays         []uint64
+
+	// VP: per benchmark, TkSel IPC without/with value prediction.
+	VPBench          []string
+	VPBase, VPOn     []float64
+	VPAccuracy       []float64
+	VPAverageSpeedup float64
+}
+
+// RunExtensions measures both studies. These need bespoke
+// configurations, so they run outside the engine's memoized spec space
+// but reuse its sizing options.
+func RunExtensions(e *Engine) (*Extensions, error) {
+	opts := e.Options()
+	run := func(bench string, mutate func(*core.Config)) (*core.Stats, error) {
+		prof, err := workload.ByName(bench)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := workload.NewGenerator(prof, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Config8Wide()
+		cfg.MaxInsts = opts.Insts
+		cfg.Warmup = opts.Warmup
+		mutate(&cfg)
+		m, err := core.New(cfg, gen)
+		if err != nil {
+			return nil, err
+		}
+		return m.Run()
+	}
+
+	x := &Extensions{RQSizes: []int{16, 32, 64, 128}}
+	for _, iq := range x.RQSizes {
+		a, err := run("twolf", func(c *core.Config) { c.Scheme = core.PosSel; c.IQSize = iq })
+		if err != nil {
+			return nil, err
+		}
+		b, err := run("twolf", func(c *core.Config) {
+			c.Scheme = core.PosSel
+			c.IQSize = iq
+			c.ReplayQueue = true
+		})
+		if err != nil {
+			return nil, err
+		}
+		x.RQIssueModel = append(x.RQIssueModel, a.IPC())
+		x.RQQueued = append(x.RQQueued, b.IPC())
+		x.RQBlindReplays = append(x.RQBlindReplays, b.RQReplays)
+	}
+
+	x.VPBench = Benchmarks()
+	var sum float64
+	for _, bench := range x.VPBench {
+		a, err := run(bench, func(c *core.Config) { c.Scheme = core.TkSel })
+		if err != nil {
+			return nil, err
+		}
+		b, err := run(bench, func(c *core.Config) { c.Scheme = core.TkSel; c.ValuePrediction = true })
+		if err != nil {
+			return nil, err
+		}
+		x.VPBase = append(x.VPBase, a.IPC())
+		x.VPOn = append(x.VPOn, b.IPC())
+		acc := 0.0
+		if b.ValuePredictions > 0 {
+			acc = 1 - float64(b.ValueMispredicts)/float64(b.ValuePredictions)
+		}
+		x.VPAccuracy = append(x.VPAccuracy, acc)
+		sum += b.IPC() / a.IPC()
+	}
+	x.VPAverageSpeedup = sum/float64(len(x.VPBench)) - 1
+	return x, nil
+}
+
+// Render formats both studies.
+func (x *Extensions) Render() string {
+	var b strings.Builder
+	b.WriteString("Extension A: replay-queue-based model (Figure 4b) on twolf, 8-wide, PosSel\n")
+	tb := stats.NewTable("IQ entries", "IPC issue-queue model", "IPC replay-queue model", "blind replays")
+	for i, iq := range x.RQSizes {
+		tb.AddRow(fmt.Sprintf("%d", iq), x.RQIssueModel[i], x.RQQueued[i],
+			fmt.Sprintf("%d", x.RQBlindReplays[i]))
+	}
+	b.WriteString(tb.String())
+	b.WriteString("\nExtension B: load value prediction under TkSel, 8-wide\n")
+	tb = stats.NewTable("bench", "IPC TkSel", "IPC +VP", "speedup", "VP accuracy")
+	for i, bench := range x.VPBench {
+		tb.AddRow(bench, x.VPBase[i], x.VPOn[i],
+			fmt.Sprintf("%+.1f%%", 100*(x.VPOn[i]/x.VPBase[i]-1)),
+			fmt.Sprintf("%.2f", x.VPAccuracy[i]))
+	}
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "average value-prediction speedup: %+.1f%%\n", 100*x.VPAverageSpeedup)
+	return b.String()
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/smpred"
+	"repro/internal/stats"
+)
+
+// Figure3 compares serial and parallel verification: the distribution
+// of wavefront propagation depths under serial verification and the
+// issue-count inflation relative to PosSel, on the 8-wide machine.
+type Figure3 struct {
+	Bench []string
+	// Depth holds the per-benchmark propagation depth histogram.
+	Depth []*stats.Histogram
+	// Inflation is serial total issues / PosSel total issues - 1.
+	Inflation []float64
+	// AvgInflation and WorstInflation summarize the suite.
+	AvgInflation, WorstInflation float64
+	WorstBench                   string
+	// MaxDepth is the deepest propagation observed anywhere.
+	MaxDepth int
+}
+
+// RunFigure3 measures serial-verification wavefront propagation.
+func RunFigure3(e *Engine) (*Figure3, error) {
+	f := &Figure3{Bench: Benchmarks()}
+	var specs []RunSpec
+	for _, b := range f.Bench {
+		specs = append(specs, RunSpec{Bench: b, Wide8: true, Scheme: core.SerialVerify},
+			RunSpec{Bench: b, Wide8: true, Scheme: core.PosSel})
+	}
+	outs, err := e.runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for i := range f.Bench {
+		serial, pos := outs[2*i].Stats, outs[2*i+1].Stats
+		f.Depth = append(f.Depth, &serial.SerialDepth)
+		infl := float64(serial.TotalIssues)/float64(pos.TotalIssues) - 1
+		f.Inflation = append(f.Inflation, infl)
+		sum += infl
+		if infl > f.WorstInflation {
+			f.WorstInflation = infl
+			f.WorstBench = f.Bench[i]
+		}
+		if d := serial.SerialDepth.Max(); d > f.MaxDepth {
+			f.MaxDepth = d
+		}
+	}
+	f.AvgInflation = sum / float64(len(f.Bench))
+	return f, nil
+}
+
+// Render formats the depth distribution and inflation summary.
+func (f *Figure3) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: speculative wavefront propagation under serial verification (8-wide)\n")
+	tb := stats.NewTable("bench", "misses", "mean depth", "p99", "max", "extra issues vs parallel")
+	for i, name := range f.Bench {
+		h := f.Depth[i]
+		tb.AddRow(name, fmt.Sprintf("%d", h.N()),
+			fmt.Sprintf("%.1f", h.Mean()),
+			fmt.Sprintf("%d", h.Quantile(0.99)),
+			fmt.Sprintf("%d", h.Max()),
+			fmt.Sprintf("%+.1f%%", f.Inflation[i]*100))
+	}
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "suite: avg inflation %+.1f%% (paper: +9.9%%), worst %+.1f%% on %s (paper: +42.1%% on mcf), max depth %d (paper: 836 on parser)\n",
+		f.AvgInflation*100, f.WorstInflation*100, f.WorstBench, f.MaxDepth)
+	return b.String()
+}
+
+// Figure9 reports scheduling-miss predictor quality on the 8-wide
+// machine: per confidence threshold, the coverage of actual misses and
+// the fraction of loads predicted to miss.
+type Figure9 struct {
+	Bench []string
+	// Coverage[t][i] is miss coverage at threshold t for bench i.
+	Coverage [4][]float64
+	// Predicted[t][i] is the fraction of loads predicted at >= t.
+	Predicted [4][]float64
+}
+
+// RunFigure9 measures predictor coverage curves.
+func RunFigure9(e *Engine) (*Figure9, error) {
+	f := &Figure9{Bench: Benchmarks()}
+	var specs []RunSpec
+	for _, b := range f.Bench {
+		specs = append(specs, RunSpec{Bench: b, Wide8: true, Scheme: core.PosSel})
+	}
+	outs, err := e.runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range f.Bench {
+		meter := outs[i].Meter
+		for t := 0; t < 4; t++ {
+			f.Coverage[t] = append(f.Coverage[t], meter.Coverage(smpred.Confidence(t)))
+			f.Predicted[t] = append(f.Predicted[t], meter.PredictedFraction(smpred.Confidence(t)))
+		}
+	}
+	return f, nil
+}
+
+// Render formats both panels of Figure 9.
+func (f *Figure9) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9a: coverage of scheduling misses at confidence thresholds (8-wide)\n")
+	tb := stats.NewTable("bench", "conf>=0", "conf>=1", "conf>=2", "conf>=3")
+	for i, name := range f.Bench {
+		tb.AddRow(name,
+			fmt.Sprintf("%.3f", f.Coverage[0][i]), fmt.Sprintf("%.3f", f.Coverage[1][i]),
+			fmt.Sprintf("%.3f", f.Coverage[2][i]), fmt.Sprintf("%.3f", f.Coverage[3][i]))
+	}
+	b.WriteString(tb.String())
+	b.WriteString("Figure 9b: fraction of loads predicted to mis-schedule\n")
+	tb = stats.NewTable("bench", "conf>=0", "conf>=1", "conf>=2", "conf>=3")
+	for i, name := range f.Bench {
+		tb.AddRow(name,
+			fmt.Sprintf("%.3f", f.Predicted[0][i]), fmt.Sprintf("%.3f", f.Predicted[1][i]),
+			fmt.Sprintf("%.3f", f.Predicted[2][i]), fmt.Sprintf("%.3f", f.Predicted[3][i]))
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// Figure12 reports issue counts normalized to PosSel for NonSel, DSel
+// and TkSel at both widths.
+type Figure12 struct {
+	Bench   []string
+	Schemes []core.Scheme
+	// Norm[w][s][i]: width index (0=4-wide), scheme index, bench index.
+	Norm [2][][]float64
+}
+
+var fig12Schemes = []core.Scheme{core.NonSel, core.DSel, core.TkSel}
+
+// RunFigure12 measures normalized issue counts.
+func RunFigure12(e *Engine) (*Figure12, error) {
+	f := &Figure12{Bench: Benchmarks(), Schemes: fig12Schemes}
+	for w := 0; w < 2; w++ {
+		wide8 := w == 1
+		var specs []RunSpec
+		for _, b := range f.Bench {
+			specs = append(specs, RunSpec{Bench: b, Wide8: wide8, Scheme: core.PosSel})
+			for _, s := range f.Schemes {
+				specs = append(specs, RunSpec{Bench: b, Wide8: wide8, Scheme: s})
+			}
+		}
+		outs, err := e.runAll(specs)
+		if err != nil {
+			return nil, err
+		}
+		per := len(f.Schemes) + 1
+		f.Norm[w] = make([][]float64, len(f.Schemes))
+		for si := range f.Schemes {
+			for bi := range f.Bench {
+				base := outs[bi*per].Stats.TotalIssues
+				v := outs[bi*per+1+si].Stats.TotalIssues
+				f.Norm[w][si] = append(f.Norm[w][si], float64(v)/float64(base))
+			}
+		}
+	}
+	return f, nil
+}
+
+// Render formats both widths.
+func (f *Figure12) Render() string {
+	var b strings.Builder
+	for w, label := range []string{"4-wide", "8-wide"} {
+		fmt.Fprintf(&b, "Figure 12 (%s): issue count normalized to PosSel\n", label)
+		hdr := []string{"bench"}
+		for _, s := range f.Schemes {
+			hdr = append(hdr, s.String())
+		}
+		tb := stats.NewTable(hdr...)
+		for bi, name := range f.Bench {
+			row := []interface{}{name}
+			for si := range f.Schemes {
+				row = append(row, fmt.Sprintf("%.3f", f.Norm[w][si][bi]))
+			}
+			tb.AddRow(row...)
+		}
+		b.WriteString(tb.String())
+	}
+	return b.String()
+}
+
+// Figure13 reports IPC normalized to PosSel for the five evaluated
+// schemes at both widths.
+type Figure13 struct {
+	Bench   []string
+	Schemes []core.Scheme
+	Norm    [2][][]float64
+	// TkSelSlowdown is the suite-average TkSel slowdown per width.
+	TkSelSlowdown [2]float64
+}
+
+var fig13Schemes = []core.Scheme{core.NonSel, core.DSel, core.TkSel, core.ReInsert, core.Conservative}
+
+// RunFigure13 measures normalized performance.
+func RunFigure13(e *Engine) (*Figure13, error) {
+	f := &Figure13{Bench: Benchmarks(), Schemes: fig13Schemes}
+	for w := 0; w < 2; w++ {
+		wide8 := w == 1
+		var specs []RunSpec
+		for _, b := range f.Bench {
+			specs = append(specs, RunSpec{Bench: b, Wide8: wide8, Scheme: core.PosSel})
+			for _, s := range f.Schemes {
+				specs = append(specs, RunSpec{Bench: b, Wide8: wide8, Scheme: s})
+			}
+		}
+		outs, err := e.runAll(specs)
+		if err != nil {
+			return nil, err
+		}
+		per := len(f.Schemes) + 1
+		f.Norm[w] = make([][]float64, len(f.Schemes))
+		for si := range f.Schemes {
+			for bi := range f.Bench {
+				base := outs[bi*per].Stats.IPC()
+				v := outs[bi*per+1+si].Stats.IPC()
+				f.Norm[w][si] = append(f.Norm[w][si], v/base)
+			}
+		}
+		// TkSel average slowdown.
+		tkIdx := 2
+		var sum float64
+		for _, v := range f.Norm[w][tkIdx] {
+			sum += v
+		}
+		f.TkSelSlowdown[w] = 1 - sum/float64(len(f.Bench))
+	}
+	return f, nil
+}
+
+// Render formats both widths plus the headline TkSel slowdown.
+func (f *Figure13) Render() string {
+	var b strings.Builder
+	for w, label := range []string{"4-wide", "8-wide"} {
+		fmt.Fprintf(&b, "Figure 13 (%s): IPC normalized to PosSel\n", label)
+		hdr := []string{"bench"}
+		for _, s := range f.Schemes {
+			hdr = append(hdr, s.String())
+		}
+		tb := stats.NewTable(hdr...)
+		for bi, name := range f.Bench {
+			row := []interface{}{name}
+			for si := range f.Schemes {
+				row = append(row, fmt.Sprintf("%.3f", f.Norm[w][si][bi]))
+			}
+			tb.AddRow(row...)
+		}
+		b.WriteString(tb.String())
+	}
+	fmt.Fprintf(&b, "TkSel average slowdown: %.1f%% at 4-wide (paper 1.7%%), %.1f%% at 8-wide (paper 1.6%%)\n",
+		f.TkSelSlowdown[0]*100, f.TkSelSlowdown[1]*100)
+	return b.String()
+}

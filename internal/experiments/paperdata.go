@@ -1,0 +1,69 @@
+package experiments
+
+// Reference values transcribed from the paper, used for side-by-side
+// "paper vs measured" reporting. Indexed in Benchmarks() order:
+// bzip, crafty, eon, gap, gcc, gzip, mcf, parser, perl, twolf, vortex,
+// vpr.
+
+// PaperIPC4 and PaperIPC8 are Table 4's base IPC with position-based
+// selective replay.
+var PaperIPC4 = []float64{
+	1.6409, 1.9410, 2.1741, 2.0737, 1.5148, 2.0147,
+	0.7061, 1.2614, 1.4149, 1.5959, 2.1217, 1.6807,
+}
+
+var PaperIPC8 = []float64{
+	2.0932, 2.7949, 3.1457, 2.8784, 1.9721, 2.5117,
+	0.9225, 1.5208, 1.7067, 1.9205, 3.1530, 2.0658,
+}
+
+// PaperMissRate4/8 are Table 5's "load scheduling misses / load
+// issues" (fractions, not percent).
+var PaperMissRate4 = []float64{
+	0.0371, 0.0316, 0.0305, 0.0167, 0.0209, 0.0407,
+	0.2759, 0.0591, 0.0231, 0.1043, 0.0480, 0.0686,
+}
+
+var PaperMissRate8 = []float64{
+	0.0686, 0.0406, 0.0777, 0.0386, 0.0318, 0.0577,
+	0.2760, 0.0681, 0.0371, 0.1231, 0.0656, 0.0888,
+}
+
+// PaperReplayRate4/8 are Table 5's "total replays / total issues".
+var PaperReplayRate4 = []float64{
+	0.0250, 0.0250, 0.0144, 0.0110, 0.0203, 0.0352,
+	0.2302, 0.0508, 0.0110, 0.0650, 0.0273, 0.0468,
+}
+
+var PaperReplayRate8 = []float64{
+	0.0456, 0.0319, 0.0400, 0.0203, 0.0312, 0.0440,
+	0.2245, 0.0605, 0.0151, 0.0715, 0.0408, 0.0558,
+}
+
+// PaperTokenCoverage4/8 are Table 6's fraction of scheduling misses
+// covered by tokens (8 tokens at 4-wide, 16 at 8-wide).
+var PaperTokenCoverage4 = []float64{
+	0.897, 0.884, 0.882, 0.917, 0.860, 0.918,
+	0.752, 0.853, 0.997, 0.849, 0.906, 0.912,
+}
+
+var PaperTokenCoverage8 = []float64{
+	0.919, 0.893, 0.919, 0.958, 0.893, 0.936,
+	0.835, 0.885, 0.996, 0.895, 0.933, 0.922,
+}
+
+// Figure 13's headline: average TkSel slowdown vs PosSel is 1.7% at
+// 4-wide and 1.6% at 8-wide.
+const (
+	PaperTkSelSlowdown4 = 0.017
+	PaperTkSelSlowdown8 = 0.016
+)
+
+// Figure 3's headline: serial verification inflates total issues by
+// 9.9% on average (worst 42.1%, mcf), and the worst observed
+// propagation depth is 836 levels (parser).
+const (
+	PaperSerialIssueInflationAvg   = 0.099
+	PaperSerialIssueInflationWorst = 0.421
+	PaperSerialWorstDepth          = 836
+)

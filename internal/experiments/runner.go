@@ -1,0 +1,181 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5) from the simulator, plus the analytic results
+// of §2.3 and §5.5. Each experiment is a function returning a rendered
+// plain-text artifact and the underlying numbers; cmd/paper and the
+// repository benchmarks drive them.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/smpred"
+	"repro/internal/workload"
+)
+
+// Options control simulation length; zero values take defaults sized
+// for minutes-scale full-paper reproduction.
+type Options struct {
+	// Insts is the measured instruction count per run.
+	Insts int64
+	// Warmup is the unmeasured warmup instruction count per run.
+	Warmup int64
+	// Seed drives the workload generator.
+	Seed int64
+	// Parallelism bounds concurrent simulations (defaults to CPUs).
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Insts == 0 {
+		o.Insts = 200_000
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 60_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	return o
+}
+
+// RunSpec identifies one simulation.
+type RunSpec struct {
+	Bench  string
+	Wide8  bool
+	Scheme core.Scheme
+}
+
+// width returns a human label.
+func (s RunSpec) width() string {
+	if s.Wide8 {
+		return "8-wide"
+	}
+	return "4-wide"
+}
+
+// RunOut couples a spec with its results.
+type RunOut struct {
+	Spec  RunSpec
+	Stats *core.Stats
+	Meter *smpred.CoverageMeter
+}
+
+// Engine memoizes simulation runs so experiments sharing a
+// configuration (e.g. the PosSel baselines) execute once.
+type Engine struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[RunSpec]*RunOut
+}
+
+// NewEngine builds a run engine with the given options.
+func NewEngine(opts Options) *Engine {
+	return &Engine{opts: opts.withDefaults(), cache: make(map[RunSpec]*RunOut)}
+}
+
+// Options returns the engine's effective options.
+func (e *Engine) Options() Options { return e.opts }
+
+// run executes (or recalls) one simulation.
+func (e *Engine) run(spec RunSpec) (*RunOut, error) {
+	e.mu.Lock()
+	if out, ok := e.cache[spec]; ok {
+		e.mu.Unlock()
+		return out, nil
+	}
+	e.mu.Unlock()
+
+	prof, err := workload.ByName(spec.Bench)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(prof, e.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config4Wide()
+	if spec.Wide8 {
+		cfg = core.Config8Wide()
+	}
+	cfg.Scheme = spec.Scheme
+	cfg.MaxInsts = e.opts.Insts
+	cfg.Warmup = e.opts.Warmup
+	m, err := core.New(cfg, gen)
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s %s %v: %w", spec.Bench, spec.width(), spec.Scheme, err)
+	}
+	out := &RunOut{Spec: spec, Stats: st, Meter: m.Meter()}
+	e.mu.Lock()
+	e.cache[spec] = out
+	e.mu.Unlock()
+	return out, nil
+}
+
+// runAll executes the given specs concurrently (memoized) and returns
+// outputs in spec order.
+func (e *Engine) runAll(specs []RunSpec) ([]*RunOut, error) {
+	// De-duplicate while preserving order.
+	uniq := make([]RunSpec, 0, len(specs))
+	seen := make(map[RunSpec]bool)
+	for _, s := range specs {
+		if !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	sem := make(chan struct{}, e.opts.Parallelism)
+	errs := make([]error, len(uniq))
+	var wg sync.WaitGroup
+	for i, s := range uniq {
+		wg.Add(1)
+		go func(i int, s RunSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			_, errs[i] = e.run(s)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*RunOut, len(specs))
+	for i, s := range specs {
+		out[i], _ = e.cache[s], error(nil)
+	}
+	return out, nil
+}
+
+// Benchmarks returns the benchmark list in the paper's table order.
+func Benchmarks() []string {
+	out := make([]string, len(workload.Benchmarks))
+	copy(out, workload.Benchmarks)
+	return out
+}
+
+// sortedKeys is a small helper for deterministic map iteration in
+// rendering code.
+func sortedKeys[K interface {
+	~string
+}, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Table1 reproduces the paper's Table 1: the maximum number of parent
+// loads an instruction must track, per load-port count and propagation
+// distance, from the reconstructed graph model, alongside the paper's
+// printed values.
+type Table1 struct {
+	Ports     []int
+	Distances []int
+	Model     [][]int
+	Paper     [][]int
+}
+
+// RunTable1 evaluates the analytic model over the paper's grid.
+func RunTable1() *Table1 {
+	t := &Table1{Ports: analytic.Table1Ports, Distances: analytic.Table1Distances}
+	for di, d := range t.Distances {
+		var mrow, prow []int
+		for pi, p := range t.Ports {
+			mrow = append(mrow, analytic.MaxParentLoads(p, d))
+			prow = append(prow, analytic.Table1Paper[di][pi])
+		}
+		t.Model = append(t.Model, mrow)
+		t.Paper = append(t.Paper, prow)
+		_ = di
+	}
+	return t
+}
+
+// Render formats the table with model/paper cells.
+func (t *Table1) Render() string {
+	hdr := []string{"dist \\ ports"}
+	for _, p := range t.Ports {
+		hdr = append(hdr, fmt.Sprintf("%d", p))
+	}
+	tb := stats.NewTable(hdr...)
+	for di, d := range t.Distances {
+		row := []interface{}{fmt.Sprintf("%d", d)}
+		for pi := range t.Ports {
+			m, p := t.Model[di][pi], t.Paper[di][pi]
+			if m == p {
+				row = append(row, fmt.Sprintf("%d", m))
+			} else {
+				row = append(row, fmt.Sprintf("%d (paper %d)", m, p))
+			}
+		}
+		tb.AddRow(row...)
+	}
+	return "Table 1: max parent loads to track (model vs paper)\n" + tb.String()
+}
+
+// Wires reproduces the §3.5/§5.5 wire-count comparison.
+type Wires struct {
+	DepBus4, DepBus8         int
+	PosSelTotal8             int
+	TkSelTotal4, TkSelTotal8 int
+}
+
+// RunWires evaluates the wire-count models on the Table 3 machines.
+func RunWires() *Wires {
+	return &Wires{
+		DepBus4:      analytic.PosSelDependenceBusWires(4, 2, 6),
+		DepBus8:      analytic.PosSelDependenceBusWires(8, 4, 6),
+		PosSelTotal8: analytic.PosSelTotalReplayWires(8, 4, 6),
+		TkSelTotal4:  analytic.TkSelTotalReplayWires(8),
+		TkSelTotal8:  analytic.TkSelTotalReplayWires(16),
+	}
+}
+
+// Render formats the comparison with the paper's quoted numbers.
+func (w *Wires) Render() string {
+	var b strings.Builder
+	b.WriteString("Replay wiring cost (§3.5/§5.5)\n")
+	fmt.Fprintf(&b, "  PosSel dependence bus, 4-wide: %d wires (paper: 48)\n", w.DepBus4)
+	fmt.Fprintf(&b, "  PosSel dependence bus, 8-wide: %d wires (paper: 192)\n", w.DepBus8)
+	fmt.Fprintf(&b, "  PosSel total extra replay wires, 8-wide: %d (paper: 196)\n", w.PosSelTotal8)
+	fmt.Fprintf(&b, "  TkSel total extra replay wires, 4-wide (8 tokens): %d\n", w.TkSelTotal4)
+	fmt.Fprintf(&b, "  TkSel total extra replay wires, 8-wide (16 tokens): %d (paper: 32)\n", w.TkSelTotal8)
+	return b.String()
+}
+
+// Table3 renders the machine configurations (a configuration echo, so
+// the reproduction is self-describing).
+func Table3() string {
+	var b strings.Builder
+	b.WriteString("Table 3: machine configurations\n")
+	for _, cfg := range []core.Config{core.Config4Wide(), core.Config8Wide()} {
+		fmt.Fprintf(&b, "  %s: width %d, ROB %d, IQ %d, LSQ %d, %d mem ports, %d intALU/%d fpALU/%d intMulDiv/%d fpMulDiv, sched->exec %d, verify %d (propagation distance %d), tokens %d\n",
+			cfg.Name, cfg.Width, cfg.ROBSize, cfg.IQSize, cfg.LSQSize, cfg.MemPorts,
+			cfg.IntALU, cfg.FPALU, cfg.IntMulDiv, cfg.FPMulDiv,
+			cfg.SchedToExec, cfg.VerifyLatency, cfg.PropagationDistance(), cfg.Tokens)
+	}
+	return b.String()
+}
+
+// Table4 is the benchmark/base-IPC table with PosSel.
+type Table4 struct {
+	Bench                []string
+	IPC4, IPC8           []float64
+	PaperIPC4, PaperIPC8 []float64
+}
+
+// RunTable4 measures base IPC under position-based selective replay.
+func RunTable4(e *Engine) (*Table4, error) {
+	t := &Table4{Bench: Benchmarks(), PaperIPC4: PaperIPC4, PaperIPC8: PaperIPC8}
+	var specs []RunSpec
+	for _, b := range t.Bench {
+		specs = append(specs, RunSpec{Bench: b, Scheme: core.PosSel},
+			RunSpec{Bench: b, Wide8: true, Scheme: core.PosSel})
+	}
+	outs, err := e.runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range t.Bench {
+		t.IPC4 = append(t.IPC4, outs[2*i].Stats.IPC())
+		t.IPC8 = append(t.IPC8, outs[2*i+1].Stats.IPC())
+	}
+	return t, nil
+}
+
+// Render formats measured vs paper IPC.
+func (t *Table4) Render() string {
+	tb := stats.NewTable("bench", "IPC 4-wide", "paper", "IPC 8-wide", "paper")
+	for i, b := range t.Bench {
+		tb.AddRow(b, t.IPC4[i], t.PaperIPC4[i], t.IPC8[i], t.PaperIPC8[i])
+	}
+	return "Table 4: base IPC with position-based selective replay\n" + tb.String()
+}
+
+// Table5 is the scheduler characteristics table with PosSel.
+type Table5 struct {
+	Bench                      []string
+	MissRate4, MissRate8       []float64
+	ReplayRate4, ReplayRate8   []float64
+	PaperMiss4, PaperMiss8     []float64
+	PaperReplay4, PaperReplay8 []float64
+}
+
+// RunTable5 measures load scheduling-miss and replay rates under
+// PosSel.
+func RunTable5(e *Engine) (*Table5, error) {
+	t := &Table5{
+		Bench:      Benchmarks(),
+		PaperMiss4: PaperMissRate4, PaperMiss8: PaperMissRate8,
+		PaperReplay4: PaperReplayRate4, PaperReplay8: PaperReplayRate8,
+	}
+	var specs []RunSpec
+	for _, b := range t.Bench {
+		specs = append(specs, RunSpec{Bench: b, Scheme: core.PosSel},
+			RunSpec{Bench: b, Wide8: true, Scheme: core.PosSel})
+	}
+	outs, err := e.runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range t.Bench {
+		s4, s8 := outs[2*i].Stats, outs[2*i+1].Stats
+		t.MissRate4 = append(t.MissRate4, s4.LoadMissRate())
+		t.MissRate8 = append(t.MissRate8, s8.LoadMissRate())
+		t.ReplayRate4 = append(t.ReplayRate4, s4.ReplayRate())
+		t.ReplayRate8 = append(t.ReplayRate8, s8.ReplayRate())
+	}
+	return t, nil
+}
+
+// Render formats measured vs paper rates (percent).
+func (t *Table5) Render() string {
+	tb := stats.NewTable("bench",
+		"miss%4w", "paper", "miss%8w", "paper",
+		"replay%4w", "paper", "replay%8w", "paper")
+	pct := func(v float64) string { return fmt.Sprintf("%.2f", v*100) }
+	for i, b := range t.Bench {
+		tb.AddRow(b,
+			pct(t.MissRate4[i]), pct(t.PaperMiss4[i]),
+			pct(t.MissRate8[i]), pct(t.PaperMiss8[i]),
+			pct(t.ReplayRate4[i]), pct(t.PaperReplay4[i]),
+			pct(t.ReplayRate8[i]), pct(t.PaperReplay8[i]))
+	}
+	return "Table 5: scheduling statistics with position-based selective replay\n" + tb.String()
+}
+
+// Table6 is the token-coverage table under TkSel.
+type Table6 struct {
+	Bench                []string
+	Coverage4, Coverage8 []float64
+	PaperCov4, PaperCov8 []float64
+}
+
+// RunTable6 measures the fraction of scheduling misses recovered with
+// a token.
+func RunTable6(e *Engine) (*Table6, error) {
+	t := &Table6{Bench: Benchmarks(), PaperCov4: PaperTokenCoverage4, PaperCov8: PaperTokenCoverage8}
+	var specs []RunSpec
+	for _, b := range t.Bench {
+		specs = append(specs, RunSpec{Bench: b, Scheme: core.TkSel},
+			RunSpec{Bench: b, Wide8: true, Scheme: core.TkSel})
+	}
+	outs, err := e.runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range t.Bench {
+		t.Coverage4 = append(t.Coverage4, outs[2*i].Stats.TokenCoverage())
+		t.Coverage8 = append(t.Coverage8, outs[2*i+1].Stats.TokenCoverage())
+	}
+	return t, nil
+}
+
+// Render formats measured vs paper coverage (percent).
+func (t *Table6) Render() string {
+	tb := stats.NewTable("bench", "cov%4w(8tok)", "paper", "cov%8w(16tok)", "paper")
+	pct := func(v float64) string { return fmt.Sprintf("%.1f", v*100) }
+	for i, b := range t.Bench {
+		tb.AddRow(b, pct(t.Coverage4[i]), pct(t.PaperCov4[i]),
+			pct(t.Coverage8[i]), pct(t.PaperCov8[i]))
+	}
+	return "Table 6: scheduling misses covered by tokens in token-based selective replay\n" + tb.String()
+}

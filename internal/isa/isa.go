@@ -1,0 +1,168 @@
+// Package isa defines the micro-operation model used by the simulator.
+//
+// The paper's platform is the Alpha ISA under SimpleScalar; the replay
+// phenomena it studies depend only on instruction *classes* (which
+// functional unit, which latency, whether the instruction touches memory
+// or redirects control), not on Alpha encodings. This package therefore
+// models a small RISC-like micro-op vocabulary with the operation classes
+// and latencies of the paper's Table 3 machine.
+package isa
+
+import "fmt"
+
+// Class identifies the functional class of a micro-op. It determines the
+// functional unit required, the scheduled (assumed) latency, and how the
+// pipeline treats the instruction.
+type Class uint8
+
+const (
+	// IntALU is a single-cycle integer operation.
+	IntALU Class = iota
+	// FPALU is a two-cycle floating-point add/sub/convert.
+	FPALU
+	// IntMult is a three-cycle integer multiply.
+	IntMult
+	// IntDiv is a twenty-cycle integer divide.
+	IntDiv
+	// FPMult is a four-cycle floating-point multiply.
+	FPMult
+	// FPDiv is a 24-cycle floating-point divide.
+	FPDiv
+	// Load reads memory. Its scheduled latency assumes a DL1 hit; the
+	// actual latency is resolved by the cache hierarchy at execute time,
+	// which is the paper's source of scheduling misses.
+	Load
+	// Store writes memory. Stores compute an address and carry a data
+	// operand; they never produce a register result.
+	Store
+	// Branch is a conditional or unconditional control transfer resolved
+	// at execute.
+	Branch
+	// NumClasses is the number of distinct classes; keep it last.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"IntALU", "FPALU", "IntMult", "IntDiv", "FPMult", "FPDiv",
+	"Load", "Store", "Branch",
+}
+
+// String returns the mnemonic name of the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Valid reports whether c is one of the defined classes.
+func (c Class) Valid() bool { return c < NumClasses }
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// HasDest reports whether the class produces a register result that
+// dependents can consume.
+func (c Class) HasDest() bool {
+	switch c {
+	case Store, Branch:
+		return false
+	default:
+		return true
+	}
+}
+
+// ExecLatency returns the execution latency, in cycles, of the class on
+// the Table 3 machine, excluding any memory-hierarchy latency. For loads
+// this is the address-generation cycle only; the cache adds the rest.
+func (c Class) ExecLatency() int {
+	switch c {
+	case IntALU, Branch:
+		return 1
+	case FPALU:
+		return 2
+	case IntMult:
+		return 3
+	case IntDiv:
+		return 20
+	case FPMult:
+		return 4
+	case FPDiv:
+		return 24
+	case Load, Store:
+		return 1 // address generation; cache latency is added at execute
+	default:
+		return 1
+	}
+}
+
+// Inst is one dynamic instruction in a workload trace. Dependences are
+// expressed positionally: Src1/Src2 give the sequence numbers of the
+// producing dynamic instructions, or -1 when the operand is ready at
+// dispatch (a register whose producer retired long ago, an immediate, ...).
+//
+// The generator guarantees Src1/Src2 < Seq, that producers have HasDest
+// classes, and that memory instructions carry an address.
+type Inst struct {
+	// Seq is the dynamic sequence number, dense from 0.
+	Seq int64
+	// PC is the instruction address; static instructions keep a stable PC
+	// so PC-indexed predictors observe realistic re-reference behaviour.
+	PC uint64
+	// Class is the functional class.
+	Class Class
+	// Src1 and Src2 are producer sequence numbers or -1.
+	Src1, Src2 int64
+	// Addr is the effective address for loads and stores (0 otherwise).
+	Addr uint64
+	// ValueRepeat reports, for loads, whether the loaded value equals
+	// the same static site's previously loaded value — the value
+	// locality that last-value prediction exploits. Ground truth
+	// produced by the workload model.
+	ValueRepeat bool
+	// Taken reports the actual outcome for branches.
+	Taken bool
+	// Target is the branch target PC for taken branches.
+	Target uint64
+}
+
+// Validate checks the structural invariants of a dynamic instruction.
+// It is used by tests and by workload generators' self-checks.
+func (in *Inst) Validate() error {
+	if !in.Class.Valid() {
+		return fmt.Errorf("isa: inst %d has invalid class %d", in.Seq, uint8(in.Class))
+	}
+	if in.Seq < 0 {
+		return fmt.Errorf("isa: negative sequence number %d", in.Seq)
+	}
+	if in.Src1 >= in.Seq || in.Src2 >= in.Seq {
+		return fmt.Errorf("isa: inst %d depends on itself or the future (src1=%d src2=%d)",
+			in.Seq, in.Src1, in.Src2)
+	}
+	if in.Class.IsMem() && in.Addr == 0 {
+		return fmt.Errorf("isa: memory inst %d has no address", in.Seq)
+	}
+	if !in.Class.IsMem() && in.Addr != 0 {
+		return fmt.Errorf("isa: non-memory inst %d (%v) carries address %#x", in.Seq, in.Class, in.Addr)
+	}
+	if in.Class != Branch && (in.Taken || in.Target != 0) {
+		return fmt.Errorf("isa: non-branch inst %d carries branch outcome", in.Seq)
+	}
+	if in.Class != Load && in.ValueRepeat {
+		return fmt.Errorf("isa: non-load inst %d carries value locality", in.Seq)
+	}
+	return nil
+}
+
+// NumSources returns how many register source operands the instruction
+// actually uses (0, 1 or 2).
+func (in *Inst) NumSources() int {
+	n := 0
+	if in.Src1 >= 0 {
+		n++
+	}
+	if in.Src2 >= 0 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,111 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		IntALU: "IntALU", FPALU: "FPALU", IntMult: "IntMult",
+		IntDiv: "IntDiv", FPMult: "FPMult", FPDiv: "FPDiv",
+		Load: "Load", Store: "Store", Branch: "Branch",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := Class(200).String(); got != "Class(200)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestClassValid(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if !c.Valid() {
+			t.Errorf("class %v should be valid", c)
+		}
+	}
+	if NumClasses.Valid() {
+		t.Error("NumClasses should not be valid")
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() {
+		t.Error("Load and Store must be memory classes")
+	}
+	if IntALU.IsMem() || Branch.IsMem() {
+		t.Error("IntALU/Branch must not be memory classes")
+	}
+	if Store.HasDest() || Branch.HasDest() {
+		t.Error("Store/Branch must not produce register results")
+	}
+	if !Load.HasDest() || !IntALU.HasDest() || !FPDiv.HasDest() {
+		t.Error("value-producing classes must report HasDest")
+	}
+}
+
+func TestExecLatencyTable3(t *testing.T) {
+	// Latencies straight from Table 3 of the paper.
+	want := map[Class]int{
+		IntALU: 1, FPALU: 2, IntMult: 3, IntDiv: 20,
+		FPMult: 4, FPDiv: 24, Load: 1, Store: 1, Branch: 1,
+	}
+	for c, l := range want {
+		if got := c.ExecLatency(); got != l {
+			t.Errorf("%v latency = %d, want %d", c, got, l)
+		}
+	}
+}
+
+func TestInstValidate(t *testing.T) {
+	valid := Inst{Seq: 10, PC: 0x1000, Class: IntALU, Src1: 3, Src2: -1}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid inst rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		in   Inst
+	}{
+		{"invalid class", Inst{Seq: 1, Class: NumClasses, Src1: -1, Src2: -1}},
+		{"negative seq", Inst{Seq: -2, Class: IntALU, Src1: -3, Src2: -3}},
+		{"self dependence", Inst{Seq: 5, Class: IntALU, Src1: 5, Src2: -1}},
+		{"future dependence", Inst{Seq: 5, Class: IntALU, Src1: -1, Src2: 9}},
+		{"load without address", Inst{Seq: 5, Class: Load, Src1: -1, Src2: -1}},
+		{"alu with address", Inst{Seq: 5, Class: IntALU, Src1: -1, Src2: -1, Addr: 64}},
+		{"alu with branch outcome", Inst{Seq: 5, Class: IntALU, Src1: -1, Src2: -1, Taken: true}},
+	}
+	for _, tc := range cases {
+		if err := tc.in.Validate(); err == nil {
+			t.Errorf("%s: Validate() accepted invalid inst", tc.name)
+		}
+	}
+}
+
+func TestNumSources(t *testing.T) {
+	cases := []struct {
+		s1, s2 int64
+		want   int
+	}{{-1, -1, 0}, {0, -1, 1}, {-1, 4, 1}, {2, 3, 2}}
+	for _, tc := range cases {
+		in := Inst{Seq: 10, Class: IntALU, Src1: tc.s1, Src2: tc.s2}
+		if got := in.NumSources(); got != tc.want {
+			t.Errorf("NumSources(%d,%d) = %d, want %d", tc.s1, tc.s2, got, tc.want)
+		}
+	}
+}
+
+// Property: every valid class has a positive latency and a stable,
+// non-empty name. Guards against someone adding a class without extending
+// the tables.
+func TestQuickClassTotality(t *testing.T) {
+	f := func(raw uint8) bool {
+		c := Class(raw % uint8(NumClasses))
+		return c.Valid() && c.ExecLatency() >= 1 && c.String() != ""
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package smpred implements the scheduling-miss predictor of §4.1: a
+// tagged, 4k-entry, direct-mapped table indexed by load PC, with 2-bit
+// saturating counters. The counter value is the *confidence* that the
+// load will incur a scheduling miss (cache miss or store-to-load alias
+// with unready data). Token allocation (package token) and the
+// conservative scheduling policy both key off this confidence.
+package smpred
+
+// Confidence is the 2-bit counter value, 0 (strongly hit) through
+// 3 (strongly miss).
+type Confidence uint8
+
+// MaxConfidence is the saturation value of the 2-bit counters.
+const MaxConfidence Confidence = 3
+
+// Config sizes the predictor.
+type Config struct {
+	// Entries is the number of table entries; a power of two. The paper
+	// uses 4096.
+	Entries int
+	// TagBits is how many PC bits (above the index) are kept as a tag.
+	TagBits int
+	// InitialConfidence seeds newly allocated entries. The paper does
+	// not specify; we default to 0 (predict hit), the natural choice
+	// since most loads hit.
+	InitialConfidence Confidence
+}
+
+// Default returns the paper's predictor: tagged, 4k entries,
+// direct-mapped.
+func Default() Config {
+	return Config{Entries: 4096, TagBits: 10, InitialConfidence: 0}
+}
+
+type entry struct {
+	tag   uint64
+	valid bool
+	conf  Confidence
+}
+
+// Predictor is the tagged direct-mapped confidence table. The zero value
+// is unusable; construct with New.
+type Predictor struct {
+	cfg     Config
+	table   []entry
+	idxMask uint64
+	tagMask uint64
+
+	lookups uint64
+	// tagMisses counts lookups that found no matching entry (cold or
+	// conflict), which predict "hit" with zero confidence.
+	tagMisses uint64
+}
+
+// New builds a predictor; zero config fields take Default values.
+// It panics if Entries is not a power of two (static configuration
+// error).
+func New(cfg Config) *Predictor {
+	def := Default()
+	if cfg.Entries == 0 {
+		cfg.Entries = def.Entries
+	}
+	if cfg.TagBits == 0 {
+		cfg.TagBits = def.TagBits
+	}
+	if cfg.Entries&(cfg.Entries-1) != 0 {
+		panic("smpred: entry count must be a power of two")
+	}
+	return &Predictor{
+		cfg:     cfg,
+		table:   make([]entry, cfg.Entries),
+		idxMask: uint64(cfg.Entries - 1),
+		tagMask: (1 << uint(cfg.TagBits)) - 1,
+	}
+}
+
+func (p *Predictor) slot(pc uint64) (int, uint64) {
+	word := pc >> 2
+	return int(word & p.idxMask), (word >> uint(len64(p.idxMask))) & p.tagMask
+}
+
+func len64(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}
+
+// Lookup returns the miss confidence for the load at pc. A tag mismatch
+// (cold or conflict) returns zero confidence: the load is assumed to
+// hit, which is the common case.
+func (p *Predictor) Lookup(pc uint64) Confidence {
+	p.lookups++
+	i, tag := p.slot(pc)
+	e := p.table[i]
+	if !e.valid || e.tag != tag {
+		p.tagMisses++
+		return 0
+	}
+	return e.conf
+}
+
+// Update trains the entry for pc with the load's actual outcome
+// (missed = the load incurred a scheduling miss). On a tag mismatch the
+// entry is reallocated to pc, per the paper's tagged table.
+func (p *Predictor) Update(pc uint64, missed bool) {
+	i, tag := p.slot(pc)
+	e := &p.table[i]
+	if !e.valid || e.tag != tag {
+		*e = entry{tag: tag, valid: true, conf: p.cfg.InitialConfidence}
+	}
+	if missed {
+		if e.conf < MaxConfidence {
+			e.conf++
+		}
+	} else if e.conf > 0 {
+		e.conf--
+	}
+}
+
+// Stats returns lookup and tag-miss counts.
+func (p *Predictor) Stats() (lookups, tagMisses uint64) {
+	return p.lookups, p.tagMisses
+}
+
+// Reset clears the table and statistics.
+func (p *Predictor) Reset() {
+	for i := range p.table {
+		p.table[i] = entry{}
+	}
+	p.lookups, p.tagMisses = 0, 0
+}
+
+// CoverageMeter accumulates the Figure 9 statistics: for each confidence
+// threshold t, the fraction of actual scheduling misses whose load was
+// predicted at confidence >= t (coverage), and the fraction of all load
+// issues predicted to miss at confidence >= t.
+type CoverageMeter struct {
+	// loads[c] counts loads looked up with confidence exactly c.
+	loads [MaxConfidence + 1]uint64
+	// misses[c] counts loads with confidence exactly c that actually
+	// incurred a scheduling miss.
+	misses [MaxConfidence + 1]uint64
+}
+
+// Record notes one load with its predicted confidence and actual outcome.
+func (m *CoverageMeter) Record(conf Confidence, missed bool) {
+	m.loads[conf]++
+	if missed {
+		m.misses[conf]++
+	}
+}
+
+// Coverage returns, for threshold t, the fraction of all scheduling
+// misses covered by predictions at confidence >= t. Returns 0 when no
+// misses were recorded.
+func (m *CoverageMeter) Coverage(t Confidence) float64 {
+	var covered, total uint64
+	for c := Confidence(0); c <= MaxConfidence; c++ {
+		total += m.misses[c]
+		if c >= t {
+			covered += m.misses[c]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
+// PredictedFraction returns the fraction of loads predicted to miss at
+// confidence >= t. Returns 0 when no loads were recorded.
+func (m *CoverageMeter) PredictedFraction(t Confidence) float64 {
+	var pred, total uint64
+	for c := Confidence(0); c <= MaxConfidence; c++ {
+		total += m.loads[c]
+		if c >= t {
+			pred += m.loads[c]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(pred) / float64(total)
+}
+
+// Totals returns total loads and total misses recorded.
+func (m *CoverageMeter) Totals() (loads, misses uint64) {
+	for c := Confidence(0); c <= MaxConfidence; c++ {
+		loads += m.loads[c]
+		misses += m.misses[c]
+	}
+	return loads, misses
+}

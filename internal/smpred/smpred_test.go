@@ -1,0 +1,167 @@
+package smpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdLookupPredictsHit(t *testing.T) {
+	p := New(Config{})
+	if c := p.Lookup(0x400000); c != 0 {
+		t.Fatalf("cold confidence = %d, want 0", c)
+	}
+	_, tagMisses := p.Stats()
+	if tagMisses != 1 {
+		t.Fatalf("tagMisses = %d, want 1", tagMisses)
+	}
+}
+
+func TestTrainingToSaturation(t *testing.T) {
+	p := New(Config{})
+	pc := uint64(0x401000)
+	for i := 0; i < 5; i++ {
+		p.Update(pc, true)
+	}
+	if c := p.Lookup(pc); c != MaxConfidence {
+		t.Fatalf("confidence after 5 misses = %d, want %d", c, MaxConfidence)
+	}
+	for i := 0; i < 5; i++ {
+		p.Update(pc, false)
+	}
+	if c := p.Lookup(pc); c != 0 {
+		t.Fatalf("confidence after 5 hits = %d, want 0", c)
+	}
+}
+
+func TestTagConflictReallocates(t *testing.T) {
+	p := New(Config{Entries: 16, TagBits: 8})
+	// Two PCs with the same index (word stride 16) but different tags.
+	a := uint64(0x0) << 2
+	b := uint64(16) << 2
+	p.Update(a, true)
+	p.Update(a, true)
+	if c := p.Lookup(a); c != 2 {
+		t.Fatalf("confidence(a) = %d, want 2", c)
+	}
+	// Training b evicts a's entry.
+	p.Update(b, true)
+	if c := p.Lookup(b); c != 1 {
+		t.Fatalf("confidence(b) = %d, want 1 (fresh entry + one miss)", c)
+	}
+	if c := p.Lookup(a); c != 0 {
+		t.Fatalf("confidence(a) after conflict = %d, want 0 (tag miss)", c)
+	}
+}
+
+func TestInitialConfidenceSeedsNewEntries(t *testing.T) {
+	p := New(Config{Entries: 16, TagBits: 8, InitialConfidence: 2})
+	p.Update(0x40, false) // allocate at 2, decrement to 1
+	if c := p.Lookup(0x40); c != 1 {
+		t.Fatalf("confidence = %d, want 1", c)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(Config{})
+	p.Update(0x40, true)
+	p.Lookup(0x40)
+	p.Reset()
+	if c := p.Lookup(0x40); c != 0 {
+		t.Fatal("state survived reset")
+	}
+	if lookups, _ := p.Stats(); lookups != 1 {
+		t.Fatalf("stats not reset: lookups = %d", lookups)
+	}
+}
+
+func TestNewPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted non-power-of-two entries")
+		}
+	}()
+	New(Config{Entries: 1000})
+}
+
+func TestCoverageMeter(t *testing.T) {
+	var m CoverageMeter
+	// 10 loads at conf 0 (1 miss), 5 at conf 2 (4 misses), 5 at conf 3
+	// (5 misses).
+	for i := 0; i < 10; i++ {
+		m.Record(0, i == 0)
+	}
+	for i := 0; i < 5; i++ {
+		m.Record(2, i < 4)
+	}
+	for i := 0; i < 5; i++ {
+		m.Record(3, true)
+	}
+	loads, misses := m.Totals()
+	if loads != 20 || misses != 10 {
+		t.Fatalf("totals = (%d,%d), want (20,10)", loads, misses)
+	}
+	if got := m.Coverage(0); got != 1.0 {
+		t.Errorf("Coverage(0) = %v, want 1", got)
+	}
+	if got := m.Coverage(2); got != 0.9 {
+		t.Errorf("Coverage(2) = %v, want 0.9", got)
+	}
+	if got := m.Coverage(3); got != 0.5 {
+		t.Errorf("Coverage(3) = %v, want 0.5", got)
+	}
+	if got := m.PredictedFraction(2); got != 0.5 {
+		t.Errorf("PredictedFraction(2) = %v, want 0.5", got)
+	}
+	if got := m.PredictedFraction(3); got != 0.25 {
+		t.Errorf("PredictedFraction(3) = %v, want 0.25", got)
+	}
+}
+
+func TestCoverageMeterEmpty(t *testing.T) {
+	var m CoverageMeter
+	if m.Coverage(1) != 0 || m.PredictedFraction(1) != 0 {
+		t.Fatal("empty meter must report 0")
+	}
+}
+
+// Property: coverage and predicted fraction are monotonically
+// non-increasing in the threshold — raising the confidence bar can only
+// shrink both sets. This is the structural fact behind Figure 9.
+func TestQuickMonotoneInThreshold(t *testing.T) {
+	f := func(events []struct {
+		Conf   uint8
+		Missed bool
+	}) bool {
+		var m CoverageMeter
+		for _, e := range events {
+			m.Record(Confidence(e.Conf)%(MaxConfidence+1), e.Missed)
+		}
+		for th := Confidence(1); th <= MaxConfidence; th++ {
+			if m.Coverage(th) > m.Coverage(th-1) {
+				return false
+			}
+			if m.PredictedFraction(th) > m.PredictedFraction(th-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: confidence is always within the 2-bit range whatever the
+// training sequence.
+func TestQuickConfidenceBounds(t *testing.T) {
+	p := New(Config{Entries: 64, TagBits: 6})
+	f := func(pcSeed uint16, missed bool) bool {
+		pc := uint64(pcSeed) << 2
+		p.Update(pc, missed)
+		c := p.Lookup(pc)
+		return c <= MaxConfidence
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

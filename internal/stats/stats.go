@@ -1,0 +1,187 @@
+// Package stats provides the measurement primitives the simulator and
+// the experiment harness share: histograms (Figure 3's propagation-depth
+// distribution), ratio helpers, and plain-text table rendering for the
+// paper-reproduction output.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts non-negative integer samples (e.g. wavefront
+// propagation depths). The zero value is ready to use.
+type Histogram struct {
+	counts map[int]uint64
+	n      uint64
+	sum    uint64
+	max    int
+}
+
+// Add records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]uint64)
+	}
+	h.counts[v]++
+	h.n++
+	h.sum += uint64(v)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Max returns the largest sample seen (0 when empty).
+func (h *Histogram) Max() int { return h.max }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Count returns how many samples equal v.
+func (h *Histogram) Count(v int) uint64 { return h.counts[v] }
+
+// Quantile returns the smallest sample value q of the mass lies at or
+// below, for q in [0,1].
+func (h *Histogram) Quantile(q float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	target := uint64(q * float64(h.n))
+	var acc uint64
+	for _, k := range keys {
+		acc += h.counts[k]
+		if acc > target {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// CumulativeAtMost returns the fraction of samples <= v.
+func (h *Histogram) CumulativeAtMost(v int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	var acc uint64
+	for k, c := range h.counts {
+		if k <= v {
+			acc += c
+		}
+	}
+	return float64(acc) / float64(h.n)
+}
+
+// Buckets returns the histogram binned into power-of-two buckets
+// [1,2), [2,4), [4,8)… plus a zero bucket, as (upper-bound, count)
+// pairs. This is the Figure 3 presentation.
+func (h *Histogram) Buckets() []Bucket {
+	if h.n == 0 {
+		return nil
+	}
+	var out []Bucket
+	out = append(out, Bucket{Upper: 0, Count: h.counts[0]})
+	for lo := 1; lo <= h.max; lo *= 2 {
+		hi := lo * 2
+		var c uint64
+		for k, cnt := range h.counts {
+			if k >= lo && k < hi {
+				c += cnt
+			}
+		}
+		out = append(out, Bucket{Upper: hi - 1, Count: c})
+	}
+	return out
+}
+
+// Bucket is one power-of-two histogram bin; Upper is its inclusive
+// upper bound.
+type Bucket struct {
+	Upper int
+	Count uint64
+}
+
+// Ratio returns a/b, or 0 when b is zero — the safe form for
+// rate-per-event statistics.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Table renders aligned plain-text tables for the experiment harness.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("zero-value histogram not empty")
+	}
+	for _, v := range []int{1, 2, 2, 3, 8} {
+		h.Add(v)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Max() != 8 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if h.Mean() != 16.0/5 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Count(2) != 2 {
+		t.Fatalf("Count(2) = %d", h.Count(2))
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-5)
+	if h.Count(0) != 1 {
+		t.Fatal("negative sample not clamped to 0")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(i)
+	}
+	if q := h.Quantile(0.5); q < 50 || q > 51 {
+		t.Fatalf("median = %d", q)
+	}
+	if q := h.Quantile(0.99); q < 99 {
+		t.Fatalf("p99 = %d", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("p0 = %d", q)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	var h Histogram
+	for _, v := range []int{1, 2, 3, 4} {
+		h.Add(v)
+	}
+	if got := h.CumulativeAtMost(2); got != 0.5 {
+		t.Fatalf("CumulativeAtMost(2) = %v", got)
+	}
+	if got := h.CumulativeAtMost(100); got != 1.0 {
+		t.Fatalf("CumulativeAtMost(100) = %v", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int{0, 1, 2, 3, 5, 9} {
+		h.Add(v)
+	}
+	bks := h.Buckets()
+	// zero bucket + [1,1] [2,3] [4,7] [8,15]
+	if len(bks) != 5 {
+		t.Fatalf("buckets = %v", bks)
+	}
+	wantCounts := []uint64{1, 1, 2, 1, 1}
+	var total uint64
+	for i, b := range bks {
+		if b.Count != wantCounts[i] {
+			t.Fatalf("bucket %d = %+v, want count %d", i, b, wantCounts[i])
+		}
+		total += b.Count
+	}
+	if total != h.N() {
+		t.Fatalf("bucket mass %d != N %d", total, h.N())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio with zero denominator must be 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Fatal("Ratio(3,4) wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("bench", "ipc")
+	tb.AddRow("mcf", 0.7061)
+	tb.AddRow("vortex", 2.1217)
+	s := tb.String()
+	if !strings.Contains(s, "bench") || !strings.Contains(s, "0.7061") {
+		t.Fatalf("render missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), s)
+	}
+	// Columns aligned: all lines start the second column at the same
+	// offset.
+	idx := strings.Index(lines[0], "ipc")
+	if !strings.HasPrefix(lines[2][idx:], "0.7061") {
+		t.Fatalf("misaligned table:\n%s", s)
+	}
+}
+
+// Property: bucket mass always equals sample count, and the histogram
+// mean is within the sample min/max envelope.
+func TestQuickHistogramInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var h Histogram
+		min, max := int(^uint(0)>>1), 0
+		for _, r := range raw {
+			v := int(r % 2048)
+			h.Add(v)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if len(raw) == 0 {
+			return h.N() == 0
+		}
+		var mass uint64
+		for _, b := range h.Buckets() {
+			mass += b.Count
+		}
+		if mass != h.N() {
+			return false
+		}
+		m := h.Mean()
+		return m >= float64(min) && m <= float64(max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, r := range raw {
+			h.Add(int(r))
+		}
+		prev := -1
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package token implements the machinery of token-based selective replay
+// (paper §4.2): a fixed pool of uniquely named tokens handed to loads
+// that are likely to incur scheduling misses, dependence vectors with one
+// bit per token that propagate through the rename table in program
+// order, and the two-wire-per-token kill bus whose four signal states are
+// given in the paper's Table 2.
+package token
+
+import (
+	"fmt"
+
+	"repro/internal/smpred"
+)
+
+// MaxTokens bounds the pool so dependence vectors fit in a word. The
+// paper uses 8 (4-wide) and 16 (8-wide) tokens.
+const MaxTokens = 64
+
+// Vector is a dependence vector: bit i set means the instruction
+// (transitively) depends on the current holder of token i. Vectors are
+// read from the rename table for each source operand, merged, and stored
+// back for the destination, all in program order — which is exactly what
+// lets this scheme tolerate data-speculation techniques that violate
+// dependence order inside the scheduler.
+type Vector uint64
+
+// Merge returns the union of two vectors (the two source operands'
+// parent-load lists).
+func (v Vector) Merge(o Vector) Vector { return v | o }
+
+// With returns v with token id's bit set (the token head marks itself).
+func (v Vector) With(id int) Vector { return v | 1<<uint(id) }
+
+// Without returns v with token id's bit cleared (complete or reclaim
+// broadcast observed).
+func (v Vector) Without(id int) Vector { return v &^ (1 << uint(id)) }
+
+// Has reports whether token id's bit is set.
+func (v Vector) Has(id int) bool { return v&(1<<uint(id)) != 0 }
+
+// Empty reports whether no token bits remain; per §4.2 an instruction
+// whose vector is empty may release its issue-queue entry once issued.
+func (v Vector) Empty() bool { return v == 0 }
+
+// Count returns the number of distinct parent tokens tracked.
+func (v Vector) Count() int {
+	n := 0
+	for x := v; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// BusState is one of the four two-wire signal states of Table 2.
+type BusState uint8
+
+const (
+	// BusIdle (00): no event for this token this cycle.
+	BusIdle BusState = iota
+	// BusKill (01): the token head was mis-scheduled; dependents clear
+	// the ready bits of operands carrying this token.
+	BusKill
+	// BusComplete (10): the token head completed successfully; dependents
+	// clear the token's bit and may release their issue entry when the
+	// vector empties.
+	BusComplete
+	// BusReclaim (11): the token name is being reassigned; dependents
+	// clear the bit, and the old head drops its token_ID/head fields.
+	BusReclaim
+)
+
+// String names the bus state as in Table 2.
+func (s BusState) String() string {
+	switch s {
+	case BusIdle:
+		return "idle"
+	case BusKill:
+		return "kill"
+	case BusComplete:
+		return "complete"
+	default:
+		return "reclaim"
+	}
+}
+
+// Allocator manages the fixed pool of token names. The allocation policy
+// is the paper's: eagerly hand a token to any load if one is free, even
+// at low confidence; when the pool is exhausted, steal the token of the
+// lowest-confidence current holder if the new load's confidence is
+// strictly higher (broadcasting reclaim so stale vector bits are
+// cleared).
+type Allocator struct {
+	n       int
+	holder  []int64             // holder[i] = seq of token i's head, -1 if free
+	conf    []smpred.Confidence // confidence the holder was allocated at
+	free    []int               // free token ids (LIFO)
+	allocs  uint64
+	steals  uint64
+	refused uint64
+}
+
+// NewAllocator creates a pool of n tokens (1..MaxTokens).
+func NewAllocator(n int) *Allocator {
+	if n <= 0 || n > MaxTokens {
+		panic(fmt.Sprintf("token: pool size %d out of range 1..%d", n, MaxTokens))
+	}
+	a := &Allocator{
+		n:      n,
+		holder: make([]int64, n),
+		conf:   make([]smpred.Confidence, n),
+		free:   make([]int, 0, n),
+	}
+	for i := n - 1; i >= 0; i-- {
+		a.holder[i] = -1
+		a.free = append(a.free, i)
+	}
+	return a
+}
+
+// Size returns the pool size.
+func (a *Allocator) Size() int { return a.n }
+
+// Allocate tries to give the load at seq a token. It returns the token
+// id, whether a token was granted, and, when the grant stole an in-use
+// token, the previous holder's sequence number (stolenFrom >= 0) so the
+// pipeline can broadcast reclaim and strip the old head.
+func (a *Allocator) Allocate(seq int64, conf smpred.Confidence) (id int, ok bool, stolenFrom int64) {
+	if len(a.free) > 0 {
+		id = a.free[len(a.free)-1]
+		a.free = a.free[:len(a.free)-1]
+		a.holder[id] = seq
+		a.conf[id] = conf
+		a.allocs++
+		return id, true, -1
+	}
+	// Pool exhausted: steal from the lowest-confidence holder if we
+	// beat it strictly. High-confidence holders (2,3) are never
+	// victims: they are the likely miss-heads the pool exists for, and
+	// reclaiming one forfeits the selective recovery it was bought for.
+	victim, victimConf := -1, smpred.MaxConfidence+1
+	for i := 0; i < a.n; i++ {
+		if a.conf[i] < victimConf {
+			victim, victimConf = i, a.conf[i]
+		}
+	}
+	if victim >= 0 && conf > victimConf && victimConf <= 1 {
+		prev := a.holder[victim]
+		a.holder[victim] = seq
+		a.conf[victim] = conf
+		a.allocs++
+		a.steals++
+		return victim, true, prev
+	}
+	a.refused++
+	return 0, false, -1
+}
+
+// Release returns token id to the pool when its head completes (or is
+// squashed). Releasing a free token is a programming error and panics.
+func (a *Allocator) Release(id int) {
+	if id < 0 || id >= a.n || a.holder[id] < 0 {
+		panic(fmt.Sprintf("token: release of invalid or free token %d", id))
+	}
+	a.holder[id] = -1
+	a.conf[id] = 0
+	a.free = append(a.free, id)
+}
+
+// Holder returns the sequence number holding token id, or -1.
+func (a *Allocator) Holder(id int) int64 {
+	if id < 0 || id >= a.n {
+		return -1
+	}
+	return a.holder[id]
+}
+
+// InUse returns how many tokens are currently held.
+func (a *Allocator) InUse() int { return a.n - len(a.free) }
+
+// Stats returns allocation, steal and refusal counts.
+func (a *Allocator) Stats() (allocs, steals, refused uint64) {
+	return a.allocs, a.steals, a.refused
+}
+
+// Reset returns every token to the pool and clears statistics.
+func (a *Allocator) Reset() {
+	a.free = a.free[:0]
+	for i := a.n - 1; i >= 0; i-- {
+		a.holder[i] = -1
+		a.conf[i] = 0
+		a.free = append(a.free, i)
+	}
+	a.allocs, a.steals, a.refused = 0, 0, 0
+}

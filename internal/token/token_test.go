@@ -1,0 +1,216 @@
+package token
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/smpred"
+)
+
+func TestVectorOps(t *testing.T) {
+	var v Vector
+	if !v.Empty() {
+		t.Fatal("zero vector must be empty")
+	}
+	v = v.With(3).With(7)
+	if !v.Has(3) || !v.Has(7) || v.Has(0) {
+		t.Fatal("With/Has broken")
+	}
+	if v.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", v.Count())
+	}
+	v = v.Without(3)
+	if v.Has(3) || !v.Has(7) {
+		t.Fatal("Without broken")
+	}
+	other := Vector(0).With(1)
+	m := v.Merge(other)
+	if !m.Has(1) || !m.Has(7) || m.Count() != 2 {
+		t.Fatal("Merge broken")
+	}
+}
+
+// Property: merge is commutative, associative, idempotent, and never
+// drops a parent token — the algebra that makes program-order rename
+// propagation correct.
+func TestQuickVectorMergeAlgebra(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		va, vb, vc := Vector(a), Vector(b), Vector(c)
+		if va.Merge(vb) != vb.Merge(va) {
+			return false
+		}
+		if va.Merge(vb).Merge(vc) != va.Merge(vb.Merge(vc)) {
+			return false
+		}
+		if va.Merge(va) != va {
+			return false
+		}
+		m := va.Merge(vb)
+		return m&va == va && m&vb == vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusStateStrings(t *testing.T) {
+	want := map[BusState]string{
+		BusIdle: "idle", BusKill: "kill", BusComplete: "complete", BusReclaim: "reclaim",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("BusState(%d) = %q, want %q", s, s.String(), name)
+		}
+	}
+}
+
+func TestAllocatorBasic(t *testing.T) {
+	a := NewAllocator(2)
+	id1, ok, stolen := a.Allocate(100, 0)
+	if !ok || stolen != -1 {
+		t.Fatal("first allocation failed")
+	}
+	id2, ok, _ := a.Allocate(101, 1)
+	if !ok || id2 == id1 {
+		t.Fatal("second allocation failed or duplicated id")
+	}
+	if a.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", a.InUse())
+	}
+	if a.Holder(id1) != 100 || a.Holder(id2) != 101 {
+		t.Fatal("holder bookkeeping wrong")
+	}
+}
+
+func TestAllocatorStealPolicy(t *testing.T) {
+	a := NewAllocator(1)
+	id, ok, _ := a.Allocate(1, 1)
+	if !ok {
+		t.Fatal("allocation failed")
+	}
+	// Equal confidence must NOT steal (strictly higher required).
+	if _, ok, _ := a.Allocate(2, 1); ok {
+		t.Fatal("equal-confidence steal should be refused")
+	}
+	// Higher confidence steals and reports the victim.
+	id2, ok, stolen := a.Allocate(3, 3)
+	if !ok || id2 != id || stolen != 1 {
+		t.Fatalf("steal = (id=%d ok=%v stolen=%d), want (id=%d, true, 1)", id2, ok, stolen, id)
+	}
+	if a.Holder(id) != 3 {
+		t.Fatal("holder not updated after steal")
+	}
+	_, steals, refused := a.Stats()
+	if steals != 1 || refused != 1 {
+		t.Fatalf("stats = steals %d refused %d, want 1,1", steals, refused)
+	}
+}
+
+func TestAllocatorRelease(t *testing.T) {
+	a := NewAllocator(1)
+	id, _, _ := a.Allocate(5, 2)
+	a.Release(id)
+	if a.InUse() != 0 {
+		t.Fatal("release did not free token")
+	}
+	if a.Holder(id) != -1 {
+		t.Fatal("holder not cleared")
+	}
+	// Double release panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	a.Release(id)
+}
+
+func TestAllocatorLowConfidenceEagerGrant(t *testing.T) {
+	// The paper's policy allocates eagerly even at confidence 0 while
+	// tokens are free.
+	a := NewAllocator(4)
+	for i := int64(0); i < 4; i++ {
+		if _, ok, _ := a.Allocate(i, 0); !ok {
+			t.Fatalf("eager allocation %d refused", i)
+		}
+	}
+}
+
+func TestAllocatorReset(t *testing.T) {
+	a := NewAllocator(3)
+	a.Allocate(1, 1)
+	a.Allocate(2, 2)
+	a.Reset()
+	if a.InUse() != 0 {
+		t.Fatal("reset did not free tokens")
+	}
+	if allocs, _, _ := a.Stats(); allocs != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+	// All tokens allocatable again with unique ids.
+	seen := map[int]bool{}
+	for i := int64(0); i < 3; i++ {
+		id, ok, _ := a.Allocate(i, 0)
+		if !ok || seen[id] {
+			t.Fatal("tokens not reusable after reset")
+		}
+		seen[id] = true
+	}
+}
+
+func TestNewAllocatorBounds(t *testing.T) {
+	for _, n := range []int{0, -1, MaxTokens + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewAllocator(%d) did not panic", n)
+				}
+			}()
+			NewAllocator(n)
+		}()
+	}
+}
+
+// Property: the allocator never hands out two live tokens with the same
+// id, and InUse never exceeds the pool size, across arbitrary
+// allocate/release interleavings.
+func TestQuickAllocatorUniqueness(t *testing.T) {
+	type op struct {
+		Alloc bool
+		Conf  uint8
+	}
+	f := func(ops []op) bool {
+		a := NewAllocator(8)
+		live := map[int]int64{} // id -> seq
+		seq := int64(0)
+		for _, o := range ops {
+			if o.Alloc {
+				seq++
+				id, ok, stolen := a.Allocate(seq, smpred.Confidence(o.Conf)%4)
+				if !ok {
+					continue
+				}
+				if prev, exists := live[id]; exists {
+					// Only legal if this was a steal of that holder.
+					if stolen != prev {
+						return false
+					}
+				}
+				live[id] = seq
+			} else {
+				for id := range live {
+					a.Release(id)
+					delete(live, id)
+					break
+				}
+			}
+			if a.InUse() != len(live) || a.InUse() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package trace serializes instruction streams to a compact binary
+// format and replays them into the simulator. Recorded traces decouple
+// workload generation from simulation: a trace captured once (from the
+// synthetic generator or converted from an external tool) replays
+// bit-identically, and trace files make workloads inspectable and
+// portable.
+//
+// Format (version 1): the magic header "SRTRACE1", then one record per
+// instruction. Each record is a class byte, a flag byte, and a sequence
+// of unsigned varints (PC, source-operand distances, address, branch
+// target). Sequence numbers are implicit (dense from 0) and source
+// operands are stored as distances (seq - src), which keeps typical
+// records under ten bytes.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// magic identifies version 1 trace files.
+const magic = "SRTRACE1"
+
+// Record flags.
+const (
+	flagSrc1 = 1 << iota
+	flagSrc2
+	flagTaken
+	flagValueRepeat
+	flagAddr
+	flagTarget
+)
+
+// Writer streams instructions to a trace file.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWriter writes the header and returns a Writer. Call Flush when
+// done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one instruction. Instructions must arrive in sequence
+// order (dense from 0); Write validates and rejects gaps.
+func (t *Writer) Write(in isa.Inst) error {
+	if t.err != nil {
+		return t.err
+	}
+	if in.Seq != t.n {
+		t.err = fmt.Errorf("trace: out-of-order write: got seq %d, want %d", in.Seq, t.n)
+		return t.err
+	}
+	if err := in.Validate(); err != nil {
+		t.err = fmt.Errorf("trace: %w", err)
+		return t.err
+	}
+
+	var flags byte
+	if in.Src1 >= 0 {
+		flags |= flagSrc1
+	}
+	if in.Src2 >= 0 {
+		flags |= flagSrc2
+	}
+	if in.Taken {
+		flags |= flagTaken
+	}
+	if in.ValueRepeat {
+		flags |= flagValueRepeat
+	}
+	if in.Addr != 0 {
+		flags |= flagAddr
+	}
+	if in.Target != 0 {
+		flags |= flagTarget
+	}
+
+	var buf [2 + 6*binary.MaxVarintLen64]byte
+	buf[0] = byte(in.Class)
+	buf[1] = flags
+	n := 2
+	n += binary.PutUvarint(buf[n:], in.PC)
+	if flags&flagSrc1 != 0 {
+		n += binary.PutUvarint(buf[n:], uint64(in.Seq-in.Src1))
+	}
+	if flags&flagSrc2 != 0 {
+		n += binary.PutUvarint(buf[n:], uint64(in.Seq-in.Src2))
+	}
+	if flags&flagAddr != 0 {
+		n += binary.PutUvarint(buf[n:], in.Addr)
+	}
+	if flags&flagTarget != 0 {
+		n += binary.PutUvarint(buf[n:], in.Target)
+	}
+	if _, err := t.w.Write(buf[:n]); err != nil {
+		t.err = fmt.Errorf("trace: %w", err)
+		return t.err
+	}
+	t.n++
+	return nil
+}
+
+// Count returns how many instructions have been written.
+func (t *Writer) Count() int64 { return t.n }
+
+// Flush drains buffered output.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader decodes a trace file sequentially.
+type Reader struct {
+	r   *bufio.Reader
+	n   int64
+	err error
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next instruction, or io.EOF at the end of the
+// trace.
+func (t *Reader) Read() (isa.Inst, error) {
+	if t.err != nil {
+		return isa.Inst{}, t.err
+	}
+	classB, err := t.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			t.err = io.EOF
+			return isa.Inst{}, io.EOF
+		}
+		t.err = fmt.Errorf("trace: %w", err)
+		return isa.Inst{}, t.err
+	}
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		t.err = fmt.Errorf("trace: truncated record: %w", err)
+		return isa.Inst{}, t.err
+	}
+	in := isa.Inst{Seq: t.n, Class: isa.Class(classB), Src1: -1, Src2: -1}
+	read := func() uint64 {
+		if t.err != nil {
+			return 0
+		}
+		v, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			t.err = fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return v
+	}
+	in.PC = read()
+	if flags&flagSrc1 != 0 {
+		in.Src1 = in.Seq - int64(read())
+	}
+	if flags&flagSrc2 != 0 {
+		in.Src2 = in.Seq - int64(read())
+	}
+	if flags&flagAddr != 0 {
+		in.Addr = read()
+	}
+	if flags&flagTarget != 0 {
+		in.Target = read()
+	}
+	in.Taken = flags&flagTaken != 0
+	in.ValueRepeat = flags&flagValueRepeat != 0
+	if t.err != nil {
+		return isa.Inst{}, t.err
+	}
+	if err := in.Validate(); err != nil {
+		t.err = fmt.Errorf("trace: record %d: %w", t.n, err)
+		return isa.Inst{}, t.err
+	}
+	t.n++
+	return in, nil
+}
+
+// ReadAll decodes the remainder of the trace.
+func (t *Reader) ReadAll() ([]isa.Inst, error) {
+	var out []isa.Inst
+	for {
+		in, err := t.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, in)
+	}
+}
+
+// Loop adapts a fully decoded trace into an endless workload.Stream by
+// repeating it; sequence numbers continue densely across repetitions
+// and dependence distances are preserved (clamped at the trace start so
+// early iterations never reference the future or pre-trace producers
+// incorrectly).
+type Loop struct {
+	insts []isa.Inst
+	pos   int
+	base  int64
+}
+
+// NewLoop wraps a decoded trace. It panics on an empty trace (static
+// misuse).
+func NewLoop(insts []isa.Inst) *Loop {
+	if len(insts) == 0 {
+		panic("trace: empty trace cannot loop")
+	}
+	return &Loop{insts: insts}
+}
+
+// Next implements workload.Stream.
+func (l *Loop) Next() isa.Inst {
+	in := l.insts[l.pos]
+	seq := l.base + int64(l.pos)
+	remap := func(src int64) int64 {
+		if src < 0 {
+			return -1
+		}
+		d := int64(l.pos) - src // distance within the recorded trace
+		if d <= 0 {
+			return -1
+		}
+		s := seq - d
+		if s < 0 {
+			return -1
+		}
+		return s
+	}
+	in.Src1 = remap(in.Src1)
+	in.Src2 = remap(in.Src2)
+	in.Seq = seq
+	l.pos++
+	if l.pos == len(l.insts) {
+		l.pos = 0
+		l.base = seq + 1
+	}
+	return in
+}

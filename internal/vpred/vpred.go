@@ -1,0 +1,143 @@
+// Package vpred implements a load value predictor in the style of
+// Lipasti, Wilkerson and Shen (ASPLOS 1996) — the data-speculation
+// technique the paper's §3.5 uses to motivate token-based selective
+// replay: value prediction collapses true data dependences, letting
+// dependents execute before their source load finishes, and makes the
+// verification delay non-deterministic (a mispredicted value is only
+// discovered when the load's memory access completes, cache misses
+// included). Timing-based replay schemes cannot recover such
+// speculation; rename-order schemes (token-based, re-insert) can.
+//
+// Values themselves are not simulated; the workload generator marks
+// each dynamic load with whether its value repeats its site's last
+// value (value locality), and this predictor models the hardware that
+// exploits it: a PC-indexed, tagged last-value table with 2-bit
+// confidence, predicting only above a confidence threshold.
+package vpred
+
+// Config sizes the predictor.
+type Config struct {
+	// Entries is the table size; a power of two (default 4096).
+	Entries int
+	// TagBits is how many PC bits are kept as a tag (default 10).
+	TagBits int
+	// Threshold is the confidence (0..3) required to use a prediction
+	// (default 3: predict only when saturated, the standard
+	// high-accuracy operating point).
+	Threshold uint8
+}
+
+// Default returns a 4k-entry tagged predictor that predicts at
+// saturated confidence.
+func Default() Config {
+	return Config{Entries: 4096, TagBits: 10, Threshold: 3}
+}
+
+type entry struct {
+	tag   uint64
+	valid bool
+	conf  uint8
+}
+
+// Predictor is the confidence-gated last-value predictor. The zero
+// value is unusable; construct with New.
+type Predictor struct {
+	cfg     Config
+	table   []entry
+	idxMask uint64
+	tagMask uint64
+
+	lookups     uint64
+	predictions uint64
+	correct     uint64
+}
+
+// New builds a predictor; zero config fields take defaults. Panics on a
+// non-power-of-two size (static configuration error).
+func New(cfg Config) *Predictor {
+	def := Default()
+	if cfg.Entries == 0 {
+		cfg.Entries = def.Entries
+	}
+	if cfg.TagBits == 0 {
+		cfg.TagBits = def.TagBits
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = def.Threshold
+	}
+	if cfg.Entries&(cfg.Entries-1) != 0 {
+		panic("vpred: entry count must be a power of two")
+	}
+	return &Predictor{
+		cfg:     cfg,
+		table:   make([]entry, cfg.Entries),
+		idxMask: uint64(cfg.Entries - 1),
+		tagMask: (1 << uint(cfg.TagBits)) - 1,
+	}
+}
+
+func (p *Predictor) slot(pc uint64) (int, uint64) {
+	w := pc >> 2
+	idx := int(w & p.idxMask)
+	var bits int
+	for m := p.idxMask; m != 0; m >>= 1 {
+		bits++
+	}
+	return idx, (w >> uint(bits)) & p.tagMask
+}
+
+// Predict reports whether the load at pc should use its predicted
+// value this time.
+func (p *Predictor) Predict(pc uint64) bool {
+	p.lookups++
+	i, tag := p.slot(pc)
+	e := p.table[i]
+	return e.valid && e.tag == tag && e.conf >= p.cfg.Threshold
+}
+
+// Update trains the entry with whether the load's value matched its
+// site's previous value (i.e. whether a prediction would have been
+// correct), and whether a prediction was actually consumed.
+func (p *Predictor) Update(pc uint64, wouldHit, predicted bool) {
+	i, tag := p.slot(pc)
+	e := &p.table[i]
+	if !e.valid || e.tag != tag {
+		*e = entry{tag: tag, valid: true}
+	}
+	if wouldHit {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		// Mispredictions are expensive; reset rather than decay, the
+		// usual last-value-predictor policy.
+		e.conf = 0
+	}
+	if predicted {
+		p.predictions++
+		if wouldHit {
+			p.correct++
+		}
+	}
+}
+
+// Stats returns lookups, consumed predictions, and correct ones.
+func (p *Predictor) Stats() (lookups, predictions, correct uint64) {
+	return p.lookups, p.predictions, p.correct
+}
+
+// Accuracy returns correct/consumed predictions (0 when none).
+func (p *Predictor) Accuracy() float64 {
+	if p.predictions == 0 {
+		return 0
+	}
+	return float64(p.correct) / float64(p.predictions)
+}
+
+// Reset clears table and statistics.
+func (p *Predictor) Reset() {
+	for i := range p.table {
+		p.table[i] = entry{}
+	}
+	p.lookups, p.predictions, p.correct = 0, 0, 0
+}

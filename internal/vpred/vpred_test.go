@@ -1,0 +1,117 @@
+package vpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdNeverPredicts(t *testing.T) {
+	p := New(Config{})
+	if p.Predict(0x400000) {
+		t.Fatal("cold entry predicted")
+	}
+}
+
+func TestConfidenceGate(t *testing.T) {
+	p := New(Config{})
+	pc := uint64(0x400100)
+	// Three hits: confidence 3 -> predict.
+	for i := 0; i < 3; i++ {
+		if p.Predict(pc) {
+			t.Fatalf("predicted at confidence %d", i)
+		}
+		p.Update(pc, true, false)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("saturated entry did not predict")
+	}
+	// One miss resets to zero.
+	p.Update(pc, false, true)
+	if p.Predict(pc) {
+		t.Fatal("predicted right after a misprediction reset")
+	}
+}
+
+func TestLowerThreshold(t *testing.T) {
+	p := New(Config{Threshold: 1})
+	pc := uint64(0x88)
+	p.Update(pc, true, false)
+	if !p.Predict(pc) {
+		t.Fatal("threshold-1 predictor should predict after one hit")
+	}
+}
+
+func TestTagConflict(t *testing.T) {
+	p := New(Config{Entries: 16, TagBits: 8})
+	a, b := uint64(0)<<2, uint64(16)<<2 // same index, different tags
+	for i := 0; i < 3; i++ {
+		p.Update(a, true, false)
+	}
+	if !p.Predict(a) {
+		t.Fatal("a should predict")
+	}
+	p.Update(b, true, false) // evicts a
+	if p.Predict(a) {
+		t.Fatal("a predicted after eviction")
+	}
+}
+
+func TestAccuracyAccounting(t *testing.T) {
+	p := New(Config{})
+	pc := uint64(0x40)
+	for i := 0; i < 3; i++ {
+		p.Update(pc, true, false)
+	}
+	p.Update(pc, true, true)
+	p.Update(pc, false, true)
+	if got := p.Accuracy(); got != 0.5 {
+		t.Fatalf("accuracy %v, want 0.5", got)
+	}
+	_, preds, correct := p.Stats()
+	if preds != 2 || correct != 1 {
+		t.Fatalf("stats (%d,%d)", preds, correct)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 4; i++ {
+		p.Update(0x40, true, true)
+	}
+	p.Reset()
+	if p.Predict(0x40) {
+		t.Fatal("state survived reset")
+	}
+	if _, preds, _ := p.Stats(); preds != 0 {
+		t.Fatal("stats survived reset")
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two table")
+		}
+	}()
+	New(Config{Entries: 100})
+}
+
+// Property: a stream of consistent hits at one PC eventually predicts;
+// any misprediction immediately stops prediction.
+func TestQuickResetSemantics(t *testing.T) {
+	f := func(pcSeed uint16, pattern []bool) bool {
+		p := New(Config{Entries: 64, TagBits: 6})
+		pc := uint64(pcSeed) << 2
+		for _, hit := range pattern {
+			predicted := p.Predict(pc)
+			p.Update(pc, hit, predicted)
+			if !hit && p.Predict(pc) {
+				return false // must not predict right after a miss
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,378 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Data region bases; disjoint high bits keep the regions from aliasing
+// in caches by construction.
+const (
+	hotBase  = 0x1000_0000
+	warmBase = 0x2000_0000
+	coldBase = 0x4000_0000
+	lineSize = 64
+)
+
+// ringSize bounds how far back dependence edges can reach, mimicking a
+// finite architectural register file whose values get overwritten.
+const ringSize = 64
+
+// ctrlSeedMix decorrelates the control-flow RNG from the data RNG.
+const ctrlSeedMix = 0x5deece66d
+
+// valueSeedMix decorrelates the value-locality RNG.
+const valueSeedMix = 0x2545f4914f6cdd1d
+
+// Stream supplies dynamic instructions to the simulator.
+type Stream interface {
+	// Next returns the next dynamic instruction.
+	Next() isa.Inst
+}
+
+// Generator expands a Profile into a deterministic dynamic instruction
+// stream. It implements Stream. The same (profile, seed) pair always
+// produces the same stream.
+type Generator struct {
+	prof Profile
+	rng  *rand.Rand
+	// ctrlRng drives branch outcomes (and nothing else), so the
+	// control-flow trajectory is independent of data-model sampling and
+	// exactly reproducible by the calibration pre-pass.
+	ctrlRng *rand.Rand
+	// valueRng drives value-locality outcomes on its own stream so that
+	// enabling value-prediction modeling does not perturb the calibrated
+	// address/dependence stream.
+	valueRng *rand.Rand
+	slots    []staticSlot
+
+	cursor int
+	seq    int64
+
+	// producers is a ring of recent value-producing sequence numbers.
+	producers [ringSize]int64
+	nProd     int
+	prodHead  int
+
+	// recentLoads/recentStores feed store-data and alias correlations.
+	recentLoads  [16]int64
+	nLoads       int
+	loadHead     int
+	recentStores [16]struct {
+		seq  int64
+		addr uint64
+	}
+	nStores   int
+	storeHead int
+
+	coldPtr uint64
+
+	// lastInstance tracks the previous dynamic seq of each recurrent
+	// slot, the loop-carried dependence.
+	lastInstance map[int]int64
+
+	// missy-vs-clean region probabilities, precomputed from the profile.
+	pColdWarmMissy float64
+	pColdWarmClean float64
+	coldShare      float64 // cold / (cold + warm)
+}
+
+// NewGenerator builds a generator for prof with the given seed.
+func NewGenerator(prof Profile, seed int64) (*Generator, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &Generator{
+		prof:         prof,
+		rng:          rng,
+		ctrlRng:      rand.New(rand.NewSource(seed ^ ctrlSeedMix)),
+		valueRng:     rand.New(rand.NewSource(seed ^ valueSeedMix)),
+		slots:        buildStatic(prof, rng),
+		coldPtr:      coldBase,
+		lastInstance: make(map[int]int64),
+	}
+	for i := range g.producers {
+		g.producers[i] = -1
+	}
+	cw := prof.ColdFrac + prof.WarmFrac
+	if cw > 0 {
+		g.coldShare = prof.ColdFrac / cw
+	}
+	// Mark missy sites. A small set of static loads accounts for most
+	// dynamic misses (paper §4.1), and those sites still hit more than
+	// half the time (§5.4) — so each missy site references cold/warm
+	// data with a fixed per-site ratio derived from MissyBias, and the
+	// calibration pass below marks just enough dynamic load mass missy
+	// (hottest sites first: miss-prone loads live in the hot loops) for
+	// the aggregate cold+warm fraction to hit the profile target.
+	g.pColdWarmMissy = 0.45 + 0.5*prof.MissyBias
+	missyDyn := g.markMissySites(seed, cw)
+	if missyDyn < 1 {
+		g.pColdWarmClean = math.Min(0.85, (cw-missyDyn*g.pColdWarmMissy)/(1-missyDyn))
+		if g.pColdWarmClean < 0 {
+			g.pColdWarmClean = 0
+		}
+	}
+	return g, nil
+}
+
+// markMissySites measures per-site dynamic load frequency with a dry
+// control-flow walk (separate RNG; generator state untouched), then
+// marks the most frequently visited load sites missy until the missy
+// share of dynamic loads reaches MissyBias*cw/pColdWarmMissy. It
+// returns the dynamic missy share actually reached.
+func (g *Generator) markMissySites(seed int64, cw float64) float64 {
+	// Same control-flow RNG seed as the real walk: the pre-pass visits
+	// exactly the sites the simulation will.
+	rng := rand.New(rand.NewSource(seed ^ ctrlSeedMix))
+	visits := make(map[int]int) // slot index -> dynamic load visits
+	cursor := 0
+	loads := 0
+	const walk = 120_000
+	for i := 0; i < walk; i++ {
+		slot := &g.slots[cursor]
+		if slot.class == isa.Load {
+			visits[cursor]++
+			loads++
+		}
+		if slot.class == isa.Branch && rng.Float64() < slot.takenBias {
+			cursor = slot.targetSlot
+		} else {
+			cursor = (cursor + 1) % len(g.slots)
+		}
+	}
+	if loads == 0 || cw == 0 {
+		return 0
+	}
+	target := g.prof.MissyBias * cw / g.pColdWarmMissy
+	if target > 0.9 {
+		target = 0.9
+	}
+	// Hottest sites first; ties broken by slot index for determinism.
+	idx := make([]int, 0, len(visits))
+	for s := range visits {
+		idx = append(idx, s)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if visits[idx[a]] != visits[idx[b]] {
+			return visits[idx[a]] > visits[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	// Greedy knapsack: take the largest sites that still fit, so the
+	// marked mass lands on the target without a single hot site
+	// overshooting it by an order of magnitude.
+	budget := int(target * float64(loads))
+	marked := 0
+	for _, s := range idx {
+		if marked >= budget {
+			break
+		}
+		if v := visits[s]; marked+v <= budget+budget/5 {
+			g.slots[s].missy = true
+			marked += v
+		}
+	}
+	// Fill pass: if chunky hot sites left the budget badly under-used,
+	// take the smallest sites (ascending) until close; a small overshoot
+	// beats spilling miss mass onto unpredictable clean sites.
+	for i := len(idx) - 1; i >= 0 && marked < budget-budget/10; i-- {
+		s := idx[i]
+		if !g.slots[s].missy {
+			g.slots[s].missy = true
+			marked += visits[s]
+		}
+	}
+	return float64(marked) / float64(loads)
+}
+
+// Profile returns the profile the generator was built from.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// Next produces the next dynamic instruction. It never fails: the
+// synthetic program is an endless walk of its static code.
+func (g *Generator) Next() isa.Inst {
+	slot := &g.slots[g.cursor]
+	in := isa.Inst{
+		Seq:   g.seq,
+		PC:    slot.pc,
+		Class: slot.class,
+		Src1:  -1,
+		Src2:  -1,
+	}
+	switch slot.class {
+	case isa.Load:
+		// Address base: usually a stable (long-ready) base register;
+		// pointer-chasing codes tie it to a recent producer.
+		if g.rng.Float64() >= g.prof.AddrReadyFrac {
+			in.Src1 = g.sampleProducer()
+		}
+		in.Addr = g.loadAddr(slot)
+		if slot.valueStable {
+			in.ValueRepeat = g.valueRng.Float64() < 0.92
+		} else {
+			in.ValueRepeat = g.valueRng.Float64() < 0.25
+		}
+	case isa.Store:
+		// Store addresses overwhelmingly use stable base registers.
+		if g.rng.Float64() >= 0.6 {
+			in.Src1 = g.sampleProducer()
+		}
+		in.Src2 = g.sampleStoreData()
+		in.Addr = g.storeAddr()
+	case isa.Branch:
+		// Roughly half of conditions test long-computed values
+		// (induction variables, flags set well in advance).
+		if g.rng.Float64() >= 0.5 {
+			in.Src1 = g.sampleProducer()
+		}
+		in.Taken = g.ctrlRng.Float64() < slot.takenBias
+		in.Target = g.slots[slot.targetSlot].pc
+	default:
+		if slot.recurrent {
+			// Loop-carried recurrence: read this site's previous
+			// instance (the induction-variable chain).
+			if prev, ok := g.lastInstance[g.cursor]; ok {
+				in.Src1 = prev
+			}
+			if g.rng.Float64() < 0.5 {
+				in.Src2 = g.sampleProducer()
+			}
+			g.lastInstance[g.cursor] = in.Seq
+		} else {
+			in.Src1 = g.sampleProducer()
+			if g.rng.Float64() < g.prof.TwoSrcFrac {
+				in.Src2 = g.sampleProducer()
+			}
+		}
+	}
+
+	// Bookkeeping for future dependences.
+	if slot.class.HasDest() {
+		g.producers[g.prodHead] = g.seq
+		g.prodHead = (g.prodHead + 1) % ringSize
+		if g.nProd < ringSize {
+			g.nProd++
+		}
+	}
+	if slot.class == isa.Load {
+		g.recentLoads[g.loadHead] = g.seq
+		g.loadHead = (g.loadHead + 1) % len(g.recentLoads)
+		if g.nLoads < len(g.recentLoads) {
+			g.nLoads++
+		}
+	}
+	if slot.class == isa.Store {
+		g.recentStores[g.storeHead] = struct {
+			seq  int64
+			addr uint64
+		}{g.seq, in.Addr}
+		g.storeHead = (g.storeHead + 1) % len(g.recentStores)
+		if g.nStores < len(g.recentStores) {
+			g.nStores++
+		}
+	}
+
+	// Advance control flow.
+	if slot.class == isa.Branch && in.Taken {
+		g.cursor = slot.targetSlot
+	} else {
+		g.cursor = (g.cursor + 1) % len(g.slots)
+	}
+	g.seq++
+	return in
+}
+
+// Generate returns the next n instructions as a slice.
+func (g *Generator) Generate(n int) []isa.Inst {
+	out := make([]isa.Inst, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// sampleProducer picks a recent value producer at a geometric distance
+// whose mean is the profile's DepMean, or -1 when the operand is
+// long-ready (or no producer exists yet).
+func (g *Generator) sampleProducer() int64 {
+	if g.nProd == 0 {
+		return -1
+	}
+	// A fraction of operands read values produced long ago (already
+	// retired); they arrive ready. The fraction shrinks as chains
+	// lengthen (small DepMean = tightly dependent code).
+	if g.rng.Float64() < 0.04*g.prof.DepMean {
+		return -1
+	}
+	d := 1 + int(g.rng.ExpFloat64()*(g.prof.DepMean-1))
+	if d > g.nProd {
+		d = g.nProd
+	}
+	idx := (g.prodHead - d + ringSize) % ringSize
+	return g.producers[idx]
+}
+
+// sampleStoreData picks the store's data producer, biased toward recent
+// loads so store-to-load chains (and thus alias scheduling misses with
+// unready data) occur at realistic rates.
+func (g *Generator) sampleStoreData() int64 {
+	if g.nLoads > 0 && g.rng.Float64() < 0.4 {
+		d := 1 + g.rng.Intn(min(4, g.nLoads))
+		idx := (g.loadHead - d + len(g.recentLoads)) % len(g.recentLoads)
+		return g.recentLoads[idx]
+	}
+	return g.sampleProducer()
+}
+
+// loadAddr picks the load's effective address according to the locality
+// model: alias a recent store, or reference the hot / warm / cold
+// region. Aliasing concentrates on the missy sites (spill/reload and
+// pointer-update idioms live in the same miss-prone code), keeping
+// store-to-load scheduling misses predictable by PC as in real codes;
+// clean sites alias only rarely.
+func (g *Generator) loadAddr(slot *staticSlot) uint64 {
+	aliasP := g.prof.AliasFrac * 0.3
+	if slot.missy {
+		aliasP = 0.12
+	}
+	if g.nStores > 0 && g.rng.Float64() < aliasP {
+		d := 1 + g.rng.Intn(min(4, g.nStores))
+		idx := (g.storeHead - d + len(g.recentStores)) % len(g.recentStores)
+		return g.recentStores[idx].addr
+	}
+	pcw := g.pColdWarmClean
+	if slot.missy {
+		pcw = g.pColdWarmMissy
+	}
+	r := g.rng.Float64()
+	switch {
+	case r < pcw*g.coldShare:
+		g.coldPtr += lineSize
+		return g.coldPtr
+	case r < pcw:
+		return warmBase + uint64(g.rng.Intn(g.prof.WarmLines))*lineSize + uint64(g.rng.Intn(8))*8
+	default:
+		return hotBase + uint64(g.rng.Intn(g.prof.HotLines))*lineSize + uint64(g.rng.Intn(8))*8
+	}
+}
+
+// storeAddr picks a store address: mostly hot, some warm — stores write
+// the active working set.
+func (g *Generator) storeAddr() uint64 {
+	if g.rng.Float64() < 0.1 {
+		return warmBase + uint64(g.rng.Intn(g.prof.WarmLines))*lineSize + uint64(g.rng.Intn(8))*8
+	}
+	return hotBase + uint64(g.rng.Intn(g.prof.HotLines))*lineSize + uint64(g.rng.Intn(8))*8
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
