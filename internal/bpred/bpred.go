@@ -196,6 +196,24 @@ func (p *Predictor) Update(pc uint64, pr Prediction, taken bool, target uint64) 
 	return mis
 }
 
+// Reset restores the predictor to its freshly constructed state so a
+// pooled machine can reuse the tables across runs.
+func (p *Predictor) Reset() {
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 1
+	}
+	for i := range p.selector {
+		p.selector[i] = 1
+	}
+	p.history = 0
+	p.btb.reset()
+	p.ras.reset()
+	p.lookups, p.mispredicts = 0, 0
+}
+
 // PushRAS records a call's return address.
 func (p *Predictor) PushRAS(retPC uint64) { p.ras.push(retPC) }
 

@@ -65,6 +65,15 @@ func (b *btb) insert(pc, target uint64) {
 	set[victim] = btbEntry{pc: pc, target: target, valid: true, lastUse: b.clock}
 }
 
+func (b *btb) reset() {
+	for _, set := range b.sets {
+		for i := range set {
+			set[i] = btbEntry{}
+		}
+	}
+	b.clock = 0
+}
+
 // ras is a circular return address stack. Overflow wraps and overwrites
 // the oldest entry; underflow returns no prediction.
 type ras struct {
@@ -86,6 +95,10 @@ func (r *ras) push(pc uint64) {
 	if r.depth < len(r.buf) {
 		r.depth++
 	}
+}
+
+func (r *ras) reset() {
+	r.top, r.depth = 0, 0
 }
 
 func (r *ras) pop() (uint64, bool) {

@@ -58,41 +58,80 @@ func DefaultHierarchy() HierarchyConfig {
 
 // Hierarchy is the two-level data/instruction memory system with MSHR
 // tracking of in-flight fills.
+//
+// In-flight fills are kept in two epoch-rotated maps per side: entries
+// are inserted into the current map and consulted in both. Every
+// epochLen cycles the previous map — which by then can only contain
+// entries whose fills completed — is cleared and becomes current. This
+// bounds the tracking state (the old scheme kept cold streaming lines
+// forever) and keeps the hot path free of per-line growth.
 type Hierarchy struct {
 	cfg HierarchyConfig
 	il1 *Cache
 	dl1 *Cache
 	l2  *Cache
-	// fills maps DL1 line address -> cycle the fill completes.
-	fills map[uint64]int64
-	// instFills does the same for IL1 lines.
-	instFills map[uint64]int64
+	// fills/fillsPrev map DL1 line address -> cycle the fill completes.
+	fills, fillsPrev map[uint64]int64
+	// instFills/instFillsPrev do the same for IL1 lines.
+	instFills, instFillsPrev map[uint64]int64
+	// epochLen is at least the worst-case fill latency, so a live
+	// in-flight entry is always still present in one of the two maps.
+	epochLen int64
+	nextSwap int64
 }
 
 // NewHierarchy builds the hierarchy. Invalid geometry panics (static
 // configuration error).
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	epoch := int64(cfg.IL1.Latency + cfg.DL1.Latency + cfg.L2.Latency + cfg.MemLatency + 64)
 	return &Hierarchy{
-		cfg:       cfg,
-		il1:       New(cfg.IL1),
-		dl1:       New(cfg.DL1),
-		l2:        New(cfg.L2),
-		fills:     make(map[uint64]int64),
-		instFills: make(map[uint64]int64),
+		cfg:           cfg,
+		il1:           New(cfg.IL1),
+		dl1:           New(cfg.DL1),
+		l2:            New(cfg.L2),
+		fills:         make(map[uint64]int64),
+		fillsPrev:     make(map[uint64]int64),
+		instFills:     make(map[uint64]int64),
+		instFillsPrev: make(map[uint64]int64),
+		epochLen:      epoch,
+		nextSwap:      epoch,
 	}
+}
+
+// rotate retires the previous epoch's fill maps once every live entry
+// in them must have completed.
+func (h *Hierarchy) rotate(now int64) {
+	if now < h.nextSwap {
+		return
+	}
+	h.fills, h.fillsPrev = h.fillsPrev, h.fills
+	clear(h.fills)
+	h.instFills, h.instFillsPrev = h.instFillsPrev, h.instFills
+	clear(h.instFills)
+	h.nextSwap = now + h.epochLen
+}
+
+// inFlight looks up la in the current-then-previous epoch maps and
+// reports the completion cycle of a still-outstanding fill.
+func inFlight(cur, prev map[uint64]int64, la uint64, now int64) (int64, bool) {
+	if ready, ok := cur[la]; ok && ready > now {
+		return ready, true
+	}
+	if ready, ok := prev[la]; ok && ready > now {
+		return ready, true
+	}
+	return 0, false
 }
 
 // Data performs a data access (load or store) at the given cycle and
 // returns the latency and satisfying level. Write misses allocate, like
 // SimpleScalar's default write-allocate policy.
 func (h *Hierarchy) Data(addr uint64, now int64) Result {
+	h.rotate(now)
 	la := h.dl1.LineAddr(addr)
-	if ready, ok := h.fills[la]; ok {
-		if ready > now {
-			// Secondary access to an in-flight line: waits for the fill.
-			return Result{Latency: int(ready-now) + h.cfg.DL1.Latency, Level: LevelInFlight}
-		}
-		delete(h.fills, la)
+	if ready, ok := inFlight(h.fills, h.fillsPrev, la, now); ok {
+		// Secondary access to an in-flight line: waits for the fill.
+		return Result{Latency: int(ready-now) + h.cfg.DL1.Latency, Level: LevelInFlight}
 	}
 	if h.dl1.Access(addr) {
 		return Result{Latency: h.cfg.DL1.Latency, Level: LevelL1}
@@ -112,12 +151,10 @@ func (h *Hierarchy) Data(addr uint64, now int64) Result {
 
 // Inst performs an instruction fetch access for the line containing pc.
 func (h *Hierarchy) Inst(pc uint64, now int64) Result {
+	h.rotate(now)
 	la := h.il1.LineAddr(pc)
-	if ready, ok := h.instFills[la]; ok {
-		if ready > now {
-			return Result{Latency: int(ready-now) + h.cfg.IL1.Latency, Level: LevelInFlight}
-		}
-		delete(h.instFills, la)
+	if ready, ok := inFlight(h.instFills, h.instFillsPrev, la, now); ok {
+		return Result{Latency: int(ready-now) + h.cfg.IL1.Latency, Level: LevelInFlight}
 	}
 	if h.il1.Access(pc) {
 		return Result{Latency: h.cfg.IL1.Latency, Level: LevelL1}
@@ -148,11 +185,14 @@ func (h *Hierarchy) L2() *Cache { return h.l2 }
 // the DL1 hit latency the scheduler speculates with.
 func (h *Hierarchy) HitLatency() int { return h.cfg.DL1.Latency }
 
-// Reset clears all levels and in-flight state.
+// Reset clears all levels and in-flight state, keeping allocations.
 func (h *Hierarchy) Reset() {
 	h.il1.Reset()
 	h.dl1.Reset()
 	h.l2.Reset()
-	h.fills = make(map[uint64]int64)
-	h.instFills = make(map[uint64]int64)
+	clear(h.fills)
+	clear(h.fillsPrev)
+	clear(h.instFills)
+	clear(h.instFillsPrev)
+	h.nextSwap = h.epochLen
 }

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// steadyMachine builds a machine on a realistic workload and steps it
+// past the start-up transient, so pools, wheel slots, rename ring and
+// the cache fill maps are all at their steady-state high-water marks.
+func steadyMachine(tb testing.TB, bench string, warmCycles int) *Machine {
+	tb.Helper()
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := Config8Wide()
+	cfg.MaxInsts = 1 << 60 // stepped manually; never reached
+	m, err := New(cfg, gen)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < warmCycles; i++ {
+		m.step()
+	}
+	return m
+}
+
+// BenchmarkMachineSteadyState measures the per-cycle cost of the warm
+// simulator loop. The headline number is allocs/op: the hot path —
+// event wheel, uop pool, LSQ/fetch rings, rename ring, epoch-rotated
+// fill maps — must run allocation-free once warm.
+func BenchmarkMachineSteadyState(b *testing.B) {
+	m := steadyMachine(b, "gcc", 50_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.step()
+	}
+	b.StopTimer()
+	if m.stats.Retired == 0 {
+		b.Fatal("machine made no progress")
+	}
+	b.ReportMetric(float64(m.stats.Retired)/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
+// TestSteadyStateAllocBudget is the enforced form of the benchmark: a
+// warm machine stepping a memory-heavy workload must average (almost)
+// zero heap allocations per simulated cycle. The tolerance absorbs
+// rare residual growth (a wheel slot or consumer list reaching a new
+// high-water mark late), not a per-cycle leak.
+func TestSteadyStateAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is slow under -short")
+	}
+	m := steadyMachine(t, "mcf", 60_000)
+	const cyclesPerRun = 2000
+	avg := testing.AllocsPerRun(5, func() {
+		for i := 0; i < cyclesPerRun; i++ {
+			m.step()
+		}
+	})
+	perCycle := avg / cyclesPerRun
+	if perCycle > 0.02 {
+		t.Fatalf("steady-state hot path allocates %.4f allocs/cycle (%.0f per %d cycles); budget is 0.02",
+			perCycle, avg, cyclesPerRun)
+	}
+}
+
+// The schemes with auxiliary replay structures must stay on the pooled
+// hot path too: no per-cycle allocations once warm.
+func TestSteadyStateAllocBudgetSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is slow under -short")
+	}
+	for _, sc := range []Scheme{NonSel, TkSel, ReInsert, Refetch} {
+		sc := sc
+		t.Run(sc.String(), func(t *testing.T) {
+			prof, err := workload.ByName("gcc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := workload.NewGenerator(prof, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config4Wide()
+			cfg.Scheme = sc
+			cfg.MaxInsts = 1 << 60
+			m, err := New(cfg, gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 60_000; i++ {
+				m.step()
+			}
+			const cyclesPerRun = 2000
+			avg := testing.AllocsPerRun(5, func() {
+				for i := 0; i < cyclesPerRun; i++ {
+					m.step()
+				}
+			})
+			if perCycle := avg / cyclesPerRun; perCycle > 0.02 {
+				t.Fatalf("%v: %.4f allocs/cycle over budget", sc, perCycle)
+			}
+		})
+	}
+}

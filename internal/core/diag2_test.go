@@ -41,7 +41,7 @@ func TestDiagLossAccounting(t *testing.T) {
 				if m.cycle < m.fetchStall {
 					stalledIL1++
 				}
-				if len(m.fetchQ) == 0 {
+				if m.fqLen == 0 {
 					fqEmpty++
 				}
 				if m.iqCount >= m.cfg.IQSize {

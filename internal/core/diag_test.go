@@ -58,7 +58,7 @@ func TestDiagBottlenecks(t *testing.T) {
 			measured++
 			sumIQ += int64(m.iqCount)
 			sumROB += int64(m.robCount)
-			sumFQ += int64(len(m.fetchQ))
+			sumFQ += int64(m.fqLen)
 			if m.robCount == 0 {
 				emptyWin++
 				continue

@@ -38,8 +38,11 @@ func TestDSelShadowInvalidation(t *testing.T) {
 	consumer := &uop{inst: isa.Inst{Seq: 2, Class: isa.IntALU, Src1: 1, Src2: -1},
 		inIQ: true, tokenID: -1, storeDataSeq: -1,
 		broadcastCycle: unknown, completeCycle: unknown, dataReadyAt: unknown}
-	consumer.src[0] = operand{producer: parent, ready: true, wokenAt: 98}
-	parent.consumers = []*uop{consumer}
+	consumer.src[0] = operand{producer: 1, ready: true, wokenAt: 98}
+	consumer.src[1].producer = -1
+	load.src[0].producer, load.src[1].producer = -1, -1
+	parent.src[0].producer, parent.src[1].producer = -1, -1
+	parent.consumers = []int64{2}
 	m.rob[0], m.rob[1], m.rob[2] = load, parent, consumer
 	m.robCount, m.headSeq = 3, 0
 
@@ -62,7 +65,8 @@ func TestDSelShadowInvalidation(t *testing.T) {
 		if consumer.src[0].ready {
 			reawoken = c
 		}
-		delete(m.events, c)
+		slot := c & m.wheelMask
+		m.wheel[slot] = m.wheel[slot][:0]
 	}
 	if reawoken != parent.completeCycle+1 {
 		t.Fatalf("operand re-validated at %d, want parent completion+1 = %d",

@@ -132,7 +132,8 @@ func (m *Machine) execLoad(u *uop) {
 // load's (word-granular) address, or nil.
 func (m *Machine) aliasingStore(u *uop) *uop {
 	var found *uop
-	for _, s := range m.lsq {
+	for i := 0; i < m.lsqLen; i++ {
+		s := m.lsqAt(i)
 		if s.seq() >= u.seq() {
 			break
 		}
@@ -201,8 +202,7 @@ func (m *Machine) handleComplete(ev event) {
 	}
 	bad := false
 	for i := 0; i < nsrc; i++ {
-		p := u.src[i].producer
-		if u.srcSeq(i) >= 0 && !dataValidFor(p, u.execStart) {
+		if u.srcSeq(i) >= 0 && !dataValidFor(m.prod(u, i), u.execStart) {
 			bad = true
 		}
 	}
@@ -214,7 +214,7 @@ func (m *Machine) handleComplete(ev event) {
 		}
 		m.squash(u)
 		for i := 0; i < nsrc; i++ {
-			p := u.src[i].producer
+			p := m.prod(u, i)
 			if u.srcSeq(i) >= 0 && !dataValidFor(p, u.execStart) {
 				u.src[i].ready = false
 				m.rearmOperand(u, i)
@@ -303,9 +303,10 @@ func (m *Machine) completeToken(u *uop) {
 			m.releaseIQ(w)
 		}
 	}
-	for seq, v := range m.renameVec {
-		if v.Has(id) {
-			m.renameVec[seq] = v.Without(id)
+	for i := range m.renameVec {
+		e := &m.renameVec[i]
+		if e.seq >= 0 && e.vec.Has(id) {
+			e.vec = e.vec.Without(id)
 		}
 	}
 }
@@ -314,12 +315,15 @@ func (m *Machine) completeToken(u *uop) {
 // producer is in flight with known timing, schedule a targeted wake;
 // if it is waiting or replaying, its re-issue broadcast covers it.
 func (m *Machine) rearmOperand(c *uop, i int) {
-	p := c.src[i].producer
-	if p == nil || p.retired || c.src[i].ready {
-		if p == nil || p.retired {
-			c.src[i].ready = true
-			c.src[i].wokenAt = m.cycle
-		}
+	if c.src[i].ready {
+		return
+	}
+	p := m.prod(c, i)
+	if p == nil {
+		// No in-window producer (never renamed one, or it retired):
+		// the value is architecturally available.
+		c.src[i].ready = true
+		c.src[i].wokenAt = m.cycle
 		return
 	}
 	switch {
@@ -333,7 +337,8 @@ func (m *Machine) rearmOperand(c *uop, i int) {
 	// Otherwise: p waits in the queue; its issue broadcast will wake us.
 }
 
-// retire commits up to Width completed instructions from the ROB head.
+// retire commits up to Width completed instructions from the ROB head,
+// recycling their uops through the pool.
 func (m *Machine) retire() {
 	for n := 0; n < m.cfg.Width && m.robCount > 0; n++ {
 		u := m.rob[m.robHead]
@@ -354,8 +359,8 @@ func (m *Machine) retire() {
 		}
 		if u.inst.Class.IsMem() {
 			// LSQ head must be this instruction (program order).
-			if len(m.lsq) > 0 && m.lsq[0] == u {
-				m.lsq = m.lsq[1:]
+			if m.lsqLen > 0 && m.lsqAt(0) == u {
+				m.lsqPopFront()
 			}
 		}
 		m.rob[m.robHead] = nil
@@ -363,6 +368,9 @@ func (m *Machine) retire() {
 		m.robCount--
 		m.headSeq++
 		m.stats.Retired++
-		delete(m.renameVec, u.seq()-int64(len(m.rob)))
+		if m.cfg.Scheme == TkSel {
+			m.renameVecDel(u.seq() - int64(len(m.rob)))
+		}
+		m.freeUop(u)
 	}
 }

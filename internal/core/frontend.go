@@ -6,6 +6,8 @@ import (
 )
 
 // fetchQCap bounds the fetch buffer: a few front-end pipelines' worth.
+// (The backing ring is larger so a refetch replay can push the whole
+// window back through the front end; this cap only throttles fetch.)
 func (m *Machine) fetchQCap() int { return m.cfg.Width * (m.cfg.FrontEndDepth + 2) }
 
 // fetch models the in-order front end: up to Width instructions per
@@ -20,7 +22,7 @@ func (m *Machine) fetch() {
 		return
 	}
 	for n := 0; n < m.cfg.Width; n++ {
-		if len(m.fetchQ) >= m.fetchQCap() {
+		if m.fqLen >= m.fetchQCap() {
 			return
 		}
 		if !m.haveNext {
@@ -53,7 +55,7 @@ func (m *Machine) fetch() {
 				m.stats.BranchMispredicts++
 			}
 		}
-		m.fetchQ = append(m.fetchQ, fetchEntry{
+		m.fqPush(fetchEntry{
 			inst:    in,
 			readyAt: m.cycle + int64(m.cfg.FrontEndDepth),
 		})
@@ -78,33 +80,35 @@ func (m *Machine) dispatch() {
 		return
 	}
 	for n := 0; n < m.cfg.Width; n++ {
-		if len(m.fetchQ) == 0 || m.fetchQ[0].readyAt > m.cycle {
+		if m.fqLen == 0 || m.fqAt(0).readyAt > m.cycle {
 			return
 		}
 		if m.robCount >= m.cfg.ROBSize || m.iqCount >= m.cfg.IQSize {
 			return
 		}
-		in := m.fetchQ[0].inst
-		if in.Class.IsMem() && len(m.lsq) >= m.cfg.LSQSize {
+		in := m.fqAt(0).inst
+		if in.Class.IsMem() && m.lsqLen >= m.cfg.LSQSize {
 			return
 		}
-		m.fetchQ = m.fetchQ[1:]
+		m.fqPopFront()
 		m.insert(in)
 	}
 }
 
-// insert renames and installs one instruction into the window.
+// insert renames and installs one instruction into the window, reusing
+// a pooled uop.
 func (m *Machine) insert(in isa.Inst) {
-	u := &uop{
-		inst:           in,
-		inIQ:           true,
-		tokenID:        -1,
-		broadcastCycle: unknown,
-		completeCycle:  unknown,
-		dataReadyAt:    unknown,
-		storeDataSeq:   -1,
-		schedLat:       m.schedLatOf(in),
-	}
+	u := m.allocUop()
+	u.inst = in
+	u.inIQ = true
+	u.tokenID = -1
+	u.broadcastCycle = unknown
+	u.completeCycle = unknown
+	u.dataReadyAt = unknown
+	u.storeDataSeq = -1
+	u.schedLat = m.schedLatOf(in)
+	u.src[0].producer = -1
+	u.src[1].producer = -1
 
 	// Rename: wire source operands to in-window producers.
 	for i := 0; i < 2; i++ {
@@ -122,8 +126,8 @@ func (m *Machine) insert(in isa.Inst) {
 			u.src[i].wokenAt = 0
 			continue
 		}
-		u.src[i].producer = p
-		p.consumers = append(p.consumers, u)
+		u.src[i].producer = seq
+		p.consumers = append(p.consumers, u.seq())
 		if p.completed {
 			u.src[i].ready = true
 			u.src[i].wokenAt = p.completeCycle
@@ -158,7 +162,7 @@ func (m *Machine) insert(in isa.Inst) {
 		var v token.Vector
 		for i := 0; i < 2; i++ {
 			if seq := u.srcSeq(i); seq >= 0 {
-				v = v.Merge(m.renameVec[seq])
+				v = v.Merge(m.renameVecGet(seq))
 			}
 		}
 		u.depVec = v
@@ -201,7 +205,7 @@ func (m *Machine) insert(in isa.Inst) {
 	}
 
 	if in.Class.HasDest() && m.cfg.Scheme == TkSel {
-		m.renameVec[in.Seq] = u.depVec
+		m.renameVecSet(in.Seq, u.depVec)
 	}
 
 	// Window allocation.
@@ -209,7 +213,7 @@ func (m *Machine) insert(in isa.Inst) {
 	m.robCount++
 	m.iqCount++
 	if in.Class.IsMem() {
-		m.lsq = append(m.lsq, u)
+		m.lsqPush(u)
 	}
 	m.emit(u, EvDispatch)
 }
@@ -235,9 +239,10 @@ func (m *Machine) reclaimToken(id int, oldHead int64) {
 			u.tokenStolen = true
 		}
 	}
-	for seq, v := range m.renameVec {
-		if v.Has(id) {
-			m.renameVec[seq] = v.Without(id)
+	for i := range m.renameVec {
+		e := &m.renameVec[i]
+		if e.seq >= 0 && e.vec.Has(id) {
+			e.vec = e.vec.Without(id)
 		}
 	}
 }

@@ -165,13 +165,15 @@ func TestLoadWaitsForOlderStoreIssue(t *testing.T) {
 	for m.stats.Retired < cfg.MaxInsts {
 		m.step()
 		oldestUnissuedStore := unknown
-		for _, s := range m.lsq {
+		for i := 0; i < m.lsqLen; i++ {
+			s := m.lsqAt(i)
 			if s.inst.Class == isa.Store && !s.issued && !s.completed {
 				oldestUnissuedStore = s.seq()
 				break
 			}
 		}
-		for _, l := range m.lsq {
+		for i := 0; i < m.lsqLen; i++ {
+			l := m.lsqAt(i)
 			if l.isLoad() && l.issued && l.issueCycle == m.cycle && l.seq() > oldestUnissuedStore {
 				t.Fatalf("cycle %d: load %d issued past unissued store %d",
 					m.cycle, l.seq(), oldestUnissuedStore)

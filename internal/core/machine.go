@@ -13,7 +13,14 @@ import (
 )
 
 // Machine is one simulated processor instance. Build with New, run with
-// Run. A Machine is single-use: Run may be called once.
+// Run. Run may be called once per New or Reset; Reset restores the
+// machine for a fresh run while reusing the previous run's allocations,
+// so a pool of machines can serve many simulations without rebuilding
+// the window, event wheel or cache arrays each time.
+//
+// The cycle loop is allocation-free in steady state: uops are recycled
+// through a fixed pool, events live on a circular wheel, and the
+// window-side queues (fetch buffer, LSQ, rename vectors) are rings.
 type Machine struct {
 	cfg  Config
 	src  workload.Stream
@@ -35,17 +42,29 @@ type Machine struct {
 	robCount int
 	headSeq  int64
 
+	// pool is the uop arena; free holds recycled entries. The window
+	// admits at most ROBSize live uops, so the pool never grows.
+	pool []uop
+	free []*uop
+
 	// iqCount tracks occupied issue-queue entries.
 	iqCount int
 	// rqCount tracks issued-unverified instructions under the
 	// replay-queue model.
 	rqCount int
-	// lsq holds in-window loads and stores in program order.
-	lsq []*uop
+	// lsq is a ring holding in-window loads and stores in program
+	// order: lsqLen live entries starting at lsqHead.
+	lsq     []*uop
+	lsqHead int
+	lsqLen  int
 
-	// Front end: fetchQ holds fetched instructions waiting out the
-	// front-end depth. nextInst is the read-ahead from the trace.
+	// Front end: fetchQ is a ring of fetched instructions waiting out
+	// the front-end depth. Its capacity is ROBSize+fetchQCap — enough
+	// for a refetch replay to push the whole window back through it.
+	// nextInst is the read-ahead from the trace.
 	fetchQ       []fetchEntry
+	fqHead       int
+	fqLen        int
 	nextInst     isa.Inst
 	haveNext     bool
 	fetchStall   int64 // no fetch until this cycle
@@ -53,8 +72,12 @@ type Machine struct {
 	lastLine     uint64
 	haveLastLine bool
 
-	// events is the cycle-indexed event queue.
-	events map[int64][]event
+	// wheel is the cycle-indexed event queue: slot cycle&wheelMask holds
+	// the events for that cycle. The horizon (wheel length) exceeds the
+	// largest possible scheduling lead — a main-memory round trip plus
+	// pipeline depths — and schedule panics if an event would lap it.
+	wheel     [][]event
+	wheelMask int64
 
 	// Re-insert replay state: reinsertPending counts flagged
 	// instructions awaiting program-order re-insertion.
@@ -68,7 +91,16 @@ type Machine struct {
 	// renameVec is the rename-table dependence-vector model for TkSel:
 	// the vector stored for each value-producing instruction, kept for
 	// recently retired producers too (pruned as the window advances).
-	renameVec map[int64]token.Vector
+	// A ring of 2*ROBSize tagged entries indexed by seq: a producer's
+	// vector is created at dispatch and deleted ROBSize retirements
+	// later, so an occupant is always dead before its slot is reused.
+	renameVec []renameEntry
+
+	// killStack is the reusable DFS worklist for selective and value
+	// kills; refetchInsts is the reusable scratch for the refetch
+	// scheme's front-end rebuild.
+	killStack    []*uop
+	refetchInsts []isa.Inst
 
 	stats Stats
 	// meter feeds Figure 9 (predictor coverage); recorded on each
@@ -84,6 +116,13 @@ type fetchEntry struct {
 	inst isa.Inst
 	// readyAt is when the instruction becomes eligible for dispatch.
 	readyAt int64
+}
+
+// renameEntry is one rename-vector ring slot; seq tags the occupant
+// (-1 when empty).
+type renameEntry struct {
+	seq int64
+	vec token.Vector
 }
 
 type evKind uint8
@@ -111,6 +150,10 @@ type event struct {
 	kind evKind
 	u    *uop
 	gen  int
+	// life is the uop-pool incarnation the event was scheduled under;
+	// stamped by schedule/scheduleNow, checked before dispatching so an
+	// event never acts on a recycled uop.
+	life int
 	// op is the operand index for evOpWake.
 	op int
 	// depth is the propagation level for evSerialStep.
@@ -135,34 +178,164 @@ func New(cfg Config, src workload.Stream) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Machine{
-		cfg:          cfg,
-		src:          src,
-		hier:         cache.NewHierarchy(cfg.Hierarchy),
-		bp:           bpred.New(cfg.Bpred),
-		sp:           smpred.New(cfg.SMPred),
-		rob:          make([]*uop, cfg.ROBSize),
-		events:       make(map[int64][]event),
-		renameVec:    make(map[int64]token.Vector),
-		blockedOnSeq: -1,
+	m := &Machine{}
+	m.init(cfg, src)
+	return m, nil
+}
+
+// Reset rebuilds the machine for a new run over a (possibly different)
+// configuration and stream, reusing the previous run's allocations
+// wherever the sizes still fit. A reset machine behaves identically to
+// a freshly constructed one; the experiment runner pools machines
+// across its sweep on the strength of that guarantee.
+func (m *Machine) Reset(cfg Config, src workload.Stream) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
-	if cfg.Scheme == TkSel {
+	m.init(cfg, src)
+	return nil
+}
+
+// horizonFor bounds how far ahead any event can be scheduled: the worst
+// case is a load completing off a main-memory fill observed through an
+// in-flight line (two DL1 latencies plus L2 plus memory), stacked on
+// the schedule-to-execute depth, verification, the re-insert delay and
+// the longest functional-unit latency, with slack for the +1-style
+// nudges handlers apply. Rounded up to a power of two, minimum 64.
+func horizonFor(cfg Config) int64 {
+	h := cfg.Hierarchy
+	lead := cfg.SchedToExec + cfg.VerifyLatency + cfg.ReinsertPenalty +
+		isa.MaxExecLatency() +
+		2*h.DL1.Latency + h.IL1.Latency + h.L2.Latency + h.MemLatency + 32
+	n := int64(64)
+	for n < int64(lead) {
+		n <<= 1
+	}
+	return n
+}
+
+// init (re)builds all run state. Size-dependent storage is reallocated
+// only when the configuration demands a different shape.
+func (m *Machine) init(cfg Config, src workload.Stream) {
+	reuseHier := m.hier != nil && m.cfg.Hierarchy == cfg.Hierarchy
+	reuseBp := m.bp != nil && m.cfg.Bpred == cfg.Bpred
+	reuseSp := m.sp != nil && m.cfg.SMPred == cfg.SMPred
+	reuseAlloc := m.alloc != nil && cfg.Scheme == TkSel && m.cfg.Tokens == cfg.Tokens
+	reuseVp := m.vp != nil && cfg.ValuePrediction && m.cfg.VPred == cfg.VPred
+
+	m.cfg = cfg
+	m.src = src
+
+	if reuseHier {
+		m.hier.Reset()
+	} else {
+		m.hier = cache.NewHierarchy(cfg.Hierarchy)
+	}
+	if reuseBp {
+		m.bp.Reset()
+	} else {
+		m.bp = bpred.New(cfg.Bpred)
+	}
+	if reuseSp {
+		m.sp.Reset()
+	} else {
+		m.sp = smpred.New(cfg.SMPred)
+	}
+	switch {
+	case cfg.Scheme != TkSel:
+		m.alloc = nil
+	case reuseAlloc:
+		m.alloc.Reset()
+	default:
 		m.alloc = token.NewAllocator(cfg.Tokens)
 	}
-	if cfg.ValuePrediction {
+	switch {
+	case !cfg.ValuePrediction:
+		m.vp = nil
+	case reuseVp:
+		m.vp.Reset()
+	default:
 		m.vp = vpred.New(cfg.VPred)
 	}
-	return m, nil
+
+	m.cycle = 0
+
+	if len(m.rob) != cfg.ROBSize {
+		m.rob = make([]*uop, cfg.ROBSize)
+		m.pool = make([]uop, cfg.ROBSize)
+		m.free = make([]*uop, 0, cfg.ROBSize)
+	} else {
+		for i := range m.rob {
+			m.rob[i] = nil
+		}
+		m.free = m.free[:0]
+	}
+	for i := range m.pool {
+		m.pool[i] = uop{consumers: m.pool[i].consumers[:0]}
+		m.free = append(m.free, &m.pool[i])
+	}
+	m.robHead, m.robCount, m.headSeq = 0, 0, 0
+	m.iqCount, m.rqCount = 0, 0
+
+	if len(m.lsq) != cfg.LSQSize {
+		m.lsq = make([]*uop, cfg.LSQSize)
+	} else {
+		for i := range m.lsq {
+			m.lsq[i] = nil
+		}
+	}
+	m.lsqHead, m.lsqLen = 0, 0
+
+	fqCap := cfg.ROBSize + cfg.Width*(cfg.FrontEndDepth+2)
+	if len(m.fetchQ) != fqCap {
+		m.fetchQ = make([]fetchEntry, fqCap)
+	}
+	m.fqHead, m.fqLen = 0, 0
+	m.nextInst = isa.Inst{}
+	m.haveNext = false
+	m.fetchStall = 0
+	m.blockedOnSeq = -1
+	m.lastLine, m.haveLastLine = 0, false
+
+	hz := horizonFor(cfg)
+	if int64(len(m.wheel)) != hz {
+		m.wheel = make([][]event, hz)
+	} else {
+		for i := range m.wheel {
+			m.wheel[i] = m.wheel[i][:0]
+		}
+	}
+	m.wheelMask = hz - 1
+
+	m.reinsertActive, m.reinsertPending = false, 0
+	m.serialChains = m.serialChains[:0]
+
+	if len(m.renameVec) != 2*cfg.ROBSize {
+		m.renameVec = make([]renameEntry, 2*cfg.ROBSize)
+	}
+	for i := range m.renameVec {
+		m.renameVec[i] = renameEntry{seq: -1}
+	}
+
+	m.killStack = m.killStack[:0]
+	m.refetchInsts = m.refetchInsts[:0]
+
+	m.stats = Stats{}
+	m.meter = smpred.CoverageMeter{}
+	m.observer = nil
+	m.ran = false
 }
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
-// Stats returns the accumulated statistics; valid after Run.
+// Stats returns the accumulated statistics; valid after Run. The
+// pointer aliases machine state: callers keeping results past a Reset
+// must copy (see Stats.Clone).
 func (m *Machine) Stats() *Stats { return &m.stats }
 
 // Meter returns the scheduling-miss predictor coverage meter (Figure 9
-// data); valid after Run.
+// data); valid after Run. Like Stats, copy before reusing the machine.
 func (m *Machine) Meter() *smpred.CoverageMeter { return &m.meter }
 
 // ValuePredictor exposes the load value predictor (nil unless value
@@ -222,16 +395,23 @@ func (m *Machine) step() {
 	m.selectAndIssue()
 	m.dispatch()
 	m.fetch()
-	delete(m.events, m.cycle)
+	slot := m.cycle & m.wheelMask
+	m.wheel[slot] = m.wheel[slot][:0]
 }
 
 // runEvents drains this cycle's event list in schedule order. Handlers
 // may append more events for the same cycle (e.g. a kill scheduling an
-// operand wake); the loop picks those up.
+// operand wake); the loop picks those up. Events whose uop was recycled
+// since scheduling are stale and skipped.
 func (m *Machine) runEvents() {
-	list := m.events[m.cycle]
+	slot := m.cycle & m.wheelMask
+	list := m.wheel[slot]
 	for i := 0; i < len(list); i++ {
 		ev := list[i]
+		if ev.u.life != ev.life {
+			list = m.wheel[slot]
+			continue
+		}
 		switch ev.kind {
 		case evKill:
 			// Kills run before anything else this cycle; they were
@@ -251,7 +431,7 @@ func (m *Machine) runEvents() {
 		case evSerialStep:
 			m.handleSerialStep(ev)
 		}
-		list = m.events[m.cycle]
+		list = m.wheel[slot]
 	}
 }
 
@@ -259,13 +439,41 @@ func (m *Machine) schedule(cycle int64, ev event) {
 	if cycle <= m.cycle {
 		cycle = m.cycle + 1
 	}
-	m.events[cycle] = append(m.events[cycle], ev)
+	if cycle-m.cycle >= int64(len(m.wheel)) {
+		panic(fmt.Sprintf("core: event %d cycles ahead overflows the %d-cycle event wheel",
+			cycle-m.cycle, len(m.wheel)))
+	}
+	ev.life = ev.u.life
+	slot := cycle & m.wheelMask
+	m.wheel[slot] = append(m.wheel[slot], ev)
 }
 
 // scheduleNow appends an event to the current cycle's list (used by
 // handlers that fan out work within the cycle).
 func (m *Machine) scheduleNow(ev event) {
-	m.events[m.cycle] = append(m.events[m.cycle], ev)
+	ev.life = ev.u.life
+	slot := m.cycle & m.wheelMask
+	m.wheel[slot] = append(m.wheel[slot], ev)
+}
+
+// allocUop takes a recycled uop from the pool. The window admits at
+// most ROBSize live uops, so the pool cannot run dry.
+func (m *Machine) allocUop() *uop {
+	n := len(m.free)
+	if n == 0 {
+		panic("core: uop pool empty")
+	}
+	u := m.free[n-1]
+	m.free = m.free[:n-1]
+	u.recycle()
+	return u
+}
+
+// freeUop returns a retired or flushed uop to the pool. The life bump
+// invalidates any events still in flight against it.
+func (m *Machine) freeUop(u *uop) {
+	u.life++
+	m.free = append(m.free, u)
 }
 
 // lookup returns the in-window uop with the given sequence number, or
@@ -277,9 +485,78 @@ func (m *Machine) lookup(seq int64) *uop {
 	return m.rob[(m.robHead+int(seq-m.headSeq))%len(m.rob)]
 }
 
+// prod resolves operand i's producing uop, or nil when the operand had
+// no in-window producer at rename or the producer has since left the
+// window (retired — value architecturally available).
+func (m *Machine) prod(u *uop, i int) *uop {
+	seq := u.src[i].producer
+	if seq < 0 {
+		return nil
+	}
+	return m.lookup(seq)
+}
+
 // tailSeq returns the sequence number one past the youngest in-window
 // instruction.
 func (m *Machine) tailSeq() int64 { return m.headSeq + int64(m.robCount) }
+
+// lsqAt returns the i-th oldest LSQ entry.
+func (m *Machine) lsqAt(i int) *uop { return m.lsq[(m.lsqHead+i)%len(m.lsq)] }
+
+func (m *Machine) lsqPush(u *uop) {
+	if m.lsqLen >= len(m.lsq) {
+		panic("core: LSQ ring overflow")
+	}
+	m.lsq[(m.lsqHead+m.lsqLen)%len(m.lsq)] = u
+	m.lsqLen++
+}
+
+func (m *Machine) lsqPopFront() {
+	m.lsq[m.lsqHead] = nil
+	m.lsqHead = (m.lsqHead + 1) % len(m.lsq)
+	m.lsqLen--
+}
+
+// fqAt returns the i-th oldest fetch-buffer entry.
+func (m *Machine) fqAt(i int) *fetchEntry { return &m.fetchQ[(m.fqHead+i)%len(m.fetchQ)] }
+
+func (m *Machine) fqPush(fe fetchEntry) {
+	if m.fqLen >= len(m.fetchQ) {
+		panic("core: fetch ring overflow")
+	}
+	m.fetchQ[(m.fqHead+m.fqLen)%len(m.fetchQ)] = fe
+	m.fqLen++
+}
+
+func (m *Machine) fqPopFront() {
+	m.fqHead = (m.fqHead + 1) % len(m.fetchQ)
+	m.fqLen--
+}
+
+// renameVecGet returns the dependence vector renamed for seq (zero when
+// none is live).
+func (m *Machine) renameVecGet(seq int64) token.Vector {
+	e := &m.renameVec[seq%int64(len(m.renameVec))]
+	if e.seq != seq {
+		var zero token.Vector
+		return zero
+	}
+	return e.vec
+}
+
+func (m *Machine) renameVecSet(seq int64, v token.Vector) {
+	m.renameVec[seq%int64(len(m.renameVec))] = renameEntry{seq: seq, vec: v}
+}
+
+func (m *Machine) renameVecDel(seq int64) {
+	if seq < 0 {
+		return
+	}
+	e := &m.renameVec[seq%int64(len(m.renameVec))]
+	if e.seq == seq {
+		e.seq = -1
+	}
+}
 
 func (m *Machine) describeHead() string {
 	if m.robCount == 0 {

@@ -104,12 +104,12 @@ func TestWindowInvariants(t *testing.T) {
 		if m.iqCount < 0 || m.iqCount > cfg.IQSize+8 {
 			t.Fatalf("cycle %d: iqCount %d out of range", m.cycle, m.iqCount)
 		}
-		if len(m.lsq) > cfg.LSQSize {
-			t.Fatalf("cycle %d: LSQ %d over capacity", m.cycle, len(m.lsq))
+		if m.lsqLen > cfg.LSQSize {
+			t.Fatalf("cycle %d: LSQ %d over capacity", m.cycle, m.lsqLen)
 		}
 		// LSQ stays in program order.
-		for i := 1; i < len(m.lsq); i++ {
-			if m.lsq[i].seq() <= m.lsq[i-1].seq() {
+		for i := 1; i < m.lsqLen; i++ {
+			if m.lsqAt(i).seq() <= m.lsqAt(i-1).seq() {
 				t.Fatalf("cycle %d: LSQ out of order", m.cycle)
 			}
 		}

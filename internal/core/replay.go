@@ -1,7 +1,5 @@
 package core
 
-import "repro/internal/isa"
-
 // redirectGap is the refetch scheme's pipeline redirect delay before
 // flushed instructions re-enter the front end (on top of the front-end
 // depth, matching the ">= 11 cycle" branch-recovery cost of Table 3).
@@ -82,9 +80,9 @@ func (m *Machine) replayLoad(u *uop) {
 	} else if !m.reacquireIQ(u) {
 		// The queue is momentarily full (possible only under TkSel's
 		// early release). The replay slot is architecturally reserved;
-		// model that by letting the count exceed transiently.
-		u.inIQ = true
-		m.iqCount++
+		// forceIQ lets the count exceed transiently and accounts for
+		// the overshoot.
+		m.forceIQ(u)
 	}
 	if dataAt == unknown {
 		// Alias on a store whose data producer is unresolved: poll.
@@ -105,17 +103,19 @@ func (m *Machine) replayLoad(u *uop) {
 // identify the same set). Cleared instructions re-wake when their
 // producers re-issue and re-broadcast.
 func (m *Machine) selectiveKill(root *uop) {
-	stack := []*uop{root}
+	stack := append(m.killStack[:0], root)
 	for len(stack) > 0 {
 		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, c := range p.consumers {
-			if c.retired || c.completed {
+		pseq := p.seq()
+		for _, cseq := range p.consumers {
+			c := m.lookup(cseq)
+			if c == nil || c.completed {
 				continue
 			}
 			touched := false
 			for i := 0; i < 2; i++ {
-				if c.src[i].producer == p && c.src[i].ready {
+				if c.src[i].producer == pseq && c.src[i].ready {
 					c.src[i].ready = false
 					touched = true
 				}
@@ -133,6 +133,7 @@ func (m *Machine) selectiveKill(root *uop) {
 			}
 		}
 	}
+	m.killStack = stack[:0]
 }
 
 // shadowKill is the timestamp-based invalidation shared by NonSel and
@@ -169,8 +170,7 @@ func (m *Machine) shadowKill(load *uop, flushPipeline bool) {
 				// Timer expired: the parent verified long ago.
 				continue
 			}
-			p := o.producer
-			if p == nil || p.retired {
+			if m.prod(w, op) == nil {
 				continue
 			}
 			// Note: when the parent has already completed, the kill still
@@ -256,8 +256,7 @@ func (m *Machine) reinsertStep() {
 			if w.srcSeq(op) < 0 {
 				continue
 			}
-			p := w.src[op].producer
-			if dataValidFor(p, m.cycle) {
+			if dataValidFor(m.prod(w, op), m.cycle) {
 				w.src[op].ready = true
 				w.src[op].wokenAt = m.cycle
 			} else {
@@ -273,16 +272,18 @@ func (m *Machine) reinsertStep() {
 
 // refetch implements §3.2: treat the scheduling miss like a branch
 // misprediction — flush every younger instruction from the machine and
-// refetch it through the front end.
+// refetch it through the front end. Flushed uops recycle through the
+// pool immediately; their instructions re-enter via the fetch ring.
 func (m *Machine) refetch(load *uop) {
 	m.stats.RefetchEvents++
 	flushFrom := load.seq() + 1
-	if flushFrom >= m.tailSeq() {
+	tail := m.tailSeq()
+	if flushFrom >= tail {
 		return
 	}
 
-	var insts []isa.Inst
-	for seq := flushFrom; seq < m.tailSeq(); seq++ {
+	insts := m.refetchInsts[:0]
+	for seq := flushFrom; seq < tail; seq++ {
 		w := m.lookup(seq)
 		insts = append(insts, w.inst)
 		if w.issued {
@@ -299,36 +300,29 @@ func (m *Machine) refetch(load *uop) {
 		w.retired = true // dead: events and consumer walks skip it
 		w.gen++
 		m.rob[(m.robHead+int(seq-m.headSeq))%len(m.rob)] = nil
+		m.freeUop(w)
 	}
 	m.robCount = int(flushFrom - m.headSeq)
 
 	// Truncate the LSQ at the flush point.
-	for i, s := range m.lsq {
-		if s.seq() >= flushFrom {
-			m.lsq = m.lsq[:i]
+	for i := 0; i < m.lsqLen; i++ {
+		if m.lsqAt(i).seq() >= flushFrom {
+			m.lsqLen = i
 			break
 		}
 	}
 
 	// Rebuild the front end: flushed instructions come back first, then
 	// whatever was already fetched, all paying redirect + refill.
-	old := m.fetchQ
-	m.fetchQ = nil
+	for i := 0; i < m.fqLen; i++ {
+		insts = append(insts, m.fqAt(i).inst)
+	}
+	m.fqHead, m.fqLen = 0, 0
 	base := m.cycle + redirectGap + int64(m.cfg.FrontEndDepth)
-	n := 0
-	push := func(in isa.Inst) {
-		m.fetchQ = append(m.fetchQ, fetchEntry{
-			inst:    in,
-			readyAt: base + int64(n/m.cfg.Width),
-		})
-		n++
+	for n, in := range insts {
+		m.fqPush(fetchEntry{inst: in, readyAt: base + int64(n/m.cfg.Width)})
 	}
-	for _, in := range insts {
-		push(in)
-	}
-	for _, fe := range old {
-		push(fe.inst)
-	}
+	m.refetchInsts = insts[:0]
 }
 
 // valueKill recovers a wrong value prediction: every transitive
@@ -338,17 +332,19 @@ func (m *Machine) refetch(load *uop) {
 // dependence name space (token vector / full IDs / program order) does
 // not rely on issue timing.
 func (m *Machine) valueKill(root *uop) {
-	stack := []*uop{root}
+	stack := append(m.killStack[:0], root)
 	for len(stack) > 0 {
 		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, c := range p.consumers {
-			if c.retired {
+		pseq := p.seq()
+		for _, cseq := range p.consumers {
+			c := m.lookup(cseq)
+			if c == nil {
 				continue
 			}
 			touched := false
 			for i := 0; i < 2; i++ {
-				if c.src[i].producer == p && (c.src[i].ready || c.completed) {
+				if c.src[i].producer == pseq && (c.src[i].ready || c.completed) {
 					c.src[i].ready = false
 					touched = true
 				}
@@ -362,7 +358,7 @@ func (m *Machine) valueKill(root *uop) {
 				m.stats.ValueKilledInsts++
 			}
 			for i := 0; i < 2; i++ {
-				if c.src[i].producer == p && !c.src[i].ready {
+				if c.src[i].producer == pseq && !c.src[i].ready {
 					m.rearmOperand(c, i)
 				}
 			}
@@ -372,6 +368,7 @@ func (m *Machine) valueKill(root *uop) {
 			}
 		}
 	}
+	m.killStack = stack[:0]
 }
 
 // serialKill starts (or continues) the one-level-per-cycle serial
@@ -402,13 +399,15 @@ func (m *Machine) handleSerialStep(ev event) {
 	if p.retired {
 		return
 	}
-	for _, c := range p.consumers {
-		if c.retired || c.completed {
+	pseq := p.seq()
+	for _, cseq := range p.consumers {
+		c := m.lookup(cseq)
+		if c == nil || c.completed {
 			continue
 		}
 		touched := false
 		for i := 0; i < 2; i++ {
-			if c.src[i].producer == p && c.src[i].ready && !dataValidFor(p, m.cycle) {
+			if c.src[i].producer == pseq && c.src[i].ready && !dataValidFor(p, m.cycle) {
 				c.src[i].ready = false
 				touched = true
 			}

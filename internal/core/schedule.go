@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/isa"
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
 
 // fuBudget tracks per-cycle functional-unit and port availability.
 type fuBudget struct {
@@ -57,7 +61,8 @@ func (m *Machine) selectAndIssue() {
 	// Memory-dependence policy (§5.1): a load may not issue while an
 	// older store has not issued.
 	oldestUnissuedStore := unknown
-	for _, s := range m.lsq {
+	for i := 0; i < m.lsqLen; i++ {
+		s := m.lsqAt(i)
 		if s.inst.Class == isa.Store && !s.issued && !s.completed {
 			oldestUnissuedStore = s.seq()
 			break
@@ -172,11 +177,28 @@ func (m *Machine) squash(u *uop) {
 	}
 	if !u.inIQ && !u.needsReinsert {
 		if !m.reacquireIQ(u) {
-			// Replay slots are architecturally reserved; let the count
-			// exceed transiently rather than orphan the instruction.
-			u.inIQ = true
-			m.iqCount++
+			m.forceIQ(u)
 		}
+	}
+}
+
+// forceIQ models the architecturally reserved replay slot when the
+// issue queue is momentarily full (possible only under TkSel's early
+// release): the occupancy count overshoots transiently rather than
+// orphaning the instruction. Every counted entry is a live in-window
+// uop, so the overshoot is bounded by the window population — the
+// invariant iqCount <= robCount must always hold, and the high-water
+// overshoot is recorded for regression tests.
+func (m *Machine) forceIQ(u *uop) {
+	u.inIQ = true
+	m.iqCount++
+	m.stats.IQOverflowSquashes++
+	if over := uint64(m.iqCount - m.cfg.IQSize); over > m.stats.IQOvershootMax {
+		m.stats.IQOvershootMax = over
+	}
+	if m.iqCount > m.robCount {
+		panic(fmt.Sprintf("core: IQ occupancy %d exceeds window population %d at cycle %d",
+			m.iqCount, m.robCount, m.cycle))
 	}
 }
 
@@ -208,12 +230,14 @@ func (m *Machine) handleBroadcast(ev event) {
 	if p.gen != ev.gen || p.retired {
 		return
 	}
-	for _, c := range p.consumers {
-		if c.retired {
+	pseq := p.seq()
+	for _, cseq := range p.consumers {
+		c := m.lookup(cseq)
+		if c == nil {
 			continue
 		}
 		for i := 0; i < 2; i++ {
-			if c.src[i].producer == p && !c.src[i].ready {
+			if c.src[i].producer == pseq && !c.src[i].ready {
 				c.src[i].ready = true
 				c.src[i].wokenAt = m.cycle
 			}
@@ -231,11 +255,11 @@ func (m *Machine) handleOpWake(ev event) {
 		return
 	}
 	op := &c.src[ev.op]
-	p := op.producer
-	if op.ready || p == nil {
+	if op.ready || op.producer < 0 {
 		return
 	}
-	if p.retired || (p.completed && p.dataReadyAt <= m.cycle) {
+	p := m.lookup(op.producer)
+	if p == nil || (p.completed && p.dataReadyAt <= m.cycle) {
 		op.ready = true
 		op.wokenAt = m.cycle
 		return

@@ -53,6 +53,15 @@ type Stats struct {
 	// values indicate a scheme implementation gap).
 	SafetyReplays uint64
 
+	// IQOverflowSquashes counts squashes that re-entered a full issue
+	// queue through the architecturally reserved replay slot (possible
+	// only under TkSel's early release), transiently overshooting the
+	// occupancy count. IQOvershootMax is the high-water overshoot
+	// (entries beyond IQSize); it is bounded by the in-window
+	// population and checked by an invariant at the overflow site.
+	IQOverflowSquashes uint64
+	IQOvershootMax     uint64
+
 	// BranchLookups/BranchMispredicts are front-end branch stats.
 	BranchLookups, BranchMispredicts uint64
 
@@ -96,12 +105,24 @@ func (s *Stats) subtract(base *Stats) {
 	s.RefetchEvents -= base.RefetchEvents
 	s.RQReplays -= base.RQReplays
 	s.SafetyReplays -= base.SafetyReplays
+	// IQOverflowSquashes is a counter and subtracts like the rest;
+	// IQOvershootMax is a high-water mark over the whole run and is
+	// deliberately left alone.
+	s.IQOverflowSquashes -= base.IQOverflowSquashes
 	s.BranchLookups -= base.BranchLookups
 	s.BranchMispredicts -= base.BranchMispredicts
 	s.ConservativeDelayed -= base.ConservativeDelayed
 	s.ValuePredictions -= base.ValuePredictions
 	s.ValueMispredicts -= base.ValueMispredicts
 	s.ValueKilledInsts -= base.ValueKilledInsts
+}
+
+// Clone returns a deep copy of the statistics, safe to keep after the
+// machine that produced them is reset for another run.
+func (s *Stats) Clone() Stats {
+	out := *s
+	out.SerialDepth = s.SerialDepth.Clone()
+	return out
 }
 
 // IPC returns retired instructions per cycle.

@@ -35,18 +35,21 @@ func timedMachine(t *testing.T, prog []isa.Inst, extra int) *Machine {
 	return m
 }
 
-// runCollect drives the machine to completion, capturing the uops of
-// the program prefix before they retire.
+// runCollect drives the machine to completion, snapshotting the uops of
+// the program prefix every cycle. Value snapshots (not pointers) are
+// required: retired uops are recycled through the pool, so a held *uop
+// would silently become a later instruction.
 func runCollect(t *testing.T, m *Machine, n int) []*uop {
 	t.Helper()
 	got := make([]*uop, n)
 	for m.stats.Retired < m.cfg.MaxInsts {
 		m.step()
 		for seq := int64(0); seq < int64(n); seq++ {
-			if got[seq] == nil {
-				if u := m.lookup(seq); u != nil {
-					got[seq] = u
+			if u := m.lookup(seq); u != nil {
+				if got[seq] == nil {
+					got[seq] = new(uop)
 				}
+				*got[seq] = *u
 			}
 		}
 	}
@@ -121,25 +124,22 @@ func TestTimingKillArrival(t *testing.T) {
 	}
 	m := timedMachine(t, prog, 200)
 
-	var load, dep *uop
+	// Re-lookup each cycle: cached pointers would dangle into the pool
+	// once the uops retire and recycle.
 	var depFirstIssue, depSquashCycle int64 = -1, -1
 	var loadFirstIssue int64 = -1
 	for m.stats.Retired < m.cfg.MaxInsts {
 		m.step()
-		if load == nil {
-			load = m.lookup(0)
-		}
-		if dep == nil {
-			dep = m.lookup(1)
-		}
-		if load != nil && loadFirstIssue < 0 && load.issues == 1 && load.issued {
+		if load := m.lookup(0); load != nil && loadFirstIssue < 0 && load.issues == 1 && load.issued {
 			loadFirstIssue = load.issueCycle
 		}
-		if dep != nil && depFirstIssue < 0 && dep.issues == 1 && dep.issued {
-			depFirstIssue = dep.issueCycle
-		}
-		if dep != nil && depSquashCycle < 0 && dep.squashes > 0 {
-			depSquashCycle = m.cycle
+		if dep := m.lookup(1); dep != nil {
+			if depFirstIssue < 0 && dep.issues == 1 && dep.issued {
+				depFirstIssue = dep.issueCycle
+			}
+			if depSquashCycle < 0 && dep.squashes > 0 {
+				depSquashCycle = m.cycle
+			}
 		}
 	}
 	if loadFirstIssue < 0 || depFirstIssue < 0 || depSquashCycle < 0 {
@@ -185,15 +185,17 @@ func TestTimingMissReplayAlignsWithFill(t *testing.T) {
 		{PC: 0x400000, Class: isa.Load, Src1: -1, Src2: -1, Addr: 0x4000_0000},
 	}
 	m := timedMachine(t, prog, 200)
+	var snap uop
 	var load *uop
 	var firstExec int64 = -1
 	for m.stats.Retired < m.cfg.MaxInsts {
 		m.step()
-		if load == nil {
-			load = m.lookup(0)
-		}
-		if load != nil && firstExec < 0 && load.issues == 1 && load.execStart <= m.cycle && load.issued {
-			firstExec = load.execStart
+		if u := m.lookup(0); u != nil {
+			snap = *u
+			load = &snap
+			if firstExec < 0 && u.issues == 1 && u.execStart <= m.cycle && u.issued {
+				firstExec = u.execStart
+			}
 		}
 	}
 	if load == nil || firstExec < 0 {

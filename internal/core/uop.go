@@ -34,6 +34,11 @@ type uop struct {
 	// events carry the gen they were scheduled under and are dropped on
 	// mismatch.
 	gen int
+	// life increments whenever the uop object is recycled for a new
+	// dynamic instruction (the window pools uops instead of allocating).
+	// Every scheduled event is stamped with the life it was scheduled
+	// under; a mismatch means the event targets a dead occupant.
+	life int
 
 	// issueCycle is the cycle of the most recent issue.
 	issueCycle int64
@@ -63,9 +68,11 @@ type uop struct {
 	// Per-operand scheduling state, indexed 0/1 for Src1/Src2.
 	src [2]operand
 
-	// consumers are in-window instructions with an operand fed by this
-	// instruction.
-	consumers []*uop
+	// consumers are the sequence numbers of in-window instructions with
+	// an operand fed by this instruction. Sequence numbers, not
+	// pointers: consumers may be recycled (retired or flushed) while the
+	// producer lives on, and a window lookup naturally skips the dead.
+	consumers []int64
 
 	// missed reports the current issue incurred a scheduling miss
 	// (resolved at execute for loads).
@@ -139,9 +146,11 @@ type uop struct {
 
 // operand tracks one source's scheduling state.
 type operand struct {
-	// producer is the in-window producing uop, or nil when the value
-	// was ready at dispatch.
-	producer *uop
+	// producer is the sequence number of the in-window producing
+	// instruction, or -1 when the value was ready at dispatch. Resolved
+	// through the window on use (retired producers resolve to nil,
+	// meaning the value is architecturally available).
+	producer int64
 	// ready reports the operand is (speculatively) available for
 	// select.
 	ready bool
@@ -201,6 +210,16 @@ func (u *uop) allReady() bool {
 		}
 	}
 	return true
+}
+
+// recycle prepares a pooled uop for reuse by a new dynamic instruction:
+// every field reverts to its zero value except life (bumped so stale
+// events referencing the old occupant are dropped) and the consumers
+// backing array (kept so the steady state stays allocation-free).
+func (u *uop) recycle() {
+	cons := u.consumers[:0]
+	life := u.life + 1
+	*u = uop{consumers: cons, life: life}
 }
 
 // unissue returns an issued (or completed-candidate) uop to the waiting

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The repository's determinism guarantee: a RunSpec is a pure function
+// of (spec, Options.Insts/Warmup/Seed). Parallelism — and with it the
+// machine pool, goroutine interleaving, and which pooled machine a run
+// lands on — must not leak into results. Same specs, same seed, run at
+// Parallelism=1 and Parallelism=4, must produce bit-identical Stats
+// and predictor-coverage meters.
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	specs := []RunSpec{
+		{Bench: "gcc", Scheme: core.PosSel},
+		{Bench: "gcc", Scheme: core.TkSel},
+		{Bench: "mcf", Scheme: core.NonSel},
+		{Bench: "mcf", Wide8: true, Scheme: core.IDSel},
+		{Bench: "vpr", Scheme: core.ReInsert},
+		{Bench: "gap", Scheme: core.Refetch},
+		{Bench: "gzip", Scheme: core.SerialVerify},
+		{Bench: "twolf", Wide8: true, Scheme: core.DSel},
+	}
+	opts := func(par int) Options {
+		return Options{Insts: 12_000, Warmup: 6_000, Seed: 7, Parallelism: par}
+	}
+
+	serial, err := NewEngine(opts(1)).runAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewEngine(opts(4)).runAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, spec := range specs {
+		a, b := serial[i], par[i]
+		if !reflect.DeepEqual(a.Stats, b.Stats) {
+			t.Errorf("%s %s %v: stats diverge across parallelism\n  par=1: %+v\n  par=4: %+v",
+				spec.Bench, spec.width(), spec.Scheme, *a.Stats, *b.Stats)
+		}
+		if !reflect.DeepEqual(a.Meter, b.Meter) {
+			t.Errorf("%s %s %v: coverage meter diverges across parallelism",
+				spec.Bench, spec.width(), spec.Scheme)
+		}
+	}
+}
+
+// Machine reuse must not leak state between runs: executing the same
+// spec on a fresh engine and on an engine whose pooled machines were
+// already dirtied by different schemes/benchmarks must give identical
+// results.
+func TestMachineReuseMatchesFreshMachine(t *testing.T) {
+	target := RunSpec{Bench: "twolf", Scheme: core.TkSel}
+	o := Options{Insts: 12_000, Warmup: 6_000, Seed: 3, Parallelism: 1}
+
+	fresh, err := NewEngine(o).run(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dirty := NewEngine(o)
+	// Dirty the single pooled machine with runs of different schemes,
+	// widths and benchmarks before the target spec.
+	for _, s := range []RunSpec{
+		{Bench: "mcf", Wide8: true, Scheme: core.Refetch},
+		{Bench: "gcc", Scheme: core.SerialVerify},
+		{Bench: "gap", Scheme: core.DSel},
+	} {
+		if _, err := dirty.run(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reused, err := dirty.run(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(fresh.Stats, reused.Stats) {
+		t.Errorf("reused machine diverges from fresh machine\n  fresh:  %+v\n  reused: %+v",
+			*fresh.Stats, *reused.Stats)
+	}
+	if !reflect.DeepEqual(fresh.Meter, reused.Meter) {
+		t.Error("coverage meter diverges between fresh and reused machine")
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// golden compares got against testdata/<name>.golden, rewriting the
+// file under -update. These artifacts are deterministic (analytic
+// models and static configuration, no simulation), so any diff is a
+// real behavior change, not noise.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/experiments -run TestGolden -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden output.\n--- want\n%s\n--- got\n%s\nIf the change is intended, refresh with -update.",
+			path, want, got)
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	golden(t, "table1", RunTable1().Render())
+}
+
+func TestGoldenWires(t *testing.T) {
+	golden(t, "wires", RunWires().Render())
+}
+
+func TestGoldenTable3(t *testing.T) {
+	golden(t, "table3", Table3())
+}

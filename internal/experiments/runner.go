@@ -74,11 +74,27 @@ type Engine struct {
 
 	mu    sync.Mutex
 	cache map[RunSpec]*RunOut
+
+	// machines pools one simulator per worker: the buffered channel is
+	// both the concurrency semaphore and the freelist. Slots start nil
+	// and are built (core.New) on first use; thereafter each run resets
+	// a pooled machine instead of reallocating the window, event wheel
+	// and cache arrays — a full-paper sweep is 168 simulations.
+	machines chan *core.Machine
 }
 
 // NewEngine builds a run engine with the given options.
 func NewEngine(opts Options) *Engine {
-	return &Engine{opts: opts.withDefaults(), cache: make(map[RunSpec]*RunOut)}
+	o := opts.withDefaults()
+	e := &Engine{
+		opts:     o,
+		cache:    make(map[RunSpec]*RunOut),
+		machines: make(chan *core.Machine, o.Parallelism),
+	}
+	for i := 0; i < o.Parallelism; i++ {
+		e.machines <- nil
+	}
+	return e
 }
 
 // Options returns the engine's effective options.
@@ -108,15 +124,31 @@ func (e *Engine) run(spec RunSpec) (*RunOut, error) {
 	cfg.Scheme = spec.Scheme
 	cfg.MaxInsts = e.opts.Insts
 	cfg.Warmup = e.opts.Warmup
-	m, err := core.New(cfg, gen)
+
+	// Acquire a worker slot; build its machine on first use, reset it
+	// otherwise. Machines that fail are dropped back as nil slots so a
+	// bad run can't poison later ones.
+	m := <-e.machines
+	if m == nil {
+		m, err = core.New(cfg, gen)
+	} else {
+		err = m.Reset(cfg, gen)
+	}
 	if err != nil {
+		e.machines <- nil
 		return nil, err
 	}
 	st, err := m.Run()
 	if err != nil {
+		e.machines <- nil
 		return nil, fmt.Errorf("%s %s %v: %w", spec.Bench, spec.width(), spec.Scheme, err)
 	}
-	out := &RunOut{Spec: spec, Stats: st, Meter: m.Meter()}
+	// Snapshot results out of the machine before it is pooled for
+	// reuse: Stats and Meter pointers alias machine state.
+	stc := st.Clone()
+	meter := *m.Meter()
+	e.machines <- m
+	out := &RunOut{Spec: spec, Stats: &stc, Meter: &meter}
 	e.mu.Lock()
 	e.cache[spec] = out
 	e.mu.Unlock()
@@ -135,15 +167,14 @@ func (e *Engine) runAll(specs []RunSpec) ([]*RunOut, error) {
 			uniq = append(uniq, s)
 		}
 	}
-	sem := make(chan struct{}, e.opts.Parallelism)
+	// Concurrency is bounded inside run() by the machine pool, which
+	// doubles as the semaphore.
 	errs := make([]error, len(uniq))
 	var wg sync.WaitGroup
 	for i, s := range uniq {
 		wg.Add(1)
 		go func(i int, s RunSpec) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
 			_, errs[i] = e.run(s)
 		}(i, s)
 	}

@@ -96,6 +96,19 @@ func (c Class) ExecLatency() int {
 	}
 }
 
+// MaxExecLatency returns the largest ExecLatency over all classes. The
+// simulator sizes its event wheel from it: no pipeline event can be
+// scheduled further ahead than the memory round-trip plus this bound.
+func MaxExecLatency() int {
+	max := 0
+	for c := IntALU; c < NumClasses; c++ {
+		if l := c.ExecLatency(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
 // Inst is one dynamic instruction in a workload trace. Dependences are
 // expressed positionally: Src1/Src2 give the sequence numbers of the
 // producing dynamic instructions, or -1 when the operand is ready at

@@ -35,6 +35,20 @@ func (h *Histogram) Add(v int) {
 	}
 }
 
+// Clone returns a deep copy of the histogram. The experiment harness
+// snapshots per-run statistics out of pooled, reusable machines, so the
+// copy must not share the counts map.
+func (h *Histogram) Clone() Histogram {
+	out := *h
+	if h.counts != nil {
+		out.counts = make(map[int]uint64, len(h.counts))
+		for k, v := range h.counts {
+			out.counts[k] = v
+		}
+	}
+	return out
+}
+
 // N returns the number of samples.
 func (h *Histogram) N() uint64 { return h.n }
 
