@@ -1,0 +1,156 @@
+// Command benchguard compares two `go test -bench` output files and
+// fails when a benchmark regressed: ns/op beyond a percentage
+// threshold, or any increase in allocs/op. It is the repository's
+// dependency-free stand-in for benchstat in CI, where the old file is
+// the committed baseline (internal/core/testdata/bench_baseline.txt).
+//
+// Usage:
+//
+//	go test -run=NONE -bench=MachineSteadyState -count=5 ./internal/core/ > new.txt
+//	benchguard -old internal/core/testdata/bench_baseline.txt -new new.txt -max-regress 10
+//
+// Benchmarks present in only one file are reported but do not fail the
+// run, so adding or retiring a benchmark does not require touching the
+// baseline in the same commit. Repeated runs of one benchmark
+// (-count=N) are averaged.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type sample struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+	runs        int
+}
+
+// parseBench reads `go test -bench` output, averaging repeated runs of
+// the same benchmark. The -N GOMAXPROCS suffix is stripped so baselines
+// survive a core-count change.
+func parseBench(path string) (map[string]*sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := map[string]*sample{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := out[name]
+		if s == nil {
+			s = &sample{}
+			out[name] = s
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsPerOp += v
+			case "allocs/op":
+				s.allocsPerOp += v
+				s.hasAllocs = true
+			}
+		}
+		s.runs++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, s := range out {
+		s.nsPerOp /= float64(s.runs)
+		s.allocsPerOp /= float64(s.runs)
+	}
+	return out, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline bench output (required)")
+	newPath := flag.String("new", "", "current bench output (required)")
+	maxRegress := flag.Float64("max-regress", 10, "maximum ns/op regression in percent")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -old and -new are required")
+		os.Exit(2)
+	}
+
+	oldB, err := parseBench(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	newB, err := parseBench(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if len(oldB) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: no benchmarks in %s\n", *oldPath)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newB))
+	for name := range newB {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	compared := 0
+	for _, name := range names {
+		n := newB[name]
+		o, ok := oldB[name]
+		if !ok {
+			fmt.Printf("%-40s %12.1f ns/op  (no baseline, skipped)\n", name, n.nsPerOp)
+			continue
+		}
+		compared++
+		delta := 100 * (n.nsPerOp - o.nsPerOp) / o.nsPerOp
+		verdict := "ok"
+		if delta > *maxRegress {
+			verdict = fmt.Sprintf("FAIL (>%.0f%%)", *maxRegress)
+			failed = true
+		}
+		fmt.Printf("%-40s %12.1f -> %12.1f ns/op  %+6.1f%%  %s\n",
+			name, o.nsPerOp, n.nsPerOp, delta, verdict)
+		if o.hasAllocs && n.hasAllocs && n.allocsPerOp > o.allocsPerOp {
+			fmt.Printf("%-40s %12.1f -> %12.1f allocs/op  FAIL (allocation regression)\n",
+				name, o.allocsPerOp, n.allocsPerOp)
+			failed = true
+		}
+	}
+	for name := range oldB {
+		if _, ok := newB[name]; !ok {
+			fmt.Printf("%-40s baseline only (not run)\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark appears in both files")
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

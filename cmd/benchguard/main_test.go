@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBench(t *testing.T) {
+	p := write(t, "bench.txt", `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+BenchmarkMachineSteadyState-8   100000   1200 ns/op   0 B/op   0 allocs/op
+BenchmarkMachineSteadyState-8   100000   1000 ns/op   0 B/op   0 allocs/op
+BenchmarkOther-8                 50000   3000 ns/op
+PASS
+`)
+	got, err := parseBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := got["BenchmarkMachineSteadyState"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	if s.runs != 2 || s.nsPerOp != 1100 {
+		t.Errorf("repeat averaging: runs=%d ns/op=%v, want 2 runs at 1100", s.runs, s.nsPerOp)
+	}
+	if !s.hasAllocs || s.allocsPerOp != 0 {
+		t.Errorf("allocs/op not picked up: %+v", s)
+	}
+	if o := got["BenchmarkOther"]; o == nil || o.hasAllocs {
+		t.Errorf("benchmark without -benchmem mis-parsed: %+v", o)
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	p := write(t, "noise.txt", "ok  \trepro\t1.2s\n--- BENCH: something\ncpu: fake\n")
+	got, err := parseBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("parsed benchmarks out of noise: %v", got)
+	}
+}

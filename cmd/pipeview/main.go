@@ -35,15 +35,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 
-	var scheme core.Scheme
-	found := false
-	for _, s := range core.Schemes() {
-		if strings.EqualFold(s.String(), *schemeName) {
-			scheme, found = s, true
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+	scheme, err := core.ParseScheme(*schemeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

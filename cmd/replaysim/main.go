@@ -17,7 +17,8 @@ import (
 
 func main() {
 	bench := flag.String("bench", "gcc", "benchmark: "+strings.Join(repro.Benchmarks(), ", "))
-	schemeName := flag.String("scheme", "PosSel", "replay scheme (PosSel, IDSel, NonSel, DSel, TkSel, ReInsert, Refetch, Conservative, SerialVerify)")
+	schemeName := flag.String("scheme", "PosSel", "replay scheme: "+strings.Join(repro.SchemeNames(), ", "))
+	listSchemes := flag.Bool("list-schemes", false, "list the registered replay schemes and exit")
 	wide8 := flag.Bool("wide8", false, "use the 8-wide Table 3 machine")
 	insts := flag.Int64("insts", 200_000, "measured instructions")
 	warmup := flag.Int64("warmup", 60_000, "warmup instructions")
@@ -25,15 +26,13 @@ func main() {
 	tokens := flag.Int("tokens", 0, "token pool override for TkSel (0 = Table 3 default)")
 	flag.Parse()
 
-	var scheme repro.Scheme
-	found := false
-	for _, s := range repro.Schemes() {
-		if strings.EqualFold(s.String(), *schemeName) {
-			scheme, found = s, true
-		}
+	if *listSchemes {
+		fmt.Println(strings.Join(repro.SchemeNames(), "\n"))
+		return
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+	scheme, err := repro.ParseScheme(*schemeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -60,7 +59,7 @@ func main() {
 	fmt.Printf("  branch mispredicts      %.2f%% of branches\n", 100*res.BranchMispredictRate)
 	if scheme == repro.TkSel {
 		fmt.Printf("  token coverage          %.1f%% of misses (stolen %d, refused %d)\n",
-			100*res.TokenCoverage, st.MissTokenStolen, st.MissTokenRefused)
+			100*res.TokenCoverage, st.Policy.MissTokenStolen, st.Policy.MissTokenRefused)
 	}
 	if st.ReinsertEvents > 0 {
 		fmt.Printf("  re-insert replays       %d events, %d instructions re-inserted\n",
@@ -69,9 +68,10 @@ func main() {
 	if st.RefetchEvents > 0 {
 		fmt.Printf("  refetch replays         %d\n", st.RefetchEvents)
 	}
-	if scheme == repro.SerialVerify && st.SerialDepth.N() > 0 {
+	if scheme == repro.SerialVerify && st.Policy.SerialDepth.N() > 0 {
+		sd := &st.Policy.SerialDepth
 		fmt.Printf("  wavefront depth         mean %.1f, p99 %d, max %d over %d misses\n",
-			st.SerialDepth.Mean(), st.SerialDepth.Quantile(0.99), st.SerialDepth.Max(), st.SerialDepth.N())
+			sd.Mean(), sd.Quantile(0.99), sd.Max(), sd.N())
 	}
 	fmt.Printf("  predictor               conf>=2 coverage %.2f, predicted %.2f of loads\n",
 		res.PredictorCoverage[2], res.PredictedFraction[2])

@@ -24,21 +24,21 @@ import (
 func main() {
 	what := flag.String("what", "tokens", "sweep to run: tokens, depth, predictor, window, rq, vp")
 	bench := flag.String("bench", "mcf", "benchmark")
-	schemeName := flag.String("scheme", "TkSel", "replay scheme for depth/window sweeps")
+	schemeName := flag.String("scheme", "TkSel", "replay scheme for depth/window sweeps: "+
+		strings.Join(core.SchemeNames(), ", "))
+	listSchemes := flag.Bool("list-schemes", false, "list the registered replay schemes and exit")
 	wide8 := flag.Bool("wide8", true, "use the 8-wide machine")
 	insts := flag.Int64("insts", 100_000, "measured instructions")
 	warmup := flag.Int64("warmup", 60_000, "warmup instructions")
 	flag.Parse()
 
-	var scheme core.Scheme
-	found := false
-	for _, s := range core.Schemes() {
-		if strings.EqualFold(s.String(), *schemeName) {
-			scheme, found = s, true
-		}
+	if *listSchemes {
+		fmt.Println(strings.Join(core.SchemeNames(), "\n"))
+		return
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+	scheme, err := core.ParseScheme(*schemeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

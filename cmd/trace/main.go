@@ -11,7 +11,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -146,15 +145,9 @@ func run(args []string) {
 	}
 	recorded := load(fs.Arg(0))
 
-	var scheme core.Scheme
-	found := false
-	for _, s := range core.Schemes() {
-		if strings.EqualFold(s.String(), *schemeName) {
-			scheme, found = s, true
-		}
-	}
-	if !found {
-		fatal(fmt.Errorf("unknown scheme %q", *schemeName))
+	scheme, err := core.ParseScheme(*schemeName)
+	if err != nil {
+		fatal(err)
 	}
 
 	cfg := core.Config4Wide()

@@ -60,21 +60,19 @@ const (
 	numSchemes
 )
 
-var schemeNames = [numSchemes]string{
-	"PosSel", "IDSel", "NonSel", "DSel", "TkSel",
-	"ReInsert", "Refetch", "Conservative", "SerialVerify",
-}
-
-// String returns the scheme's name as used in the paper's figures.
+// String returns the scheme's registered name as used in the paper's
+// figures.
 func (s Scheme) String() string {
-	if int(s) < len(schemeNames) {
-		return schemeNames[s]
+	if s < numSchemes && policyRegistry[s].name != "" {
+		return policyRegistry[s].name
 	}
 	return fmt.Sprintf("Scheme(%d)", uint8(s))
 }
 
-// Valid reports whether s is a defined scheme.
-func (s Scheme) Valid() bool { return s < numSchemes }
+// Valid reports whether s is a defined scheme with a registered policy.
+func (s Scheme) Valid() bool {
+	return s < numSchemes && policyRegistry[s].build != nil
+}
 
 // Schemes lists all implemented replay schemes.
 func Schemes() []Scheme {
@@ -225,13 +223,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative warmup")
 	case c.RQSize < 0 || c.RQRetryDelay < 0:
 		return fmt.Errorf("core: negative replay-queue parameters")
-	case c.ReplayQueue && c.Scheme != PosSel && c.Scheme != IDSel &&
-		c.Scheme != NonSel && c.Scheme != DSel:
-		return fmt.Errorf("core: the replay-queue model supports PosSel/IDSel/NonSel/DSel, not %v", c.Scheme)
-	case c.ValuePrediction && c.Scheme != IDSel && c.Scheme != TkSel &&
-		c.Scheme != ReInsert && c.Scheme != Refetch:
+	case c.ReplayQueue && !policyRegistry[c.Scheme].rq:
+		return fmt.Errorf("core: the replay-queue model supports %s, not %v",
+			schemeNamesWhere(func(e policyEntry) bool { return e.rq }), c.Scheme)
+	case c.ValuePrediction && !policyRegistry[c.Scheme].vp:
 		return fmt.Errorf("core: value prediction needs a replay scheme that does not rely on "+
-			"enforced dependence order (IDSel, TkSel, ReInsert or Refetch), not %v (§3.5)", c.Scheme)
+			"enforced dependence order (%s), not %v (§3.5)",
+			schemeNamesWhere(func(e policyEntry) bool { return e.vp }), c.Scheme)
 	case c.ValuePrediction && c.ReplayQueue:
 		return fmt.Errorf("core: value prediction with the replay-queue model is not supported")
 	}

@@ -75,9 +75,47 @@ func TestConfigValidateRejects(t *testing.T) {
 	}
 }
 
+// TestValidateSchemeFeatureMatrix walks every scheme × replay-queue ×
+// value-prediction × token-count combination and checks Validate's
+// verdict against the paper's feature support, hard-coded here so a
+// registry bug cannot silently relax the matrix: the replay-queue
+// model (Figure 4b) applies to the four squashing schemes, value
+// prediction (§3.5) to the four schemes that track dependences without
+// relying on enforced timing, TkSel always needs tokens, and VP over
+// the replay-queue model is never modeled.
+func TestValidateSchemeFeatureMatrix(t *testing.T) {
+	rqOK := map[Scheme]bool{PosSel: true, IDSel: true, NonSel: true, DSel: true}
+	vpOK := map[Scheme]bool{IDSel: true, TkSel: true, ReInsert: true, Refetch: true}
+	for s := Scheme(0); s < numSchemes; s++ {
+		for _, rq := range []bool{false, true} {
+			for _, vp := range []bool{false, true} {
+				for _, tokens := range []int{0, 8} {
+					c := Config4Wide()
+					c.Scheme = s
+					c.ReplayQueue = rq
+					c.ValuePrediction = vp
+					c.Tokens = tokens
+					wantOK := (!rq || rqOK[s]) &&
+						(!vp || vpOK[s]) &&
+						!(rq && vp) &&
+						!(s == TkSel && tokens == 0)
+					err := c.Validate()
+					if wantOK && err != nil {
+						t.Errorf("%v rq=%v vp=%v tokens=%d: rejected: %v", s, rq, vp, tokens, err)
+					}
+					if !wantOK && err == nil {
+						t.Errorf("%v rq=%v vp=%v tokens=%d: accepted", s, rq, vp, tokens)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestStatsDerived(t *testing.T) {
 	s := Stats{Cycles: 100, Retired: 150, TotalIssues: 200, FirstIssues: 160,
-		LoadIssues: 50, LoadSchedMisses: 5, MissesWithToken: 4}
+		LoadIssues: 50, LoadSchedMisses: 5,
+		Policy: PolicyStats{MissesWithToken: 4}}
 	if s.IPC() != 1.5 {
 		t.Errorf("IPC = %v", s.IPC())
 	}

@@ -25,9 +25,9 @@ func TestDiagTokens(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		allocs, steals, refused := m.alloc.Stats()
+		allocs, steals, refused := m.pol.(*tkselPolicy).alloc.Stats()
 		t.Logf("%-7s miss=%d first=%d withTok=%d stolen=%d refused=%d | alloc=%d steal=%d allocRefused=%d | reins=%d inflight=%d l2=%d mem=%d cov=%.2f",
-			bench, st.LoadSchedMisses, st.MissOnFirstIssue, st.MissesWithToken, st.MissTokenStolen, st.MissTokenRefused,
+			bench, st.LoadSchedMisses, st.MissOnFirstIssue, st.Policy.MissesWithToken, st.Policy.MissTokenStolen, st.Policy.MissTokenRefused,
 			allocs, steals, refused, st.ReinsertEvents, st.MissInFlight, st.MissL2, st.MissMemory, st.TokenCoverage())
 	}
 }

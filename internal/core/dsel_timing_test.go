@@ -113,7 +113,7 @@ func TestTkSelTokenReclaim(t *testing.T) {
 	if st.Retired < 4000 {
 		t.Fatalf("retired %d", st.Retired)
 	}
-	if st.MissTokenStolen == 0 && st.MissTokenRefused == 0 {
+	if st.Policy.MissTokenStolen == 0 && st.Policy.MissTokenRefused == 0 {
 		t.Error("single-token pool under dual miss streams should lose coverage somewhere")
 	}
 	if st.TokenCoverage() > 0.9 {

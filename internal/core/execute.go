@@ -208,8 +208,10 @@ func (m *Machine) handleComplete(ev event) {
 	}
 	if bad {
 		// Consumed a stale value: squash, clear the stale operands and
-		// wait for the producers' re-broadcasts.
-		if m.cfg.Scheme != DSel && m.cfg.Scheme != SerialVerify {
+		// wait for the producers' re-broadcasts. Schemes that reach this
+		// path by design (DSel's poison bit, SerialVerify's wavefront)
+		// do not count it as a safety replay.
+		if m.pol.countsSafetyReplay() {
 			m.stats.SafetyReplays++
 		}
 		m.squash(u)
@@ -218,18 +220,7 @@ func (m *Machine) handleComplete(ev event) {
 			if u.srcSeq(i) >= 0 && !dataValidFor(p, u.execStart) {
 				u.src[i].ready = false
 				m.rearmOperand(u, i)
-				// Under serial verification this stale execution IS the
-				// invalid wavefront advancing one level; inherit the
-				// producer's chain so chained misses keep extending it.
-				if m.cfg.Scheme == SerialVerify && p != nil && p.serialChain != nil {
-					if u.serialChain == nil || p.serialDepth+1 > u.serialDepth {
-						u.serialChain = p.serialChain
-						u.serialDepth = p.serialDepth + 1
-						if u.serialDepth > u.serialChain.maxDepth {
-							u.serialChain.maxDepth = u.serialDepth
-						}
-					}
-				}
+				m.pol.onStaleOperand(m, u, i, p)
 			}
 		}
 		return
@@ -268,47 +259,10 @@ func (m *Machine) handleComplete(ev event) {
 		m.fetchStall = m.cycle + 1
 	}
 
-	switch m.cfg.Scheme {
-	case TkSel:
-		if u.tokenID >= 0 {
-			m.completeToken(u)
-		}
-		if u.depVec.Empty() {
-			m.releaseIQ(u)
-		}
-	case DSel:
-		// Completion bus: revalidate consumers whose ready bits the
-		// kill cleared (they re-arm via evOpWake when cleared, so
-		// nothing to do here; the bus is modeled by those wakes).
-		m.releaseIQ(u)
-	default:
-		m.releaseIQ(u)
-	}
-}
-
-// completeToken broadcasts the token "complete" state (Table 2, "10"):
-// release the token and clear its bit everywhere; instructions whose
-// vector empties release their issue entries if already issued.
-func (m *Machine) completeToken(u *uop) {
-	id := u.tokenID
-	u.tokenID = -1
-	m.alloc.Release(id)
-	for i := 0; i < m.robCount; i++ {
-		w := m.rob[(m.robHead+i)%len(m.rob)]
-		if !w.depVec.Has(id) {
-			continue
-		}
-		w.depVec = w.depVec.Without(id)
-		if w.depVec.Empty() && w.issued && w.inIQ {
-			m.releaseIQ(w)
-		}
-	}
-	for i := range m.renameVec {
-		e := &m.renameVec[i]
-		if e.seq >= 0 && e.vec.Has(id) {
-			e.vec = e.vec.Without(id)
-		}
-	}
+	// Verified: the policy decides when the issue-queue entry is
+	// released (TkSel broadcasts the token complete state first; the
+	// default is an immediate release).
+	m.pol.onVerify(m, u)
 }
 
 // rearmOperand ensures a cleared operand will be woken again: if the
@@ -352,11 +306,6 @@ func (m *Machine) retire() {
 			u.inRQ = false
 			m.rqCount--
 		}
-		if u.tokenID >= 0 {
-			// Safety: tokens are normally released at completion.
-			m.alloc.Release(u.tokenID)
-			u.tokenID = -1
-		}
 		if u.inst.Class.IsMem() {
 			// LSQ head must be this instruction (program order).
 			if m.lsqLen > 0 && m.lsqAt(0) == u {
@@ -368,9 +317,7 @@ func (m *Machine) retire() {
 		m.robCount--
 		m.headSeq++
 		m.stats.Retired++
-		if m.cfg.Scheme == TkSel {
-			m.renameVecDel(u.seq() - int64(len(m.rob)))
-		}
+		m.pol.onRetire(m, u)
 		m.freeUop(u)
 	}
 }

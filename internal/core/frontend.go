@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/isa"
-	"repro/internal/token"
 )
 
 // fetchQCap bounds the fetch buffer: a few front-end pipelines' worth.
@@ -142,12 +141,11 @@ func (m *Machine) insert(in isa.Inst) {
 			// ready in the scheduler's eyes.
 			u.src[i].ready = true
 			u.src[i].wokenAt = p.broadcastCycle
-		} else if m.cfg.Scheme == SerialVerify && p.issues > 0 {
-			// Serial verification has no parallel dependence tracking:
-			// the register-file scoreboard shows a value was written
-			// (possibly invalid), so newly renamed consumers see the
-			// operand as available and the invalid wavefront keeps
-			// propagating into fresh instructions (§2.1, Figure 2a).
+		} else if m.pol.wakeupEligible(p) {
+			// The scheme's dependence tracking considers the operand
+			// (speculatively) available already — serial verification,
+			// whose register-file scoreboard shows a possibly invalid
+			// value was written (§2.1, Figure 2a).
 			u.src[i].ready = true
 			u.src[i].wokenAt = m.cycle
 		}
@@ -156,56 +154,18 @@ func (m *Machine) insert(in isa.Inst) {
 		u.storeDataSeq = in.Src2
 	}
 
-	// Token-vector propagation in program order through the rename
-	// table (TkSel); the vector is the union of the sources' vectors.
-	if m.cfg.Scheme == TkSel {
-		var v token.Vector
-		for i := 0; i < 2; i++ {
-			if seq := u.srcSeq(i); seq >= 0 {
-				v = v.Merge(m.renameVecGet(seq))
-			}
-		}
-		u.depVec = v
-	}
-
-	// Loads: predict scheduling misses; allocate tokens; attempt value
-	// prediction.
+	// Loads: predict scheduling misses and propose value prediction;
+	// the policy's rename hook does the scheme-specific work (token
+	// vectors and allocation, conservative classification) and decides
+	// whether the proposed prediction is actually consumed.
+	wantValue := false
 	if in.Class == isa.Load {
 		u.conf = m.sp.Lookup(in.PC)
-		wantValue := m.cfg.ValuePrediction && m.vp.Predict(in.PC)
-		switch m.cfg.Scheme {
-		case TkSel:
-			// Value-predicted loads are speculation heads: they need a
-			// token for the arbitrary-delay verification kill, so they
-			// allocate at elevated priority — and without a token the
-			// prediction is simply not used (the safe fallback).
-			allocConf := u.conf
-			if wantValue && allocConf < 2 {
-				allocConf = 2
-			}
-			if id, ok, stolenFrom := m.alloc.Allocate(u.seq(), allocConf); ok {
-				if stolenFrom >= 0 {
-					m.reclaimToken(id, stolenFrom)
-				}
-				u.tokenID = id
-				u.depVec = u.depVec.With(id)
-			} else {
-				wantValue = false
-			}
-		case Conservative:
-			if u.conf >= 2 {
-				u.conservative = true
-				m.stats.ConservativeDelayed++
-			}
-		}
-		if wantValue {
-			u.valuePredicted = true
-			m.stats.ValuePredictions++
-		}
+		wantValue = m.cfg.ValuePrediction && m.vp.Predict(in.PC)
 	}
-
-	if in.Class.HasDest() && m.cfg.Scheme == TkSel {
-		m.renameVecSet(in.Seq, u.depVec)
+	if m.pol.onRename(m, u, wantValue) {
+		u.valuePredicted = true
+		m.stats.ValuePredictions++
 	}
 
 	// Window allocation.
@@ -225,24 +185,4 @@ func (m *Machine) schedLatOf(in isa.Inst) int {
 		return in.Class.ExecLatency() + m.cfg.Hierarchy.DL1.Latency
 	}
 	return in.Class.ExecLatency()
-}
-
-// reclaimToken broadcasts the reclaim state (Table 2, "11"): clear the
-// token's bit from every in-window instruction and every rename-table
-// vector, and strip the old head.
-func (m *Machine) reclaimToken(id int, oldHead int64) {
-	for i := 0; i < m.robCount; i++ {
-		u := m.rob[(m.robHead+i)%len(m.rob)]
-		u.depVec = u.depVec.Without(id)
-		if u.seq() == oldHead {
-			u.tokenID = -1
-			u.tokenStolen = true
-		}
-	}
-	for i := range m.renameVec {
-		e := &m.renameVec[i]
-		if e.seq >= 0 && e.vec.Has(id) {
-			e.vec = e.vec.Without(id)
-		}
-	}
 }

@@ -7,7 +7,6 @@ import (
 	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/smpred"
-	"repro/internal/token"
 	"repro/internal/vpred"
 	"repro/internal/workload"
 )
@@ -27,8 +26,9 @@ type Machine struct {
 	hier *cache.Hierarchy
 	bp   *bpred.Predictor
 	sp   *smpred.Predictor
-	// alloc is the token pool (TkSel only, nil otherwise).
-	alloc *token.Allocator
+	// pol is the replay policy: all scheme-specific behaviour and state
+	// (token pool, rename vectors, serial chains, ...) lives behind it.
+	pol replayPolicy
 	// vp is the load value predictor (nil unless ValuePrediction).
 	vp *vpred.Predictor
 
@@ -84,18 +84,6 @@ type Machine struct {
 	reinsertActive  bool
 	reinsertPending int
 
-	// serialChains collects every wavefront under SerialVerify; the
-	// depth histogram is folded at the end of Run.
-	serialChains []*serialChain
-
-	// renameVec is the rename-table dependence-vector model for TkSel:
-	// the vector stored for each value-producing instruction, kept for
-	// recently retired producers too (pruned as the window advances).
-	// A ring of 2*ROBSize tagged entries indexed by seq: a producer's
-	// vector is created at dispatch and deleted ROBSize retirements
-	// later, so an occupant is always dead before its slot is reused.
-	renameVec []renameEntry
-
 	// killStack is the reusable DFS worklist for selective and value
 	// kills; refetchInsts is the reusable scratch for the refetch
 	// scheme's front-end rebuild.
@@ -116,13 +104,6 @@ type fetchEntry struct {
 	inst isa.Inst
 	// readyAt is when the instruction becomes eligible for dispatch.
 	readyAt int64
-}
-
-// renameEntry is one rename-vector ring slot; seq tags the occupant
-// (-1 when empty).
-type renameEntry struct {
-	seq int64
-	vec token.Vector
 }
 
 type evKind uint8
@@ -160,15 +141,6 @@ type event struct {
 	depth int
 	// chain tracks an in-progress serial propagation.
 	chain *serialChain
-}
-
-// serialChain tracks one invalid speculative wavefront under serial
-// verification, across the dependence levels it reaches — including
-// continuations through chained misses (a replayed load whose tainted
-// address misses again extends its parent wavefront, which is how the
-// paper's 800-level propagations arise).
-type serialChain struct {
-	maxDepth int
 }
 
 // New builds a machine over the given workload stream. The stream must
@@ -220,7 +192,6 @@ func (m *Machine) init(cfg Config, src workload.Stream) {
 	reuseHier := m.hier != nil && m.cfg.Hierarchy == cfg.Hierarchy
 	reuseBp := m.bp != nil && m.cfg.Bpred == cfg.Bpred
 	reuseSp := m.sp != nil && m.cfg.SMPred == cfg.SMPred
-	reuseAlloc := m.alloc != nil && cfg.Scheme == TkSel && m.cfg.Tokens == cfg.Tokens
 	reuseVp := m.vp != nil && cfg.ValuePrediction && m.cfg.VPred == cfg.VPred
 
 	m.cfg = cfg
@@ -240,14 +211,6 @@ func (m *Machine) init(cfg Config, src workload.Stream) {
 		m.sp.Reset()
 	} else {
 		m.sp = smpred.New(cfg.SMPred)
-	}
-	switch {
-	case cfg.Scheme != TkSel:
-		m.alloc = nil
-	case reuseAlloc:
-		m.alloc.Reset()
-	default:
-		m.alloc = token.NewAllocator(cfg.Tokens)
 	}
 	switch {
 	case !cfg.ValuePrediction:
@@ -308,14 +271,14 @@ func (m *Machine) init(cfg Config, src workload.Stream) {
 	m.wheelMask = hz - 1
 
 	m.reinsertActive, m.reinsertPending = false, 0
-	m.serialChains = m.serialChains[:0]
 
-	if len(m.renameVec) != 2*cfg.ROBSize {
-		m.renameVec = make([]renameEntry, 2*cfg.ROBSize)
+	// The policy survives resets to the same scheme so its private
+	// state (token pool, rename-vector ring, chain slices) is reused;
+	// reset is the policy's one allocation point.
+	if m.pol == nil || m.pol.scheme() != cfg.Scheme {
+		m.pol = newPolicy(cfg.Scheme)
 	}
-	for i := range m.renameVec {
-		m.renameVec[i] = renameEntry{seq: -1}
-	}
+	m.pol.reset(m)
 
 	m.killStack = m.killStack[:0]
 	m.refetchInsts = m.refetchInsts[:0]
@@ -378,9 +341,7 @@ func (m *Machine) Run() (*Stats, error) {
 	if m.cfg.Warmup > 0 {
 		m.stats.subtract(&base)
 	}
-	for _, ch := range m.serialChains {
-		m.stats.SerialDepth.Add(ch.maxDepth)
-	}
+	m.pol.finish(m)
 	return &m.stats, nil
 }
 
@@ -531,31 +492,6 @@ func (m *Machine) fqPush(fe fetchEntry) {
 func (m *Machine) fqPopFront() {
 	m.fqHead = (m.fqHead + 1) % len(m.fetchQ)
 	m.fqLen--
-}
-
-// renameVecGet returns the dependence vector renamed for seq (zero when
-// none is live).
-func (m *Machine) renameVecGet(seq int64) token.Vector {
-	e := &m.renameVec[seq%int64(len(m.renameVec))]
-	if e.seq != seq {
-		var zero token.Vector
-		return zero
-	}
-	return e.vec
-}
-
-func (m *Machine) renameVecSet(seq int64, v token.Vector) {
-	m.renameVec[seq%int64(len(m.renameVec))] = renameEntry{seq: seq, vec: v}
-}
-
-func (m *Machine) renameVecDel(seq int64) {
-	if seq < 0 {
-		return
-	}
-	e := &m.renameVec[seq%int64(len(m.renameVec))]
-	if e.seq == seq {
-		e.seq = -1
-	}
 }
 
 func (m *Machine) describeHead() string {

@@ -26,7 +26,7 @@ func TestRunIsDeterministic(t *testing.T) {
 	}
 	a, b := run(), run()
 	if a.Cycles != b.Cycles || a.TotalIssues != b.TotalIssues ||
-		a.LoadSchedMisses != b.LoadSchedMisses || a.MissesWithToken != b.MissesWithToken ||
+		a.LoadSchedMisses != b.LoadSchedMisses || a.Policy.MissesWithToken != b.Policy.MissesWithToken ||
 		a.SquashedIssues != b.SquashedIssues {
 		t.Fatalf("non-deterministic runs:\n%+v\n%+v", a, b)
 	}
@@ -196,7 +196,7 @@ func TestQuickSchemeAccounting(t *testing.T) {
 		return st.Retired >= 3000 &&
 			st.TotalIssues >= st.FirstIssues &&
 			st.FirstIssues >= uint64(st.Retired)-uint64(cfg.ROBSize) &&
-			st.MissesWithToken <= st.LoadSchedMisses &&
+			st.Policy.MissesWithToken <= st.LoadSchedMisses &&
 			st.LoadIssues <= st.TotalIssues
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// replayPolicy is the scheme seam: one implementation per replay
+// scheme, owning the scheme's private state (token allocator and
+// rename-vector ring for TkSel, serial-verification chains, ...) and
+// the scheme's reaction at each pipeline lifecycle point. The machine
+// core contains no per-scheme branches; everything scheme-specific is
+// dispatched through this interface, and new schemes plug in by
+// registering a constructor (see registerPolicy and DESIGN.md §8).
+//
+// Zero-allocation contract: reset is the only hook that may allocate.
+// Every other hook runs inside the warm cycle loop and must reuse
+// state owned by the policy or the machine (scratch buffers, rings,
+// pools) — TestSteadyStateAllocBudget enforces this across schemes.
+type replayPolicy interface {
+	// scheme returns the enum the policy implements.
+	scheme() Scheme
+
+	// supportsValuePrediction reports whether the scheme's dependence
+	// name space survives value speculation's arbitrary verification
+	// boundary (§3.5). Config.Validate consults this.
+	supportsValuePrediction() bool
+	// supportsReplayQueue reports whether the scheme is defined under
+	// the Figure 4b replay-queue model. Config.Validate consults this.
+	supportsReplayQueue() bool
+
+	// reset prepares the policy for a fresh run of m; it is called
+	// from Machine.init after the generic window state is rebuilt
+	// (m.cfg is already the new configuration). Policy state is
+	// allocated or resized here, never in the per-cycle hooks.
+	reset(m *Machine)
+
+	// onRename runs at dispatch, after generic renaming wired u's
+	// operands and before window allocation. It performs the scheme's
+	// rename-stage work (dependence-vector propagation, token or
+	// confidence-based load classification). wantValue reports that
+	// the value predictor proposed predicting this load; the return
+	// value is whether the prediction is actually consumed (TkSel
+	// refuses it when no token could be allocated).
+	onRename(m *Machine, u *uop, wantValue bool) bool
+
+	// wakeupEligible reports whether a newly renamed operand whose
+	// in-window producer p has issued but not completed appears ready
+	// to the scheduler. Schemes with parallel dependence tracking
+	// return false (the broadcast will wake the operand); serial
+	// verification returns true — the scoreboard shows a (possibly
+	// invalid) value was written, which is how its wavefronts keep
+	// propagating into fresh instructions (§2.1).
+	wakeupEligible(p *uop) bool
+
+	// onIssue runs after u is selected and its pipeline events are
+	// scheduled, before the replay-queue model's entry release.
+	onIssue(m *Machine, u *uop)
+
+	// onKill is the scheduler's reaction to a load scheduling miss
+	// arriving on the kill wire: count the scheme's recovery stats,
+	// return the load to the waiting state (replayLoad) and invalidate
+	// dependents with the scheme's mechanism.
+	onKill(m *Machine, u *uop)
+
+	// onSquash runs whenever an issued instruction is returned to the
+	// waiting state (kill-time invalidation, safety replay, value
+	// kill). No built-in scheme tracks squash-local state today; the
+	// hook exists so hybrids can (e.g. squash-triggered throttling).
+	onSquash(m *Machine, u *uop)
+
+	// onVerify runs at the completion stage once u is verified (marked
+	// complete with valid data). The scheme decides when the issue
+	// queue entry is released.
+	onVerify(m *Machine, u *uop)
+
+	// countsSafetyReplay reports whether the completion-stage
+	// ground-truth check catching a stale operand indicates a scheme
+	// implementation gap (counted in Stats.SafetyReplays). DSel and
+	// SerialVerify reach that path by design — the poison bit and the
+	// serial wavefront are modeled there — and return false.
+	countsSafetyReplay() bool
+
+	// onStaleOperand runs for each operand the completion-stage safety
+	// check found stale (cleared and re-armed), with p the operand's
+	// producing uop (possibly nil).
+	onStaleOperand(m *Machine, u *uop, op int, p *uop)
+
+	// onRetire runs as u commits, after the window head advanced past
+	// it and before the uop returns to the pool.
+	onRetire(m *Machine, u *uop)
+
+	// onFlush runs for each uop a refetch-style recovery removes from
+	// the window without retiring it (the uop recycles immediately);
+	// schemes with global name state (tokens) reclaim it here.
+	onFlush(m *Machine, u *uop)
+
+	// finish runs once at the end of Run to fold policy-private state
+	// into the per-scheme stats namespace (Stats.Policy).
+	finish(m *Machine)
+}
+
+// noopPolicy provides the do-nothing defaults; concrete policies embed
+// it and override the hooks their scheme reacts to.
+type noopPolicy struct{}
+
+func (noopPolicy) supportsValuePrediction() bool { return false }
+func (noopPolicy) supportsReplayQueue() bool     { return false }
+func (noopPolicy) reset(*Machine)                {}
+func (noopPolicy) onRename(m *Machine, u *uop, wantValue bool) bool {
+	return wantValue
+}
+func (noopPolicy) wakeupEligible(*uop) bool                 { return false }
+func (noopPolicy) onIssue(*Machine, *uop)                   {}
+func (noopPolicy) onSquash(*Machine, *uop)                  {}
+func (noopPolicy) onVerify(m *Machine, u *uop)              { m.releaseIQ(u) }
+func (noopPolicy) countsSafetyReplay() bool                 { return true }
+func (noopPolicy) onStaleOperand(*Machine, *uop, int, *uop) {}
+func (noopPolicy) onRetire(*Machine, *uop)                  {}
+func (noopPolicy) onFlush(*Machine, *uop)                   {}
+func (noopPolicy) finish(*Machine)                          {}
+
+// policyEntry is one registry slot: the scheme's canonical name, its
+// policy constructor, and the capabilities Config.Validate consults
+// (probed from a throwaway instance at registration).
+type policyEntry struct {
+	name  string
+	build func() replayPolicy
+	vp    bool // supportsValuePrediction
+	rq    bool // supportsReplayQueue
+}
+
+// policyRegistry is the name-keyed scheme registry, indexed by the
+// Scheme enum for the machine's O(1) constructor lookup and mirrored
+// in policyByName for user-facing name resolution. Policy files
+// register themselves at package init.
+var (
+	policyRegistry [numSchemes]policyEntry
+	policyByName   = make(map[string]Scheme, numSchemes)
+)
+
+// registerPolicy installs a scheme's policy constructor under its
+// canonical name. Double registration (two policies claiming one
+// scheme or one name) is a programming error and panics at init.
+func registerPolicy(s Scheme, name string, build func() replayPolicy) {
+	if s >= numSchemes {
+		panic(fmt.Sprintf("core: scheme %d out of range", uint8(s)))
+	}
+	if policyRegistry[s].build != nil {
+		panic(fmt.Sprintf("core: scheme %v registered twice", s))
+	}
+	key := strings.ToLower(name)
+	if _, dup := policyByName[key]; dup {
+		panic(fmt.Sprintf("core: scheme name %q registered twice", name))
+	}
+	probe := build()
+	if probe.scheme() != s {
+		panic(fmt.Sprintf("core: policy registered for %q reports scheme %v", name, probe.scheme()))
+	}
+	policyRegistry[s] = policyEntry{
+		name:  name,
+		build: build,
+		vp:    probe.supportsValuePrediction(),
+		rq:    probe.supportsReplayQueue(),
+	}
+	policyByName[key] = s
+}
+
+// newPolicy constructs a fresh policy for the scheme. The scheme must
+// be registered (Config.Validate guarantees it before a Machine is
+// built).
+func newPolicy(s Scheme) replayPolicy {
+	e := policyRegistry[s]
+	if e.build == nil {
+		panic(fmt.Sprintf("core: no policy registered for scheme %d", uint8(s)))
+	}
+	return e.build()
+}
+
+// ParseScheme resolves a scheme by its registered name,
+// case-insensitively. Unknown names return an error listing every
+// valid name.
+func ParseScheme(name string) (Scheme, error) {
+	if s, ok := policyByName[strings.ToLower(name)]; ok {
+		return s, nil
+	}
+	return 0, fmt.Errorf("core: unknown replay scheme %q (valid: %s)",
+		name, strings.Join(SchemeNames(), ", "))
+}
+
+// SchemeNames returns every registered scheme name in enum order (the
+// paper's presentation order).
+func SchemeNames() []string {
+	out := make([]string, 0, numSchemes)
+	for s := Scheme(0); s < numSchemes; s++ {
+		if policyRegistry[s].build != nil {
+			out = append(out, policyRegistry[s].name)
+		}
+	}
+	return out
+}
+
+// schemeNamesWhere lists the registered schemes passing the capability
+// filter, "/"-joined for Validate's error messages.
+func schemeNamesWhere(pred func(policyEntry) bool) string {
+	var names []string
+	for s := Scheme(0); s < numSchemes; s++ {
+		if policyRegistry[s].build != nil && pred(policyRegistry[s]) {
+			names = append(names, policyRegistry[s].name)
+		}
+	}
+	return strings.Join(names, "/")
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestPolicyRegistryComplete checks the scheme registry end to end:
+// every enum value has a policy, names round-trip through ParseScheme
+// (case-insensitively), and the error for an unknown name lists every
+// valid one.
+func TestPolicyRegistryComplete(t *testing.T) {
+	names := SchemeNames()
+	if len(names) != int(numSchemes) {
+		t.Fatalf("SchemeNames() returned %d entries, want %d", len(names), numSchemes)
+	}
+	for s := Scheme(0); s < numSchemes; s++ {
+		pol := newPolicy(s)
+		if pol.scheme() != s {
+			t.Errorf("newPolicy(%v).scheme() = %v", s, pol.scheme())
+		}
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+		got, err = ParseScheme(strings.ToUpper(s.String()))
+		if err != nil || got != s {
+			t.Errorf("ParseScheme upper(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Error("ParseScheme accepted an unknown name")
+	} else {
+		for _, n := range names {
+			if !strings.Contains(err.Error(), n) {
+				t.Errorf("unknown-scheme error %q omits valid name %q", err, n)
+			}
+		}
+	}
+}
+
+// conformanceConfigs returns one representative configuration per
+// scheme plus the replay-queue and value-prediction variants each
+// scheme's policy claims to support.
+func conformanceConfigs() []Config {
+	var out []Config
+	for s := Scheme(0); s < numSchemes; s++ {
+		cfg := Config4Wide()
+		cfg.Scheme = s
+		cfg.MaxInsts = 8_000
+		out = append(out, cfg)
+		if policyRegistry[s].rq {
+			rq := cfg
+			rq.ReplayQueue = true
+			rq.IQSize = 24
+			out = append(out, rq)
+		}
+		if policyRegistry[s].vp {
+			vp := cfg
+			vp.ValuePrediction = true
+			out = append(out, vp)
+		}
+	}
+	return out
+}
+
+func conformanceLabel(cfg Config) string {
+	l := cfg.Scheme.String()
+	if cfg.ReplayQueue {
+		l += "+rq"
+	}
+	if cfg.ValuePrediction {
+		l += "+vp"
+	}
+	return l
+}
+
+// TestSchemeConformance steps a machine through a real workload under
+// every scheme (and each scheme's replay-queue/value-prediction
+// variants), asserting the structural invariants every policy must
+// preserve each cycle:
+//
+//   - uop conservation: in-window population plus the free pool always
+//     equals the ROB size (no leaks, no double-frees);
+//   - the issue-queue count never exceeds the window population;
+//   - replay-slot occupancy (replay-queue entries) never exceeds the
+//     window population, and is zero outside the Figure 4b model;
+//   - token conservation (TkSel): the allocator's in-use count equals
+//     the number of in-window instructions holding a token.
+func TestSchemeConformance(t *testing.T) {
+	for _, cfg := range conformanceConfigs() {
+		cfg := cfg
+		t.Run(conformanceLabel(cfg), func(t *testing.T) {
+			t.Parallel()
+			p, err := workload.ByName("gcc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := workload.NewGenerator(p, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := New(cfg, gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.ran = true // stepping manually
+			for m.stats.Retired < cfg.MaxInsts {
+				m.step()
+				if m.robCount+len(m.free) != cfg.ROBSize {
+					t.Fatalf("cycle %d: %d in window + %d free != %d ROB entries (uop leak)",
+						m.cycle, m.robCount, len(m.free), cfg.ROBSize)
+				}
+				if m.iqCount < 0 || m.iqCount > m.robCount {
+					t.Fatalf("cycle %d: IQ count %d outside [0,%d]", m.cycle, m.iqCount, m.robCount)
+				}
+				if m.rqCount < 0 || m.rqCount > m.robCount {
+					t.Fatalf("cycle %d: replay-queue count %d outside [0,%d]",
+						m.cycle, m.rqCount, m.robCount)
+				}
+				if !cfg.ReplayQueue && m.rqCount != 0 {
+					t.Fatalf("cycle %d: replay-queue count %d without the replay-queue model",
+						m.cycle, m.rqCount)
+				}
+				if tk, ok := m.pol.(*tkselPolicy); ok {
+					held := 0
+					for i := 0; i < m.robCount; i++ {
+						if m.rob[(m.robHead+i)%len(m.rob)].tokenID >= 0 {
+							held++
+						}
+					}
+					if tk.tokensInUse() != held {
+						t.Fatalf("cycle %d: allocator reports %d tokens in use, window holds %d",
+							m.cycle, tk.tokensInUse(), held)
+					}
+				}
+				if m.cycle > 4_000_000 {
+					t.Fatal("conformance run wedged")
+				}
+			}
+		})
+	}
+}
+
+// TestMachineResetBitIdentical checks the Reset contract the experiment
+// runner's machine pool depends on: a reset machine produces exactly
+// the statistics of a fresh one, including when the reset crosses
+// schemes (so policy state from a previous scheme cannot bleed over).
+func TestMachineResetBitIdentical(t *testing.T) {
+	fresh := func(cfg Config) Stats {
+		t.Helper()
+		p, _ := workload.ByName("vpr")
+		gen, err := workload.NewGenerator(p, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(cfg, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Clone()
+	}
+	for s := Scheme(0); s < numSchemes; s++ {
+		cfg := Config4Wide()
+		cfg.Scheme = s
+		cfg.MaxInsts = 6_000
+		want := fresh(cfg)
+
+		// Same machine, reset through every other scheme first, then
+		// back to s: any policy-private state surviving the chain wrong
+		// would shift counters.
+		p, _ := workload.ByName("vpr")
+		m := &Machine{}
+		for o := Scheme(0); o < numSchemes; o++ {
+			ocfg := Config4Wide()
+			ocfg.Scheme = o
+			ocfg.MaxInsts = 2_000
+			gen, _ := workload.NewGenerator(p, 3)
+			if err := m.Reset(ocfg, gen); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gen, _ := workload.NewGenerator(p, 11)
+		if err := m.Reset(cfg, gen); err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := st.Clone(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: reset machine diverges from fresh machine\nfresh: %+v\nreset: %+v",
+				s, want, got)
+		}
+	}
+}
+
+// TestTokenMissPartition pins the normalized token accounting: under
+// TkSel every load scheduling miss lands in exactly one of the three
+// policy counters (held a token / token stolen before the kill / never
+// got one), and the policy counters mirror the allocator's own
+// bookkeeping. Under every other scheme the namespace stays zero.
+func TestTokenMissPartition(t *testing.T) {
+	run := func(s Scheme) (*Stats, *Machine) {
+		t.Helper()
+		p, _ := workload.ByName("mcf")
+		gen, err := workload.NewGenerator(p, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config4Wide()
+		cfg.Scheme = s
+		cfg.MaxInsts = 20_000
+		cfg.Tokens = 4 // small pool so steals and refusals actually occur
+		m, err := New(cfg, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, m
+	}
+
+	st, m := run(TkSel)
+	ps := &st.Policy
+	if got := ps.MissesWithToken + ps.MissTokenStolen + ps.MissTokenRefused; got != st.LoadSchedMisses {
+		t.Errorf("token partition %d+%d+%d = %d, want LoadSchedMisses %d",
+			ps.MissesWithToken, ps.MissTokenStolen, ps.MissTokenRefused, got, st.LoadSchedMisses)
+	}
+	if st.LoadSchedMisses == 0 || ps.MissesWithToken == 0 {
+		t.Error("workload too quiet to exercise the token partition")
+	}
+	allocs, steals, refused := m.pol.(*tkselPolicy).alloc.Stats()
+	if ps.TokensGranted != allocs || ps.TokenSteals != steals || ps.TokenDenials != refused {
+		t.Errorf("policy counters grant=%d steal=%d deny=%d diverge from allocator %d/%d/%d",
+			ps.TokensGranted, ps.TokenSteals, ps.TokenDenials, allocs, steals, refused)
+	}
+	if ps.TokenSteals == 0 || ps.TokenDenials == 0 {
+		t.Error("4-token pool on mcf should see steals and refusals")
+	}
+
+	for s := Scheme(0); s < numSchemes; s++ {
+		if s == TkSel {
+			continue
+		}
+		st, _ := run(s)
+		ps := st.Policy
+		if ps.MissesWithToken != 0 || ps.MissTokenStolen != 0 || ps.MissTokenRefused != 0 ||
+			ps.TokensGranted != 0 || ps.TokenSteals != 0 || ps.TokenDenials != 0 {
+			t.Errorf("%v: token counters nonzero: %+v", s, ps)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package core
+
+func init() {
+	registerPolicy(Refetch, "Refetch", func() replayPolicy {
+		return &refetchPolicy{}
+	})
+}
+
+// refetchPolicy treats a scheduling miss like a branch misprediction
+// (§3.2): flush every younger instruction from the machine and refetch
+// it through the front end. The recovery boundary is program order, so
+// value prediction is recoverable.
+type refetchPolicy struct {
+	noopPolicy
+}
+
+func (p *refetchPolicy) scheme() Scheme                { return Refetch }
+func (p *refetchPolicy) supportsValuePrediction() bool { return true }
+
+func (p *refetchPolicy) onKill(m *Machine, u *uop) {
+	m.replayLoad(u)
+	if u.valuePredicted {
+		return
+	}
+	m.refetch(u)
+}

@@ -1,0 +1,49 @@
+package core
+
+func init() {
+	registerPolicy(ReInsert, "ReInsert", func() replayPolicy {
+		return &reinsertPolicy{s: ReInsert}
+	})
+	registerPolicy(Conservative, "Conservative", func() replayPolicy {
+		return &reinsertPolicy{s: Conservative, conservative: true}
+	})
+}
+
+// reinsertPolicy recovers every miss by flushing younger instructions
+// from the scheduler and re-inserting them from the ROB in program
+// order (§4.2's safety mechanism, evaluated standalone in Figure 13).
+// The Conservative variant (§5.4, after Yoaz et al.) additionally
+// schedules high-confidence predicted-miss loads pessimistically, so
+// their dependents never wake speculatively and only wrong
+// hit-predictions pay the re-insert.
+type reinsertPolicy struct {
+	noopPolicy
+	s Scheme
+	// conservative enables the pessimistic-scheduling classification
+	// at rename.
+	conservative bool
+}
+
+func (p *reinsertPolicy) scheme() Scheme { return p.s }
+
+// supportsValuePrediction: re-insert recovers in rename (program)
+// order, which does not rely on issue timing — but the Conservative
+// variant is not part of the paper's §3.5 evaluation and keeps value
+// prediction off.
+func (p *reinsertPolicy) supportsValuePrediction() bool { return !p.conservative }
+
+func (p *reinsertPolicy) onRename(m *Machine, u *uop, wantValue bool) bool {
+	if p.conservative && u.isLoad() && u.conf >= 2 {
+		u.conservative = true
+		m.stats.ConservativeDelayed++
+	}
+	return wantValue
+}
+
+func (p *reinsertPolicy) onKill(m *Machine, u *uop) {
+	m.replayLoad(u)
+	if u.valuePredicted {
+		return
+	}
+	m.startReinsert(u)
+}

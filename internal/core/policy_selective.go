@@ -1,0 +1,39 @@
+package core
+
+func init() {
+	registerPolicy(PosSel, "PosSel", func() replayPolicy {
+		return &selectivePolicy{s: PosSel}
+	})
+	registerPolicy(IDSel, "IDSel", func() replayPolicy {
+		return &selectivePolicy{s: IDSel, fullNameSpace: true}
+	})
+}
+
+// selectivePolicy implements position-based (§3.4.3) and ID-based
+// (§3.4.1) selective replay. Replay behaviour is identical — a
+// scheduling miss invalidates exactly the transitive dependents of the
+// mis-scheduled load — the schemes differ only in the hardware name
+// space (position matrices vs. full load-ID vectors), which the
+// analytic package costs out and which decides whether the scheme
+// survives value speculation's arbitrary verification boundary.
+type selectivePolicy struct {
+	noopPolicy
+	s Scheme
+	// fullNameSpace marks the ID-based variant: dependence names do
+	// not rely on issue timing, so value prediction is recoverable.
+	fullNameSpace bool
+}
+
+func (p *selectivePolicy) scheme() Scheme                { return p.s }
+func (p *selectivePolicy) supportsValuePrediction() bool { return p.fullNameSpace }
+func (p *selectivePolicy) supportsReplayQueue() bool     { return true }
+
+func (p *selectivePolicy) onKill(m *Machine, u *uop) {
+	m.replayLoad(u)
+	if u.valuePredicted {
+		// Dependents ride the predicted value; only the load's own
+		// verification is delayed (recovery happens at value check).
+		return
+	}
+	m.selectiveKill(u)
+}

@@ -1,0 +1,132 @@
+package core
+
+func init() {
+	registerPolicy(SerialVerify, "SerialVerify", func() replayPolicy {
+		return &serialPolicy{}
+	})
+}
+
+// serialChain tracks one invalid speculative wavefront under serial
+// verification, across the dependence levels it reaches — including
+// continuations through chained misses (a replayed load whose tainted
+// address misses again extends its parent wavefront, which is how the
+// paper's 800-level propagations arise).
+type serialChain struct {
+	maxDepth int
+}
+
+// serialPolicy propagates verification one dependence level per cycle
+// (§2.1, Figure 2a); it exists to reproduce Figure 3's
+// runaway-wavefront behaviour. The policy owns every wavefront started
+// during the run; the depth histogram is folded into the stats
+// namespace when the run finishes.
+type serialPolicy struct {
+	noopPolicy
+	// chains collects every wavefront; entries are appended at kill
+	// time and never removed, so the slice is reused across runs.
+	chains []*serialChain
+}
+
+func (p *serialPolicy) scheme() Scheme { return SerialVerify }
+
+func (p *serialPolicy) reset(*Machine) { p.chains = p.chains[:0] }
+
+// wakeupEligible: serial verification has no parallel dependence
+// tracking — the register-file scoreboard shows a value was written
+// (possibly invalid), so newly renamed consumers see the operand as
+// available and the invalid wavefront keeps propagating into fresh
+// instructions (§2.1, Figure 2a).
+func (p *serialPolicy) wakeupEligible(prod *uop) bool { return prod.issues > 0 }
+
+// countsSafetyReplay: a stale execution caught at completion IS the
+// serial wavefront advancing one level, not an implementation gap.
+func (p *serialPolicy) countsSafetyReplay() bool { return false }
+
+func (p *serialPolicy) onKill(m *Machine, u *uop) {
+	m.replayLoad(u)
+	if u.valuePredicted {
+		return
+	}
+	p.serialKill(m, u)
+}
+
+// serialKill starts (or continues) the one-level-per-cycle serial
+// verification wave of §2.1/Figure 2a. A miss by a load that is itself
+// already on a wavefront (serially invalidated earlier, or executed
+// with a tainted address) extends that wavefront rather than starting
+// a new one — per the paper's footnote, propagation is sustained
+// through newly inserted instructions and chained misses, far past the
+// window size.
+func (p *serialPolicy) serialKill(m *Machine, load *uop) {
+	ch := load.serialChain
+	depth := load.serialDepth
+	if ch == nil {
+		ch = &serialChain{}
+		depth = 0
+		load.serialChain = ch
+		p.chains = append(p.chains, ch)
+	}
+	m.scheduleNow(event{kind: evSerialStep, u: load, depth: depth, chain: ch})
+}
+
+// onStaleOperand: under serial verification a stale execution is the
+// invalid wavefront advancing one level; the consumer inherits the
+// producer's chain so chained misses keep extending it.
+func (p *serialPolicy) onStaleOperand(m *Machine, u *uop, op int, prod *uop) {
+	if prod == nil || prod.serialChain == nil {
+		return
+	}
+	if u.serialChain == nil || prod.serialDepth+1 > u.serialDepth {
+		u.serialChain = prod.serialChain
+		u.serialDepth = prod.serialDepth + 1
+		if u.serialDepth > u.serialChain.maxDepth {
+			u.serialChain.maxDepth = u.serialDepth
+		}
+	}
+}
+
+// finish folds the wavefront depth histogram (Figure 3) into the
+// per-scheme stats namespace.
+func (p *serialPolicy) finish(m *Machine) {
+	for _, ch := range p.chains {
+		m.stats.Policy.SerialDepth.Add(ch.maxDepth)
+	}
+}
+
+// handleSerialStep advances one wavefront one dependence level: every
+// consumer whose operand still rides the invalid value is cleared,
+// squashed if issued, and scheduled to propagate further next cycle.
+func (m *Machine) handleSerialStep(ev event) {
+	ch := ev.chain
+	if ev.depth > ch.maxDepth {
+		ch.maxDepth = ev.depth
+	}
+	p := ev.u
+	if p.retired {
+		return
+	}
+	pseq := p.seq()
+	for _, cseq := range p.consumers {
+		c := m.lookup(cseq)
+		if c == nil || c.completed {
+			continue
+		}
+		touched := false
+		for i := 0; i < 2; i++ {
+			if c.src[i].producer == pseq && c.src[i].ready && !dataValidFor(p, m.cycle) {
+				c.src[i].ready = false
+				touched = true
+			}
+		}
+		if !touched {
+			continue
+		}
+		if c.issued {
+			m.squash(c)
+			m.stats.SquashedIssues++
+		}
+		c.serialChain = ch
+		c.serialDepth = ev.depth + 1
+		m.schedule(m.cycle+1, event{kind: evSerialStep, u: c, depth: ev.depth + 1, chain: ch})
+	}
+}

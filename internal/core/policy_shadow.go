@@ -1,0 +1,41 @@
+package core
+
+func init() {
+	registerPolicy(NonSel, "NonSel", func() replayPolicy {
+		return &shadowPolicy{s: NonSel, flushPipeline: true, countSafety: true}
+	})
+	registerPolicy(DSel, "DSel", func() replayPolicy {
+		return &shadowPolicy{s: DSel}
+	})
+}
+
+// shadowPolicy implements the two countdown-timer schemes built on the
+// propagation-distance shadow of §3.3: non-selective (squashing)
+// replay, which flushes the whole schedule-to-execute region on a
+// miss, and delayed selective replay (§3.4.2), which lets issued
+// instructions keep flowing with poison bits and revalidates
+// independents off the completion bus.
+type shadowPolicy struct {
+	noopPolicy
+	s Scheme
+	// flushPipeline selects NonSel's kill of everything between the
+	// schedule and execute stages; DSel leaves issued instructions in
+	// flight.
+	flushPipeline bool
+	// countSafety: under DSel the completion-stage poison check IS the
+	// scheme's recovery mechanism, so stale completions are not
+	// counted as safety replays.
+	countSafety bool
+}
+
+func (p *shadowPolicy) scheme() Scheme            { return p.s }
+func (p *shadowPolicy) supportsReplayQueue() bool { return true }
+func (p *shadowPolicy) countsSafetyReplay() bool  { return p.countSafety }
+
+func (p *shadowPolicy) onKill(m *Machine, u *uop) {
+	m.replayLoad(u)
+	if u.valuePredicted {
+		return
+	}
+	m.shadowKill(u, p.flushPipeline)
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"repro/internal/token"
+)
+
+func init() {
+	registerPolicy(TkSel, "TkSel", func() replayPolicy {
+		return &tkselPolicy{}
+	})
+}
+
+// renameEntry is one rename-vector ring slot; seq tags the occupant
+// (-1 when empty).
+type renameEntry struct {
+	seq int64
+	vec token.Vector
+}
+
+// tkselPolicy is token-based selective replay (§4.2), the paper's
+// contribution: predicted-miss loads get tokens and replay precisely
+// (PosSel-equivalent); token-less misses fall back to re-insert. The
+// policy owns the token pool and the rename-table dependence-vector
+// model; both are sized at reset and reused across runs.
+type tkselPolicy struct {
+	noopPolicy
+	// alloc is the fixed pool of token names.
+	alloc *token.Allocator
+	// renameVec is the rename-table dependence-vector model: the vector
+	// stored for each value-producing instruction, kept for recently
+	// retired producers too (pruned as the window advances). A ring of
+	// 2*ROBSize tagged entries indexed by seq: a producer's vector is
+	// created at dispatch and deleted ROBSize retirements later, so an
+	// occupant is always dead before its slot is reused.
+	renameVec []renameEntry
+}
+
+func (p *tkselPolicy) scheme() Scheme { return TkSel }
+
+// supportsValuePrediction: the token vector propagates through the
+// rename table in program order, independent of issue timing, so the
+// arbitrary verification boundary of §3.5 is recoverable.
+func (p *tkselPolicy) supportsValuePrediction() bool { return true }
+
+func (p *tkselPolicy) reset(m *Machine) {
+	if p.alloc == nil || p.alloc.Size() != m.cfg.Tokens {
+		p.alloc = token.NewAllocator(m.cfg.Tokens)
+	} else {
+		p.alloc.Reset()
+	}
+	if len(p.renameVec) != 2*m.cfg.ROBSize {
+		p.renameVec = make([]renameEntry, 2*m.cfg.ROBSize)
+	}
+	for i := range p.renameVec {
+		p.renameVec[i] = renameEntry{seq: -1}
+	}
+}
+
+// onRename: propagate the token vector in program order through the
+// rename table (the vector is the union of the sources' vectors),
+// allocate a token for the load, and store the destination's vector.
+func (p *tkselPolicy) onRename(m *Machine, u *uop, wantValue bool) bool {
+	var v token.Vector
+	for i := 0; i < 2; i++ {
+		if seq := u.srcSeq(i); seq >= 0 {
+			v = v.Merge(p.vecGet(seq))
+		}
+	}
+	u.depVec = v
+
+	if u.isLoad() {
+		// Value-predicted loads are speculation heads: they need a
+		// token for the arbitrary-delay verification kill, so they
+		// allocate at elevated priority — and without a token the
+		// prediction is simply not used (the safe fallback).
+		allocConf := u.conf
+		if wantValue && allocConf < 2 {
+			allocConf = 2
+		}
+		if id, ok, stolenFrom := p.alloc.Allocate(u.seq(), allocConf); ok {
+			m.stats.Policy.TokensGranted++
+			if stolenFrom >= 0 {
+				m.stats.Policy.TokenSteals++
+				p.reclaimToken(m, id, stolenFrom)
+			}
+			u.tokenID = id
+			u.depVec = u.depVec.With(id)
+		} else {
+			m.stats.Policy.TokenDenials++
+			wantValue = false
+		}
+	}
+
+	if u.inst.Class.HasDest() {
+		p.vecSet(u.seq(), u.depVec)
+	}
+	return wantValue
+}
+
+// onIssue: release the issue-queue entry at issue when the dependence
+// vector is empty — no outstanding token head can invalidate the
+// instruction, and the re-insert safety path recovers from the ROB,
+// not the queue.
+func (p *tkselPolicy) onIssue(m *Machine, u *uop) {
+	if u.inIQ && u.depVec.Empty() && u.tokenID < 0 {
+		m.releaseIQ(u)
+	}
+}
+
+func (p *tkselPolicy) onKill(m *Machine, u *uop) {
+	hadToken := u.tokenID >= 0
+	if hadToken {
+		m.stats.Policy.MissesWithToken++
+	} else if u.tokenStolen {
+		m.stats.Policy.MissTokenStolen++
+	} else {
+		m.stats.Policy.MissTokenRefused++
+	}
+	m.replayLoad(u)
+	if u.valuePredicted {
+		return
+	}
+	if hadToken {
+		// Token head: the kill state on the token's two wires
+		// invalidates exactly the instructions carrying the token bit —
+		// behaviourally the position-based precise kill.
+		m.selectiveKill(u)
+	} else {
+		m.startReinsert(u)
+	}
+}
+
+func (p *tkselPolicy) onVerify(m *Machine, u *uop) {
+	if u.tokenID >= 0 {
+		p.completeToken(m, u)
+	}
+	if u.depVec.Empty() {
+		m.releaseIQ(u)
+	}
+}
+
+func (p *tkselPolicy) onRetire(m *Machine, u *uop) {
+	if u.tokenID >= 0 {
+		// Safety: tokens are normally released at completion.
+		p.alloc.Release(u.tokenID)
+		u.tokenID = -1
+	}
+	p.vecDel(u.seq() - int64(m.cfg.ROBSize))
+}
+
+// onFlush reclaims the token of a uop a refetch-style recovery removed
+// from the window without retiring it, so the name returns to the pool
+// and stale vector bits are stripped.
+func (p *tkselPolicy) onFlush(m *Machine, u *uop) {
+	if u.tokenID < 0 {
+		return
+	}
+	old := u.tokenID
+	u.tokenID = -1
+	holder := p.alloc.Holder(old)
+	p.alloc.Release(old)
+	p.reclaimToken(m, old, holder)
+}
+
+// completeToken broadcasts the token "complete" state (Table 2, "10"):
+// release the token and clear its bit everywhere; instructions whose
+// vector empties release their issue entries if already issued.
+func (p *tkselPolicy) completeToken(m *Machine, u *uop) {
+	id := u.tokenID
+	u.tokenID = -1
+	p.alloc.Release(id)
+	for i := 0; i < m.robCount; i++ {
+		w := m.rob[(m.robHead+i)%len(m.rob)]
+		if !w.depVec.Has(id) {
+			continue
+		}
+		w.depVec = w.depVec.Without(id)
+		if w.depVec.Empty() && w.issued && w.inIQ {
+			m.releaseIQ(w)
+		}
+	}
+	for i := range p.renameVec {
+		e := &p.renameVec[i]
+		if e.seq >= 0 && e.vec.Has(id) {
+			e.vec = e.vec.Without(id)
+		}
+	}
+}
+
+// reclaimToken broadcasts the reclaim state (Table 2, "11"): clear the
+// token's bit from every in-window instruction and every rename-table
+// vector, and strip the old head.
+func (p *tkselPolicy) reclaimToken(m *Machine, id int, oldHead int64) {
+	for i := 0; i < m.robCount; i++ {
+		u := m.rob[(m.robHead+i)%len(m.rob)]
+		u.depVec = u.depVec.Without(id)
+		if u.seq() == oldHead {
+			u.tokenID = -1
+			u.tokenStolen = true
+		}
+	}
+	for i := range p.renameVec {
+		e := &p.renameVec[i]
+		if e.seq >= 0 && e.vec.Has(id) {
+			e.vec = e.vec.Without(id)
+		}
+	}
+}
+
+// vecGet returns the dependence vector renamed for seq (zero when none
+// is live).
+func (p *tkselPolicy) vecGet(seq int64) token.Vector {
+	e := &p.renameVec[seq%int64(len(p.renameVec))]
+	if e.seq != seq {
+		var zero token.Vector
+		return zero
+	}
+	return e.vec
+}
+
+func (p *tkselPolicy) vecSet(seq int64, v token.Vector) {
+	p.renameVec[seq%int64(len(p.renameVec))] = renameEntry{seq: seq, vec: v}
+}
+
+func (p *tkselPolicy) vecDel(seq int64) {
+	if seq < 0 {
+		return
+	}
+	e := &p.renameVec[seq%int64(len(p.renameVec))]
+	if e.seq == seq {
+		e.seq = -1
+	}
+}
+
+// tokensInUse exposes the pool occupancy for the conformance suite.
+func (p *tkselPolicy) tokensInUse() int { return p.alloc.InUse() }

@@ -22,49 +22,14 @@ func (m *Machine) handleKill(ev event) {
 	case missAlias:
 		m.stats.AliasMisses++
 	}
-	hadToken := u.tokenID >= 0
-	if hadToken {
-		m.stats.MissesWithToken++
-	} else if m.cfg.Scheme == TkSel {
-		if u.tokenStolen {
-			m.stats.MissTokenStolen++
-		} else {
-			m.stats.MissTokenRefused++
-		}
-	}
 
-	m.replayLoad(u)
-
-	if u.valuePredicted {
-		// Dependents are riding the predicted value, not the load's
-		// memory timing: the scheduling miss delays only the load's own
-		// verification. No dependent invalidation happens here.
-		return
-	}
-
-	switch m.cfg.Scheme {
-	case PosSel, IDSel:
-		m.selectiveKill(u)
-	case TkSel:
-		if hadToken {
-			// Token head: the kill state on the token's two wires
-			// invalidates exactly the instructions carrying the token
-			// bit — behaviourally the position-based precise kill.
-			m.selectiveKill(u)
-		} else {
-			m.startReinsert(u)
-		}
-	case NonSel:
-		m.shadowKill(u, true)
-	case DSel:
-		m.shadowKill(u, false)
-	case ReInsert, Conservative:
-		m.startReinsert(u)
-	case Refetch:
-		m.refetch(u)
-	case SerialVerify:
-		m.serialKill(u)
-	}
+	// The policy counts its recovery stats, returns the load to the
+	// waiting state (replayLoad) and invalidates dependents with the
+	// scheme's mechanism. Value-predicted loads skip the invalidation:
+	// dependents ride the predicted value, not the load's memory
+	// timing, so the scheduling miss delays only the load's own
+	// verification.
+	m.pol.onKill(m, u)
 }
 
 // replayLoad returns the mis-scheduled load to the waiting state; it
@@ -290,13 +255,7 @@ func (m *Machine) refetch(load *uop) {
 			m.stats.SquashedIssues++
 		}
 		m.releaseIQ(w)
-		if w.tokenID >= 0 {
-			old := w.tokenID
-			w.tokenID = -1
-			holder := m.alloc.Holder(old)
-			m.alloc.Release(old)
-			m.reclaimToken(old, holder)
-		}
+		m.pol.onFlush(m, w)
 		w.retired = true // dead: events and consumer walks skip it
 		w.gen++
 		m.rob[(m.robHead+int(seq-m.headSeq))%len(m.rob)] = nil
@@ -369,58 +328,4 @@ func (m *Machine) valueKill(root *uop) {
 		}
 	}
 	m.killStack = stack[:0]
-}
-
-// serialKill starts (or continues) the one-level-per-cycle serial
-// verification wave of §2.1/Figure 2a. A miss by a load that is itself
-// already on a wavefront (serially invalidated earlier, or executed
-// with a tainted address) extends that wavefront rather than starting a
-// new one — per the paper's footnote, propagation is sustained through
-// newly inserted instructions and chained misses, far past the window
-// size. Depth histograms are folded into Stats at the end of Run.
-func (m *Machine) serialKill(load *uop) {
-	ch := load.serialChain
-	depth := load.serialDepth
-	if ch == nil {
-		ch = &serialChain{}
-		depth = 0
-		load.serialChain = ch
-		m.serialChains = append(m.serialChains, ch)
-	}
-	m.scheduleNow(event{kind: evSerialStep, u: load, depth: depth, chain: ch})
-}
-
-func (m *Machine) handleSerialStep(ev event) {
-	ch := ev.chain
-	if ev.depth > ch.maxDepth {
-		ch.maxDepth = ev.depth
-	}
-	p := ev.u
-	if p.retired {
-		return
-	}
-	pseq := p.seq()
-	for _, cseq := range p.consumers {
-		c := m.lookup(cseq)
-		if c == nil || c.completed {
-			continue
-		}
-		touched := false
-		for i := 0; i < 2; i++ {
-			if c.src[i].producer == pseq && c.src[i].ready && !dataValidFor(p, m.cycle) {
-				c.src[i].ready = false
-				touched = true
-			}
-		}
-		if !touched {
-			continue
-		}
-		if c.issued {
-			m.squash(c)
-			m.stats.SquashedIssues++
-		}
-		c.serialChain = ch
-		c.serialDepth = ev.depth + 1
-		m.schedule(m.cycle+1, event{kind: evSerialStep, u: c, depth: ev.depth + 1, chain: ch})
-	}
 }

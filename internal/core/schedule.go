@@ -147,12 +147,9 @@ func (m *Machine) issue(u *uop) {
 	}
 	m.schedule(u.execStart, event{kind: evExec, u: u, gen: u.gen})
 
-	// TkSel releases the issue-queue entry at issue when the dependence
-	// vector is empty: no outstanding token head can invalidate it, and
-	// the re-insert safety path recovers from the ROB, not the queue.
-	if m.cfg.Scheme == TkSel && u.inIQ && u.depVec.Empty() && u.tokenID < 0 {
-		m.releaseIQ(u)
-	}
+	// Scheme-specific issue work (e.g. TkSel's early issue-queue entry
+	// release when the dependence vector is empty).
+	m.pol.onIssue(m, u)
 
 	// Replay-queue model: every instruction leaves the issue queue at
 	// issue and waits for verification in the replay queue instead.
@@ -160,6 +157,9 @@ func (m *Machine) issue(u *uop) {
 		m.releaseIQ(u)
 		u.inRQ = true
 		m.rqCount++
+		if uint64(m.rqCount) > m.stats.Policy.RQOccupancyMax {
+			m.stats.Policy.RQOccupancyMax = uint64(m.rqCount)
+		}
 	}
 }
 
@@ -171,6 +171,7 @@ func (m *Machine) issue(u *uop) {
 func (m *Machine) squash(u *uop) {
 	m.emit(u, EvSquash)
 	u.unissue()
+	m.pol.onSquash(m, u)
 	if u.inRQ {
 		u.rqRetryAt = m.cycle + int64(m.cfg.rqRetryDelay())
 		return

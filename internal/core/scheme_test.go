@@ -157,11 +157,11 @@ func TestConservativeAvoidsReplays(t *testing.T) {
 func TestSerialDepthsRecorded(t *testing.T) {
 	pat := missingLoadPattern(16, 6)
 	st, _ := runScheme(t, SerialVerify, pat, 4000)
-	if st.SerialDepth.N() == 0 {
+	if st.Policy.SerialDepth.N() == 0 {
 		t.Fatal("no serial propagation recorded")
 	}
-	if st.SerialDepth.Max() < 3 {
-		t.Errorf("max serial depth %d; chain of 6 dependents should propagate deeper", st.SerialDepth.Max())
+	if st.Policy.SerialDepth.Max() < 3 {
+		t.Errorf("max serial depth %d; chain of 6 dependents should propagate deeper", st.Policy.SerialDepth.Max())
 	}
 }
 

@@ -28,13 +28,6 @@ type Stats struct {
 	// MissInFlight/MissL2/MissMemory split cache-latency misses by the
 	// level that satisfied them.
 	MissInFlight, MissL2, MissMemory uint64
-	// MissesWithToken counts scheduling misses whose load held a token
-	// (TkSel; Table 6's numerator).
-	MissesWithToken uint64
-	// MissTokenStolen counts scheduling misses whose load had a token
-	// that was reclaimed before the kill; MissTokenRefused counts
-	// misses whose load never got one.
-	MissTokenStolen, MissTokenRefused uint64
 
 	// SquashedIssues counts issue events canceled by replay (the
 	// "replays" of Table 5 / Figure 12).
@@ -74,9 +67,49 @@ type Stats struct {
 	// dependents squashed by value-misprediction recovery.
 	ValuePredictions, ValueMispredicts, ValueKilledInsts uint64
 
+	// Policy holds the per-scheme measurements, maintained by the
+	// active replay policy (zero for schemes that do not use them).
+	Policy PolicyStats
+}
+
+// PolicyStats namespaces the measurements owned by the replay policies.
+// Counters here are incremented only by the scheme they belong to, so a
+// run under any other scheme reports them as zero.
+type PolicyStats struct {
+	// MissesWithToken counts scheduling misses whose load held a token
+	// (TkSel; Table 6's numerator). Together with MissTokenStolen and
+	// MissTokenRefused it partitions LoadSchedMisses under TkSel.
+	MissesWithToken uint64
+	// MissTokenStolen counts scheduling misses whose load had a token
+	// that was reclaimed before the kill; MissTokenRefused counts
+	// misses whose load never got one.
+	MissTokenStolen, MissTokenRefused uint64
+
+	// TokensGranted counts successful token allocations at rename;
+	// TokenSteals the grants satisfied by reclaiming a live token;
+	// TokenDenials the refused requests (TkSel).
+	TokensGranted, TokenSteals, TokenDenials uint64
+
+	// RQOccupancyMax is the replay-queue occupancy high-water mark
+	// under the Figure 4b model.
+	RQOccupancyMax uint64
+
 	// SerialDepth is the per-miss wavefront propagation depth histogram
 	// under SerialVerify (Figure 3).
 	SerialDepth stats.Histogram
+}
+
+// subtract removes a warmup snapshot from the counters. RQOccupancyMax
+// is a high-water mark over the whole run and is left alone; the
+// serial-depth histogram keeps its full history (it is folded once at
+// the end of Run, after subtraction).
+func (p *PolicyStats) subtract(base *PolicyStats) {
+	p.MissesWithToken -= base.MissesWithToken
+	p.MissTokenStolen -= base.MissTokenStolen
+	p.MissTokenRefused -= base.MissTokenRefused
+	p.TokensGranted -= base.TokensGranted
+	p.TokenSteals -= base.TokenSteals
+	p.TokenDenials -= base.TokenDenials
 }
 
 // subtract removes a warmup snapshot from the numeric counters so the
@@ -96,9 +129,6 @@ func (s *Stats) subtract(base *Stats) {
 	s.MissL2 -= base.MissL2
 	s.MissMemory -= base.MissMemory
 	s.AliasMisses -= base.AliasMisses
-	s.MissesWithToken -= base.MissesWithToken
-	s.MissTokenStolen -= base.MissTokenStolen
-	s.MissTokenRefused -= base.MissTokenRefused
 	s.SquashedIssues -= base.SquashedIssues
 	s.ReinsertEvents -= base.ReinsertEvents
 	s.ReinsertedInsts -= base.ReinsertedInsts
@@ -115,13 +145,14 @@ func (s *Stats) subtract(base *Stats) {
 	s.ValuePredictions -= base.ValuePredictions
 	s.ValueMispredicts -= base.ValueMispredicts
 	s.ValueKilledInsts -= base.ValueKilledInsts
+	s.Policy.subtract(&base.Policy)
 }
 
 // Clone returns a deep copy of the statistics, safe to keep after the
 // machine that produced them is reset for another run.
 func (s *Stats) Clone() Stats {
 	out := *s
-	out.SerialDepth = s.SerialDepth.Clone()
+	out.Policy.SerialDepth = s.Policy.SerialDepth.Clone()
 	return out
 }
 
@@ -151,5 +182,5 @@ func (s *Stats) ReplayRate() float64 {
 // TokenCoverage returns the fraction of scheduling misses recovered
 // with a token (Table 6).
 func (s *Stats) TokenCoverage() float64 {
-	return stats.Ratio(s.MissesWithToken, s.LoadSchedMisses)
+	return stats.Ratio(s.Policy.MissesWithToken, s.LoadSchedMisses)
 }

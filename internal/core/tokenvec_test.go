@@ -73,7 +73,7 @@ func TestTkSelVectorPrecision(t *testing.T) {
 				if !u.depVec.Has(id) {
 					continue
 				}
-				holder := m.alloc.Holder(id)
+				holder := m.pol.(*tkselPolicy).alloc.Holder(id)
 				if holder < 0 {
 					t.Fatalf("seq %d: vector bit %d set but token is free", seq, id)
 				}

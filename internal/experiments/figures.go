@@ -40,7 +40,7 @@ func RunFigure3(e *Engine) (*Figure3, error) {
 	var sum float64
 	for i := range f.Bench {
 		serial, pos := outs[2*i].Stats, outs[2*i+1].Stats
-		f.Depth = append(f.Depth, &serial.SerialDepth)
+		f.Depth = append(f.Depth, &serial.Policy.SerialDepth)
 		infl := float64(serial.TotalIssues)/float64(pos.TotalIssues) - 1
 		f.Inflation = append(f.Inflation, infl)
 		sum += infl
@@ -48,7 +48,7 @@ func RunFigure3(e *Engine) (*Figure3, error) {
 			f.WorstInflation = infl
 			f.WorstBench = f.Bench[i]
 		}
-		if d := serial.SerialDepth.Max(); d > f.MaxDepth {
+		if d := serial.Policy.SerialDepth.Max(); d > f.MaxDepth {
 			f.MaxDepth = d
 		}
 	}

@@ -57,6 +57,15 @@ const (
 // Schemes returns every implemented replay scheme.
 func Schemes() []Scheme { return core.Schemes() }
 
+// ParseScheme resolves a replay scheme by its registered name,
+// case-insensitively; unknown names return an error listing every
+// valid one.
+func ParseScheme(name string) (Scheme, error) { return core.ParseScheme(name) }
+
+// SchemeNames returns every registered scheme name in the paper's
+// presentation order.
+func SchemeNames() []string { return core.SchemeNames() }
+
 // Benchmarks returns the modeled SPEC CINT2000 benchmark names in the
 // paper's table order.
 func Benchmarks() []string {
