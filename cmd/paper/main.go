@@ -2,32 +2,53 @@
 // Scheduling Replay Schemes" (Kim & Lipasti, HPCA 2004) from the
 // simulator in this repository.
 //
+// The batch is interruptible and resumable: Ctrl-C cancels the
+// in-flight simulations at cycle granularity, and with -journal set,
+// completed runs are checkpointed as they finish and replayed —
+// bit-identically — on the next invocation.
+//
 // Usage:
 //
-//	paper [-exp all|table1|table3|table4|table5|table6|fig3|fig9|fig12|fig13|wires]
-//	      [-insts N] [-warmup N] [-seed N] [-par N]
+//	paper [-exp all|table1|table3|table4|table5|table6|fig3|fig9|fig12|fig13|wires|ext]
+//	      [-insts N] [-warmup N] [-seed N] [-par N] [-journal file.jsonl]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
+	"repro/internal/simflag"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (comma-separated): all, table1, table3, table4, table5, table6, fig3, fig9, fig12, fig13, wires, ext")
-	insts := flag.Int64("insts", 200_000, "measured instructions per simulation")
-	warmup := flag.Int64("warmup", 60_000, "warmup instructions per simulation")
-	seed := flag.Int64("seed", 1, "workload generator seed")
-	par := flag.Int("par", 0, "max concurrent simulations (0 = NumCPU)")
+	f := simflag.New()
+	f.RegisterLength(flag.CommandLine)
+	f.RegisterSeed(flag.CommandLine)
+	f.RegisterBatch(flag.CommandLine)
 	flag.Parse()
+	if err := f.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
-	eng := experiments.NewEngine(experiments.Options{
-		Insts: *insts, Warmup: *warmup, Seed: *seed, Parallelism: *par,
-	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	status := simflag.NewStatus(os.Stderr, f.Progress)
+	opts := f.Options()
+	opts.OnProgress = status.Update
+	eng := experiments.NewEngineContext(ctx, opts)
+	defer eng.Close()
+	if n := eng.Sim().JournalSkipped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "journal: skipped %d stale or torn lines\n", n)
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -36,16 +57,25 @@ func main() {
 	all := want["all"]
 	ran := false
 
-	emit := func(name string, f func() (string, error)) {
+	fail := func(name string, err error) {
+		status.Close()
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		if ctx.Err() != nil && f.Journal != "" {
+			fmt.Fprintf(os.Stderr, "interrupted; completed runs are checkpointed — rerun with -journal %s to resume\n", f.Journal)
+		}
+		eng.Close()
+		os.Exit(1)
+	}
+	emit := func(name string, fn func() (string, error)) {
 		if !all && !want[name] {
 			return
 		}
 		ran = true
-		out, err := f()
+		out, err := fn()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			fail(name, err)
 		}
+		status.Close()
 		fmt.Println(out)
 	}
 

@@ -22,37 +22,44 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/simflag"
 	"repro/internal/workload"
 )
 
 func main() {
-	bench := flag.String("bench", "mcf", "benchmark")
-	schemeName := flag.String("scheme", "PosSel", "replay scheme")
-	wide8 := flag.Bool("wide8", false, "8-wide machine")
+	f := simflag.New()
+	f.Bench = "mcf"
+	f.RegisterBench(flag.CommandLine)
+	f.RegisterMachine(flag.CommandLine)
+	f.RegisterSeed(flag.CommandLine)
 	skip := flag.Int64("skip", 5_000, "instructions to run before the window (warms caches)")
 	rows := flag.Int64("rows", 40, "instructions to display")
 	cols := flag.Int64("cols", 110, "cycles to display")
-	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 
-	scheme, err := core.ParseScheme(*schemeName)
-	if err != nil {
+	if f.HandleListSchemes(os.Stdout) {
+		return
+	}
+	if err := f.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	scheme, _ := f.Scheme()
 
-	prof, err := workload.ByName(*bench)
+	// The observer below hooks machine internals, so this command
+	// drives core directly rather than going through the sim engine.
+	prof, err := workload.ByName(f.Bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	gen, err := workload.NewGenerator(prof, *seed)
+	gen, err := workload.NewGenerator(prof, f.Seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	cfg := core.Config4Wide()
-	if *wide8 {
+	if f.Wide8 {
 		cfg = core.Config8Wide()
 	}
 	cfg.Scheme = scheme
@@ -92,7 +99,7 @@ func main() {
 	}
 
 	fmt.Printf("%s on %s under %v — instructions %d..%d (cycle origin %d)\n",
-		*bench, cfg.Name, scheme, lo, hi-1, t0)
+		f.Bench, cfg.Name, scheme, lo, hi-1, t0)
 	fmt.Println("D dispatch  I issue  X execute  C complete  ! squash  R retire")
 	for seq := lo; seq < hi; seq++ {
 		r := rowsBySeq[seq]

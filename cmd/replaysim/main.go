@@ -7,59 +7,66 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
 
-	"repro"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simflag"
+	"repro/internal/smpred"
 )
 
 func main() {
-	bench := flag.String("bench", "gcc", "benchmark: "+strings.Join(repro.Benchmarks(), ", "))
-	schemeName := flag.String("scheme", "PosSel", "replay scheme: "+strings.Join(repro.SchemeNames(), ", "))
-	listSchemes := flag.Bool("list-schemes", false, "list the registered replay schemes and exit")
-	wide8 := flag.Bool("wide8", false, "use the 8-wide Table 3 machine")
-	insts := flag.Int64("insts", 200_000, "measured instructions")
-	warmup := flag.Int64("warmup", 60_000, "warmup instructions")
-	seed := flag.Int64("seed", 1, "workload seed")
+	f := simflag.New()
+	f.RegisterBench(flag.CommandLine)
+	f.RegisterMachine(flag.CommandLine)
+	f.RegisterLength(flag.CommandLine)
+	f.RegisterSeed(flag.CommandLine)
 	tokens := flag.Int("tokens", 0, "token pool override for TkSel (0 = Table 3 default)")
 	flag.Parse()
 
-	if *listSchemes {
-		fmt.Println(strings.Join(repro.SchemeNames(), "\n"))
+	if f.HandleListSchemes(os.Stdout) {
 		return
 	}
-	scheme, err := repro.ParseScheme(*schemeName)
-	if err != nil {
+	if err := f.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	scheme, _ := f.Scheme()
 
-	res, err := repro.Run(repro.Options{
-		Benchmark: *bench, Wide8: *wide8, Scheme: scheme,
-		Insts: *insts, Warmup: *warmup, Seed: *seed, Tokens: *tokens,
-	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := f.Options()
+	opts.Parallelism = 1
+	out, err := sim.Run(ctx, sim.Spec{
+		Bench: f.Bench, Wide8: f.Wide8, Scheme: scheme,
+		Over: sim.Overrides{Tokens: *tokens},
+	}, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	width := "4-wide"
-	if *wide8 {
-		width = "8-wide"
-	}
-	st := res.Stats
-	fmt.Printf("%s on %s, %v replay\n", *bench, width, scheme)
-	fmt.Printf("  IPC                     %.4f (%d instructions, %d cycles)\n", res.IPC, st.Retired, st.Cycles)
+	st := out.Stats
+	fmt.Printf("%s on %s, %v replay\n", f.Bench, out.Spec.Width(), scheme)
+	fmt.Printf("  IPC                     %.4f (%d instructions, %d cycles)\n", st.IPC(), st.Retired, st.Cycles)
 	fmt.Printf("  load scheduling misses  %.2f%% of load issues (%d; cache %d, alias %d)\n",
-		100*res.LoadMissRate, st.LoadSchedMisses, st.CacheMisses, st.AliasMisses)
+		100*st.LoadMissRate(), st.LoadSchedMisses, st.CacheMisses, st.AliasMisses)
 	fmt.Printf("  replayed issues         %.2f%% of total issues (%d of %d)\n",
-		100*res.ReplayRate, st.TotalIssues-st.FirstIssues, st.TotalIssues)
-	fmt.Printf("  branch mispredicts      %.2f%% of branches\n", 100*res.BranchMispredictRate)
-	if scheme == repro.TkSel {
+		100*st.ReplayRate(), st.TotalIssues-st.FirstIssues, st.TotalIssues)
+	branchRate := 0.0
+	if st.BranchLookups > 0 {
+		branchRate = float64(st.BranchMispredicts) / float64(st.BranchLookups)
+	}
+	fmt.Printf("  branch mispredicts      %.2f%% of branches\n", 100*branchRate)
+	if scheme == core.TkSel {
 		fmt.Printf("  token coverage          %.1f%% of misses (stolen %d, refused %d)\n",
-			100*res.TokenCoverage, st.Policy.MissTokenStolen, st.Policy.MissTokenRefused)
+			100*st.TokenCoverage(), st.Policy.MissTokenStolen, st.Policy.MissTokenRefused)
 	}
 	if st.ReinsertEvents > 0 {
 		fmt.Printf("  re-insert replays       %d events, %d instructions re-inserted\n",
@@ -68,11 +75,11 @@ func main() {
 	if st.RefetchEvents > 0 {
 		fmt.Printf("  refetch replays         %d\n", st.RefetchEvents)
 	}
-	if scheme == repro.SerialVerify && st.Policy.SerialDepth.N() > 0 {
+	if scheme == core.SerialVerify && st.Policy.SerialDepth.N() > 0 {
 		sd := &st.Policy.SerialDepth
 		fmt.Printf("  wavefront depth         mean %.1f, p99 %d, max %d over %d misses\n",
 			sd.Mean(), sd.Quantile(0.99), sd.Max(), sd.N())
 	}
 	fmt.Printf("  predictor               conf>=2 coverage %.2f, predicted %.2f of loads\n",
-		res.PredictorCoverage[2], res.PredictedFraction[2])
+		out.Meter.Coverage(smpred.Confidence(2)), out.Meter.PredictedFraction(smpred.Confidence(2)))
 }

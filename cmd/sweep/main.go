@@ -1,139 +1,271 @@
 // Command sweep runs the ablation studies around the paper's design
 // choices: token pool size (Table 6 sensitivity), scheduling-miss
-// predictor size (Figure 9 sensitivity), and pipeline depth
-// (propagation-distance scaling, §3.5).
+// predictor size (Figure 9 sensitivity), pipeline depth
+// (propagation-distance scaling, §3.5), window size, the Figure 4b
+// replay-queue model, and load value prediction.
+//
+// All sweeps of one invocation share a single batch engine, so their
+// simulations run in parallel and points that denote the same machine
+// (a sweep's stock-configuration point, or a point shared between two
+// sweeps) simulate once.
 //
 // Usage:
 //
 //	sweep -what tokens -bench mcf
-//	sweep -what depth -bench gcc -scheme NonSel
-//	sweep -what predictor -bench gcc
+//	sweep -what depth,window -bench gcc -scheme NonSel
+//	sweep -what rq -journal rq.jsonl
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+
+	"flag"
 
 	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simflag"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
+// sweep is one ablation study: the specs it needs and how to render
+// their results (outs is in spec order).
+type sweep struct {
+	name  string
+	specs func(f *simflag.Sim, scheme core.Scheme) []sim.Spec
+	print func(f *simflag.Sim, scheme core.Scheme, outs []*sim.RunOut)
+}
+
+// rqScheme clamps the flag scheme to one the replay-queue model
+// supports (PosSel/IDSel/NonSel/DSel), falling back to the paper's
+// PosSel baseline otherwise.
+func rqScheme(s core.Scheme) core.Scheme {
+	switch s {
+	case core.PosSel, core.IDSel, core.NonSel, core.DSel:
+		return s
+	}
+	return core.PosSel
+}
+
+var tokenSizes = []int{2, 4, 8, 16, 24, 32, 48, 64}
+var depths = []int{2, 3, 5, 8, 12, 16}
+var predSizes = []int{256, 1024, 4096, 16384}
+var windowIQs = []int{16, 32, 64, 128, 256}
+var rqIQs = []int{12, 24, 48, 96}
+var vpSchemes = []core.Scheme{core.IDSel, core.TkSel, core.ReInsert}
+
+var sweeps = []sweep{
+	{
+		name: "tokens",
+		specs: func(f *simflag.Sim, _ core.Scheme) []sim.Spec {
+			var s []sim.Spec
+			for _, n := range tokenSizes {
+				s = append(s, sim.Spec{Bench: f.Bench, Wide8: f.Wide8, Scheme: core.TkSel,
+					Over: sim.Overrides{Tokens: n}})
+			}
+			return s
+		},
+		print: func(f *simflag.Sim, _ core.Scheme, outs []*sim.RunOut) {
+			fmt.Printf("Token pool sweep (%s, TkSel): coverage and IPC vs pool size\n", f.Bench)
+			tb := stats.NewTable("tokens", "coverage", "IPC", "reinserts")
+			for i, n := range tokenSizes {
+				st := outs[i].Stats
+				tb.AddRow(fmt.Sprintf("%d", n), st.TokenCoverage(), st.IPC(),
+					fmt.Sprintf("%d", st.ReinsertEvents))
+			}
+			fmt.Print(tb.String())
+		},
+	},
+	{
+		name: "depth",
+		specs: func(f *simflag.Sim, scheme core.Scheme) []sim.Spec {
+			var s []sim.Spec
+			for _, d := range depths {
+				s = append(s, sim.Spec{Bench: f.Bench, Wide8: f.Wide8, Scheme: scheme,
+					Over: sim.Overrides{SchedToExec: d}})
+			}
+			return s
+		},
+		print: func(f *simflag.Sim, scheme core.Scheme, outs []*sim.RunOut) {
+			fmt.Printf("Pipeline-depth sweep (%s, %v): scheduling miss cost vs schedule-to-execute distance\n",
+				f.Bench, scheme)
+			tb := stats.NewTable("schedToExec", "propDist", "IPC", "replay%")
+			for i, d := range depths {
+				st := outs[i].Stats
+				tb.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", d+1), st.IPC(),
+					fmt.Sprintf("%.2f", 100*st.ReplayRate()))
+			}
+			fmt.Print(tb.String())
+		},
+	},
+	{
+		name: "predictor",
+		specs: func(f *simflag.Sim, _ core.Scheme) []sim.Spec {
+			var s []sim.Spec
+			for _, n := range predSizes {
+				s = append(s, sim.Spec{Bench: f.Bench, Wide8: f.Wide8, Scheme: core.TkSel,
+					Over: sim.Overrides{PredEntries: n}})
+			}
+			return s
+		},
+		print: func(f *simflag.Sim, _ core.Scheme, outs []*sim.RunOut) {
+			fmt.Printf("Predictor-size sweep (%s, TkSel): coverage vs table entries\n", f.Bench)
+			tb := stats.NewTable("entries", "coverage", "IPC")
+			for i, n := range predSizes {
+				st := outs[i].Stats
+				tb.AddRow(fmt.Sprintf("%d", n), st.TokenCoverage(), st.IPC())
+			}
+			fmt.Print(tb.String())
+		},
+	},
+	{
+		name: "window",
+		specs: func(f *simflag.Sim, scheme core.Scheme) []sim.Spec {
+			var s []sim.Spec
+			for _, iq := range windowIQs {
+				s = append(s, sim.Spec{Bench: f.Bench, Wide8: f.Wide8, Scheme: scheme,
+					Over: sim.Overrides{IQSize: iq, ROBSize: iq * 2, LSQSize: iq}})
+			}
+			return s
+		},
+		print: func(f *simflag.Sim, scheme core.Scheme, outs []*sim.RunOut) {
+			fmt.Printf("Window sweep (%s, %v): IPC vs issue-queue size\n", f.Bench, scheme)
+			tb := stats.NewTable("IQ", "ROB", "IPC", "miss%")
+			for i, iq := range windowIQs {
+				st := outs[i].Stats
+				tb.AddRow(fmt.Sprintf("%d", iq), fmt.Sprintf("%d", iq*2), st.IPC(),
+					fmt.Sprintf("%.2f", 100*st.LoadMissRate()))
+			}
+			fmt.Print(tb.String())
+		},
+	},
+	{
+		name: "rq",
+		specs: func(f *simflag.Sim, scheme core.Scheme) []sim.Spec {
+			scheme = rqScheme(scheme)
+			var s []sim.Spec
+			for _, iq := range rqIQs {
+				s = append(s,
+					sim.Spec{Bench: f.Bench, Wide8: f.Wide8, Scheme: scheme,
+						Over: sim.Overrides{IQSize: iq}},
+					sim.Spec{Bench: f.Bench, Wide8: f.Wide8, Scheme: scheme,
+						Over: sim.Overrides{IQSize: iq, ReplayQueue: true}})
+			}
+			return s
+		},
+		print: func(f *simflag.Sim, scheme core.Scheme, outs []*sim.RunOut) {
+			scheme = rqScheme(scheme)
+			fmt.Printf("Replay-queue model (Figure 4b) vs issue-queue model (%s, %v) across IQ sizes\n",
+				f.Bench, scheme)
+			tb := stats.NewTable("IQ", "IPC iq-model", "IPC rq-model", "blind RQ replays")
+			for i, iq := range rqIQs {
+				a, b := outs[2*i].Stats, outs[2*i+1].Stats
+				tb.AddRow(fmt.Sprintf("%d", iq), a.IPC(), b.IPC(), fmt.Sprintf("%d", b.RQReplays))
+			}
+			fmt.Print(tb.String())
+		},
+	},
+	{
+		name: "vp",
+		specs: func(f *simflag.Sim, _ core.Scheme) []sim.Spec {
+			var s []sim.Spec
+			for _, sch := range vpSchemes {
+				s = append(s,
+					sim.Spec{Bench: f.Bench, Wide8: f.Wide8, Scheme: sch},
+					sim.Spec{Bench: f.Bench, Wide8: f.Wide8, Scheme: sch,
+						Over: sim.Overrides{ValuePrediction: true}})
+			}
+			return s
+		},
+		print: func(f *simflag.Sim, _ core.Scheme, outs []*sim.RunOut) {
+			fmt.Printf("Load value prediction (%s): speedup and recovery traffic per scheme\n", f.Bench)
+			tb := stats.NewTable("scheme", "IPC base", "IPC +VP", "mispredicts", "killed insts")
+			for i, sch := range vpSchemes {
+				a, b := outs[2*i].Stats, outs[2*i+1].Stats
+				tb.AddRow(sch.String(), a.IPC(), b.IPC(),
+					fmt.Sprintf("%d", b.ValueMispredicts), fmt.Sprintf("%d", b.ValueKilledInsts))
+			}
+			fmt.Print(tb.String())
+		},
+	},
+}
+
 func main() {
-	what := flag.String("what", "tokens", "sweep to run: tokens, depth, predictor, window, rq, vp")
-	bench := flag.String("bench", "mcf", "benchmark")
-	schemeName := flag.String("scheme", "TkSel", "replay scheme for depth/window sweeps: "+
-		strings.Join(core.SchemeNames(), ", "))
-	listSchemes := flag.Bool("list-schemes", false, "list the registered replay schemes and exit")
-	wide8 := flag.Bool("wide8", true, "use the 8-wide machine")
-	insts := flag.Int64("insts", 100_000, "measured instructions")
-	warmup := flag.Int64("warmup", 60_000, "warmup instructions")
+	what := flag.String("what", "tokens", "sweeps to run (comma-separated): tokens, depth, predictor, window, rq, vp")
+	f := simflag.New()
+	f.Bench = "mcf"
+	f.SchemeName = "TkSel"
+	f.Wide8 = true
+	f.Insts = 100_000
+	f.RegisterBench(flag.CommandLine)
+	f.RegisterMachine(flag.CommandLine)
+	f.RegisterLength(flag.CommandLine)
+	f.RegisterSeed(flag.CommandLine)
+	f.RegisterBatch(flag.CommandLine)
 	flag.Parse()
 
-	if *listSchemes {
-		fmt.Println(strings.Join(core.SchemeNames(), "\n"))
+	if f.HandleListSchemes(os.Stdout) {
 		return
 	}
-	scheme, err := core.ParseScheme(*schemeName)
-	if err != nil {
+	if err := f.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	scheme, _ := f.Scheme()
 
-	run := func(mutate func(*core.Config)) *core.Stats {
-		prof, err := workload.ByName(*bench)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	var todo []sweep
+	for _, name := range strings.Split(*what, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, sw := range sweeps {
+			if sw.name == name {
+				todo = append(todo, sw)
+				found = true
+			}
 		}
-		gen, err := workload.NewGenerator(prof, 1)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown sweep %q\n", name)
+			os.Exit(2)
 		}
-		cfg := core.Config4Wide()
-		if *wide8 {
-			cfg = core.Config8Wide()
-		}
-		cfg.MaxInsts = *insts
-		cfg.Warmup = *warmup
-		mutate(&cfg)
-		m, err := core.New(cfg, gen)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		st, err := m.Run()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return st
 	}
 
-	switch *what {
-	case "tokens":
-		fmt.Printf("Token pool sweep (%s, TkSel): coverage and IPC vs pool size\n", *bench)
-		tb := stats.NewTable("tokens", "coverage", "IPC", "reinserts")
-		for _, n := range []int{2, 4, 8, 16, 24, 32, 48, 64} {
-			st := run(func(c *core.Config) { c.Scheme = core.TkSel; c.Tokens = n })
-			tb.AddRow(fmt.Sprintf("%d", n), st.TokenCoverage(), st.IPC(), fmt.Sprintf("%d", st.ReinsertEvents))
-		}
-		fmt.Print(tb.String())
-	case "depth":
-		fmt.Printf("Pipeline-depth sweep (%s, %v): scheduling miss cost vs schedule-to-execute distance\n", *bench, scheme)
-		tb := stats.NewTable("schedToExec", "propDist", "IPC", "replay%")
-		for _, d := range []int{2, 3, 5, 8, 12, 16} {
-			st := run(func(c *core.Config) { c.Scheme = scheme; c.SchedToExec = d })
-			tb.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", d+1), st.IPC(),
-				fmt.Sprintf("%.2f", 100*st.ReplayRate()))
-		}
-		fmt.Print(tb.String())
-	case "predictor":
-		fmt.Printf("Predictor-size sweep (%s, TkSel): coverage vs table entries\n", *bench)
-		tb := stats.NewTable("entries", "coverage", "IPC")
-		for _, n := range []int{256, 1024, 4096, 16384} {
-			st := run(func(c *core.Config) { c.Scheme = core.TkSel; c.SMPred.Entries = n })
-			tb.AddRow(fmt.Sprintf("%d", n), st.TokenCoverage(), st.IPC())
-		}
-		fmt.Print(tb.String())
-	case "window":
-		fmt.Printf("Window sweep (%s, %v): IPC vs issue-queue size\n", *bench, scheme)
-		tb := stats.NewTable("IQ", "ROB", "IPC", "miss%")
-		for _, iq := range []int{16, 32, 64, 128, 256} {
-			st := run(func(c *core.Config) {
-				c.Scheme = scheme
-				c.IQSize = iq
-				c.ROBSize = iq * 2
-				c.LSQSize = iq
-			})
-			tb.AddRow(fmt.Sprintf("%d", iq), fmt.Sprintf("%d", iq*2), st.IPC(),
-				fmt.Sprintf("%.2f", 100*st.LoadMissRate()))
-		}
-		fmt.Print(tb.String())
-	case "rq":
-		fmt.Printf("Replay-queue model (Figure 4b) vs issue-queue model (%s, %v) across IQ sizes\n", *bench, scheme)
-		tb := stats.NewTable("IQ", "IPC iq-model", "IPC rq-model", "blind RQ replays")
-		for _, iq := range []int{12, 24, 48, 96} {
-			a := run(func(c *core.Config) { c.Scheme = scheme; c.IQSize = iq })
-			b := run(func(c *core.Config) { c.Scheme = scheme; c.IQSize = iq; c.ReplayQueue = true })
-			tb.AddRow(fmt.Sprintf("%d", iq), a.IPC(), b.IPC(), fmt.Sprintf("%d", b.RQReplays))
-		}
-		fmt.Print(tb.String())
-	case "vp":
-		fmt.Printf("Load value prediction (%s): speedup and recovery traffic per scheme\n", *bench)
-		tb := stats.NewTable("scheme", "IPC base", "IPC +VP", "mispredicts", "killed insts")
-		for _, s := range []core.Scheme{core.IDSel, core.TkSel, core.ReInsert} {
-			a := run(func(c *core.Config) { c.Scheme = s })
-			b := run(func(c *core.Config) { c.Scheme = s; c.ValuePrediction = true })
-			tb.AddRow(s.String(), a.IPC(), b.IPC(),
-				fmt.Sprintf("%d", b.ValueMispredicts), fmt.Sprintf("%d", b.ValueKilledInsts))
-		}
-		fmt.Print(tb.String())
-	default:
-		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *what)
-		os.Exit(2)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	status := simflag.NewStatus(os.Stderr, f.Progress)
+	opts := f.Options()
+	opts.OnProgress = status.Update
+	eng := sim.NewEngine(opts)
+	defer eng.Close()
+
+	// One RunAll over every sweep's specs: points run in parallel and
+	// duplicates across sweeps simulate once.
+	var all []sim.Spec
+	for _, sw := range todo {
+		all = append(all, sw.specs(f, scheme)...)
 	}
+	outs, err := eng.RunAll(ctx, all)
+	status.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if ctx.Err() != nil && f.Journal != "" {
+			fmt.Fprintf(os.Stderr, "interrupted; rerun with -journal %s to resume\n", f.Journal)
+		}
+		os.Exit(1)
+	}
+
+	i := 0
+	for _, sw := range todo {
+		n := len(sw.specs(f, scheme))
+		sw.print(f, scheme, outs[i:i+n])
+		i += n
+	}
+
+	snap := eng.Snapshot()
+	fmt.Fprintf(os.Stderr, "%d spec requests, %d distinct simulations cached, %d resumed from journal\n",
+		snap.Queued, eng.Cached(), snap.Resumed)
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/simflag"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -47,19 +48,23 @@ func fatal(err error) {
 
 func record(args []string) {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
-	bench := fs.String("bench", "gcc", "benchmark to record")
+	sf := simflag.New()
+	sf.RegisterBench(fs)
+	sf.RegisterSeed(fs)
 	n := fs.Int("n", 200_000, "instructions to record")
-	seed := fs.Int64("seed", 1, "workload seed")
 	out := fs.String("o", "", "output file (required)")
 	fs.Parse(args)
 	if *out == "" {
 		fatal(fmt.Errorf("record: -o is required"))
 	}
-	prof, err := workload.ByName(*bench)
+	if err := sf.Validate(); err != nil {
+		fatal(err)
+	}
+	prof, err := workload.ByName(sf.Bench)
 	if err != nil {
 		fatal(err)
 	}
-	gen, err := workload.NewGenerator(prof, *seed)
+	gen, err := workload.NewGenerator(prof, sf.Seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,7 +87,7 @@ func record(args []string) {
 	}
 	info, _ := f.Stat()
 	fmt.Printf("recorded %d instructions of %s to %s (%d bytes, %.1f B/inst)\n",
-		*n, *bench, *out, info.Size(), float64(info.Size())/float64(*n))
+		*n, sf.Bench, *out, info.Size(), float64(info.Size())/float64(*n))
 }
 
 func traceStats(args []string) {
@@ -135,23 +140,28 @@ func traceStats(args []string) {
 
 func run(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	schemeName := fs.String("scheme", "PosSel", "replay scheme")
-	wide8 := fs.Bool("wide8", false, "8-wide machine")
+	f := simflag.New()
+	f.RegisterMachine(fs)
+	// Run length comes from the recorded trace, not the canonical
+	// defaults, so these stay local instead of using RegisterLength.
 	insts := fs.Int64("insts", 0, "instructions to simulate (0 = one pass of the trace)")
 	warmup := fs.Int64("warmup", 0, "warmup instructions")
 	fs.Parse(args)
+	if f.HandleListSchemes(os.Stdout) {
+		return
+	}
+	if err := f.Validate(); err != nil {
+		fatal(err)
+	}
 	if fs.NArg() != 1 {
 		fatal(fmt.Errorf("run: need exactly one trace file"))
 	}
 	recorded := load(fs.Arg(0))
 
-	scheme, err := core.ParseScheme(*schemeName)
-	if err != nil {
-		fatal(err)
-	}
+	scheme, _ := f.Scheme()
 
 	cfg := core.Config4Wide()
-	if *wide8 {
+	if f.Wide8 {
 		cfg = core.Config8Wide()
 	}
 	cfg.Scheme = scheme

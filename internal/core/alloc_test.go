@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/workload"
@@ -41,6 +42,31 @@ func BenchmarkMachineSteadyState(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.step()
+	}
+	b.StopTimer()
+	if m.stats.Retired == 0 {
+		b.Fatal("machine made no progress")
+	}
+	b.ReportMetric(float64(m.stats.Retired)/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
+// BenchmarkMachineSteadyStateCancellable measures the same warm loop
+// through the RunContext body: step plus the periodic cancellation
+// check against a live (cancellable) context. Guarded by benchguard,
+// it pins the batch engine's cancellation hook to the zero-alloc
+// budget and to within noise of the uncancellable loop.
+func BenchmarkMachineSteadyStateCancellable(b *testing.B) {
+	m := steadyMachine(b, "gcc", 50_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := ctx.Done()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.step()
+		if m.canceled(done) {
+			b.Fatal("context canceled mid-benchmark")
+		}
 	}
 	b.StopTimer()
 	if m.stats.Retired == 0 {

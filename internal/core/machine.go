@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -310,13 +311,44 @@ func (m *Machine) ValuePredictor() *vpred.Predictor { return m.vp }
 // orders of magnitude shorter.
 const deadlockWindow = 200_000
 
+// cancelCheckInterval is the cycle granularity of RunContext's
+// cancellation check: a power of two, so the per-cycle cost is a nil
+// check plus a mask, and a cancel or deadline is noticed within a few
+// microseconds of simulated work — far below any run's wall time.
+const cancelCheckInterval = 4096
+
+// canceled reports whether the run's context was canceled. done is
+// ctx.Done(), hoisted by the caller so the common case (background
+// context, off-boundary cycle) costs no channel or mutex operations.
+func (m *Machine) canceled(done <-chan struct{}) bool {
+	if done == nil || m.cycle&(cancelCheckInterval-1) != 0 {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // Run simulates Warmup instructions unmeasured, then MaxInsts measured
 // instructions, and returns the statistics.
 func (m *Machine) Run() (*Stats, error) {
+	return m.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the context's cancel or
+// deadline is checked every cancelCheckInterval cycles, and a canceled
+// run returns the context's error (wrapped) with the machine left
+// mid-flight. The machine is single-shot either way — Reset before
+// reusing it, as a batch engine's pool does.
+func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 	if m.ran {
 		return nil, fmt.Errorf("core: machine already ran")
 	}
 	m.ran = true
+	done := ctx.Done()
 	lastRetire := int64(0)
 	lastCount := int64(0)
 	target := m.cfg.Warmup + m.cfg.MaxInsts
@@ -324,6 +356,9 @@ func (m *Machine) Run() (*Stats, error) {
 	warm := m.cfg.Warmup == 0
 	for m.stats.Retired < target {
 		m.step()
+		if m.canceled(done) {
+			return nil, fmt.Errorf("core: run canceled at cycle %d: %w", m.cycle, ctx.Err())
+		}
 		if !warm && m.stats.Retired >= m.cfg.Warmup {
 			warm = true
 			base = m.stats

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func runCtxMachine(t *testing.T, maxInsts int64) *Machine {
+	t.Helper()
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config4Wide()
+	cfg.MaxInsts = maxInsts
+	cfg.Warmup = 0
+	m, err := New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// A cancel during a long run must surface context.Canceled promptly
+// rather than simulating to completion.
+func TestRunContextCancel(t *testing.T) {
+	m := runCtxMachine(t, 1<<40)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	st, err := m.RunContext(ctx)
+	if st != nil || err == nil {
+		t.Fatalf("canceled run returned (%v, %v), want error", st, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	// The check runs every cancelCheckInterval cycles; even a slow
+	// machine covers that in well under the deadline below.
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("cancellation took %v, not prompt", d)
+	}
+}
+
+// A deadline is observed the same way as an explicit cancel.
+func TestRunContextDeadline(t *testing.T) {
+	m := runCtxMachine(t, 1<<40)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := m.RunContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+// RunContext with a background context must be bit-identical to Run:
+// the cancellation hook cannot perturb simulation results.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	a := runCtxMachine(t, 20_000)
+	b := runCtxMachine(t, 20_000)
+	sa, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("RunContext(Background) diverges from Run:\n  Run:        %+v\n  RunContext: %+v", *sa, *sb)
+	}
+}

@@ -41,11 +41,11 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 		a, b := serial[i], par[i]
 		if !reflect.DeepEqual(a.Stats, b.Stats) {
 			t.Errorf("%s %s %v: stats diverge across parallelism\n  par=1: %+v\n  par=4: %+v",
-				spec.Bench, spec.width(), spec.Scheme, *a.Stats, *b.Stats)
+				spec.Bench, spec.Width(), spec.Scheme, *a.Stats, *b.Stats)
 		}
 		if !reflect.DeepEqual(a.Meter, b.Meter) {
 			t.Errorf("%s %s %v: coverage meter diverges across parallelism",
-				spec.Bench, spec.width(), spec.Scheme)
+				spec.Bench, spec.Width(), spec.Scheme)
 		}
 	}
 }

@@ -97,12 +97,12 @@ func TestTable4And5ShareRuns(t *testing.T) {
 		}
 	}
 	// Table 5 reuses the cached PosSel runs: no new simulations needed.
-	before := len(e.cache)
+	before := e.Sim().Cached()
 	t5, err := RunTable5(e)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(e.cache) != before {
+	if e.Sim().Cached() != before {
 		t.Error("Table 5 re-simulated instead of reusing Table 4's runs")
 	}
 	// mcf must be the miss-rate outlier, as in the paper.

@@ -5,8 +5,8 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // Extensions reports the two beyond-the-paper studies: the
@@ -27,61 +27,43 @@ type Extensions struct {
 	VPAverageSpeedup float64
 }
 
-// RunExtensions measures both studies. These need bespoke
-// configurations, so they run outside the engine's memoized spec space
-// but reuse its sizing options.
+// RunExtensions measures both studies. The bespoke configurations are
+// expressed as spec overrides, so the runs share the engine's machine
+// pool and memoization — the plain IQ-128 point of the RQ sweep, for
+// instance, is the stock 8-wide twolf PosSel run, reused if another
+// experiment already simulated it.
 func RunExtensions(e *Engine) (*Extensions, error) {
-	opts := e.Options()
-	run := func(bench string, mutate func(*core.Config)) (*core.Stats, error) {
-		prof, err := workload.ByName(bench)
-		if err != nil {
-			return nil, err
-		}
-		gen, err := workload.NewGenerator(prof, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		cfg := core.Config8Wide()
-		cfg.MaxInsts = opts.Insts
-		cfg.Warmup = opts.Warmup
-		mutate(&cfg)
-		m, err := core.New(cfg, gen)
-		if err != nil {
-			return nil, err
-		}
-		return m.Run()
+	x := &Extensions{RQSizes: []int{16, 32, 64, 128}, VPBench: Benchmarks()}
+
+	var specs []RunSpec
+	for _, iq := range x.RQSizes {
+		specs = append(specs,
+			RunSpec{Bench: "twolf", Wide8: true, Scheme: core.PosSel,
+				Over: sim.Overrides{IQSize: iq}},
+			RunSpec{Bench: "twolf", Wide8: true, Scheme: core.PosSel,
+				Over: sim.Overrides{IQSize: iq, ReplayQueue: true}})
+	}
+	for _, bench := range x.VPBench {
+		specs = append(specs,
+			RunSpec{Bench: bench, Wide8: true, Scheme: core.TkSel},
+			RunSpec{Bench: bench, Wide8: true, Scheme: core.TkSel,
+				Over: sim.Overrides{ValuePrediction: true}})
+	}
+	outs, err := e.runAll(specs)
+	if err != nil {
+		return nil, err
 	}
 
-	x := &Extensions{RQSizes: []int{16, 32, 64, 128}}
-	for _, iq := range x.RQSizes {
-		a, err := run("twolf", func(c *core.Config) { c.Scheme = core.PosSel; c.IQSize = iq })
-		if err != nil {
-			return nil, err
-		}
-		b, err := run("twolf", func(c *core.Config) {
-			c.Scheme = core.PosSel
-			c.IQSize = iq
-			c.ReplayQueue = true
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i := range x.RQSizes {
+		a, b := outs[2*i].Stats, outs[2*i+1].Stats
 		x.RQIssueModel = append(x.RQIssueModel, a.IPC())
 		x.RQQueued = append(x.RQQueued, b.IPC())
 		x.RQBlindReplays = append(x.RQBlindReplays, b.RQReplays)
 	}
-
-	x.VPBench = Benchmarks()
 	var sum float64
-	for _, bench := range x.VPBench {
-		a, err := run(bench, func(c *core.Config) { c.Scheme = core.TkSel })
-		if err != nil {
-			return nil, err
-		}
-		b, err := run(bench, func(c *core.Config) { c.Scheme = core.TkSel; c.ValuePrediction = true })
-		if err != nil {
-			return nil, err
-		}
+	vp := outs[2*len(x.RQSizes):]
+	for i := range x.VPBench {
+		a, b := vp[2*i].Stats, vp[2*i+1].Stats
 		x.VPBase = append(x.VPBase, a.IPC())
 		x.VPOn = append(x.VPOn, b.IPC())
 		acc := 0.0

@@ -3,192 +3,74 @@
 // of §2.3 and §5.5. Each experiment is a function returning a rendered
 // plain-text artifact and the underlying numbers; cmd/paper and the
 // repository benchmarks drive them.
+//
+// All simulation goes through the batch engine in internal/sim; this
+// package is a thin, context-carrying wrapper that keeps the historical
+// experiments API (NewEngine, RunTable4, ...) stable.
 package experiments
 
 import (
-	"fmt"
-	"runtime"
+	"context"
 	"sort"
-	"sync"
 
-	"repro/internal/core"
-	"repro/internal/smpred"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
-// Options control simulation length; zero values take defaults sized
-// for minutes-scale full-paper reproduction.
-type Options struct {
-	// Insts is the measured instruction count per run.
-	Insts int64
-	// Warmup is the unmeasured warmup instruction count per run.
-	Warmup int64
-	// Seed drives the workload generator.
-	Seed int64
-	// Parallelism bounds concurrent simulations (defaults to CPUs).
-	Parallelism int
-}
+// Options control simulation length and engine behaviour; see
+// sim.Options for the fields and defaults.
+type Options = sim.Options
 
-func (o Options) withDefaults() Options {
-	if o.Insts == 0 {
-		o.Insts = 200_000
-	}
-	if o.Warmup == 0 {
-		o.Warmup = 60_000
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	if o.Parallelism == 0 {
-		o.Parallelism = runtime.NumCPU()
-	}
-	return o
-}
+// RunSpec identifies one simulation; see sim.Spec.
+type RunSpec = sim.Spec
 
-// RunSpec identifies one simulation.
-type RunSpec struct {
-	Bench  string
-	Wide8  bool
-	Scheme core.Scheme
-}
-
-// width returns a human label.
-func (s RunSpec) width() string {
-	if s.Wide8 {
-		return "8-wide"
-	}
-	return "4-wide"
-}
-
-// RunOut couples a spec with its results.
-type RunOut struct {
-	Spec  RunSpec
-	Stats *core.Stats
-	Meter *smpred.CoverageMeter
-}
+// RunOut couples a spec with its results; see sim.RunOut.
+type RunOut = sim.RunOut
 
 // Engine memoizes simulation runs so experiments sharing a
-// configuration (e.g. the PosSel baselines) execute once.
+// configuration (e.g. the PosSel baselines) execute once. It binds a
+// context to a sim.Engine so the experiment functions — whose
+// signatures predate context propagation — stay context-free while
+// every simulation underneath remains cancelable.
 type Engine struct {
-	opts Options
-
-	mu    sync.Mutex
-	cache map[RunSpec]*RunOut
-
-	// machines pools one simulator per worker: the buffered channel is
-	// both the concurrency semaphore and the freelist. Slots start nil
-	// and are built (core.New) on first use; thereafter each run resets
-	// a pooled machine instead of reallocating the window, event wheel
-	// and cache arrays — a full-paper sweep is 168 simulations.
-	machines chan *core.Machine
+	ctx context.Context
+	eng *sim.Engine
 }
 
-// NewEngine builds a run engine with the given options.
+// NewEngine builds a run engine with the given options and a
+// background context.
 func NewEngine(opts Options) *Engine {
-	o := opts.withDefaults()
-	e := &Engine{
-		opts:     o,
-		cache:    make(map[RunSpec]*RunOut),
-		machines: make(chan *core.Machine, o.Parallelism),
-	}
-	for i := 0; i < o.Parallelism; i++ {
-		e.machines <- nil
-	}
-	return e
+	return NewEngineContext(context.Background(), opts)
+}
+
+// NewEngineContext builds a run engine whose simulations observe ctx:
+// cancellation or deadline expiry stops in-flight cycle loops and
+// fails the remaining specs with the context's error.
+func NewEngineContext(ctx context.Context, opts Options) *Engine {
+	return &Engine{ctx: ctx, eng: sim.NewEngine(opts)}
 }
 
 // Options returns the engine's effective options.
-func (e *Engine) Options() Options { return e.opts }
+func (e *Engine) Options() Options { return e.eng.Options() }
+
+// Sim exposes the underlying batch engine for progress snapshots and
+// journal accounting.
+func (e *Engine) Sim() *sim.Engine { return e.eng }
+
+// Close flushes and closes the checkpoint journal, if one was
+// configured.
+func (e *Engine) Close() error { return e.eng.Close() }
 
 // run executes (or recalls) one simulation.
 func (e *Engine) run(spec RunSpec) (*RunOut, error) {
-	e.mu.Lock()
-	if out, ok := e.cache[spec]; ok {
-		e.mu.Unlock()
-		return out, nil
-	}
-	e.mu.Unlock()
-
-	prof, err := workload.ByName(spec.Bench)
-	if err != nil {
-		return nil, err
-	}
-	gen, err := workload.NewGenerator(prof, e.opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-	cfg := core.Config4Wide()
-	if spec.Wide8 {
-		cfg = core.Config8Wide()
-	}
-	cfg.Scheme = spec.Scheme
-	cfg.MaxInsts = e.opts.Insts
-	cfg.Warmup = e.opts.Warmup
-
-	// Acquire a worker slot; build its machine on first use, reset it
-	// otherwise. Machines that fail are dropped back as nil slots so a
-	// bad run can't poison later ones.
-	m := <-e.machines
-	if m == nil {
-		m, err = core.New(cfg, gen)
-	} else {
-		err = m.Reset(cfg, gen)
-	}
-	if err != nil {
-		e.machines <- nil
-		return nil, err
-	}
-	st, err := m.Run()
-	if err != nil {
-		e.machines <- nil
-		return nil, fmt.Errorf("%s %s %v: %w", spec.Bench, spec.width(), spec.Scheme, err)
-	}
-	// Snapshot results out of the machine before it is pooled for
-	// reuse: Stats and Meter pointers alias machine state.
-	stc := st.Clone()
-	meter := *m.Meter()
-	e.machines <- m
-	out := &RunOut{Spec: spec, Stats: &stc, Meter: &meter}
-	e.mu.Lock()
-	e.cache[spec] = out
-	e.mu.Unlock()
-	return out, nil
+	return e.eng.Run(e.ctx, spec)
 }
 
 // runAll executes the given specs concurrently (memoized) and returns
-// outputs in spec order.
+// outputs in spec order; failed positions are nil and their errors
+// joined.
 func (e *Engine) runAll(specs []RunSpec) ([]*RunOut, error) {
-	// De-duplicate while preserving order.
-	uniq := make([]RunSpec, 0, len(specs))
-	seen := make(map[RunSpec]bool)
-	for _, s := range specs {
-		if !seen[s] {
-			seen[s] = true
-			uniq = append(uniq, s)
-		}
-	}
-	// Concurrency is bounded inside run() by the machine pool, which
-	// doubles as the semaphore.
-	errs := make([]error, len(uniq))
-	var wg sync.WaitGroup
-	for i, s := range uniq {
-		wg.Add(1)
-		go func(i int, s RunSpec) {
-			defer wg.Done()
-			_, errs[i] = e.run(s)
-		}(i, s)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	out := make([]*RunOut, len(specs))
-	for i, s := range specs {
-		out[i], _ = e.cache[s], error(nil)
-	}
-	return out, nil
+	return e.eng.RunAll(e.ctx, specs)
 }
 
 // Benchmarks returns the benchmark list in the paper's table order.

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/smpred"
+)
+
+// journalEntry is one checkpointed run: the spec and run-length
+// options that produced it, plus the full results. Scheme is stored by
+// registered name so journals survive enum renumbering; run-length
+// fields let a resume reject journals recorded under different
+// options instead of silently mixing runs of different lengths.
+type journalEntry struct {
+	Bench  string                `json:"bench"`
+	Wide8  bool                  `json:"wide8,omitempty"`
+	Scheme string                `json:"scheme"`
+	Over   *Overrides            `json:"over,omitempty"`
+	Insts  int64                 `json:"insts"`
+	Warmup int64                 `json:"warmup"`
+	Seed   int64                 `json:"seed"`
+	Stats  *core.Stats           `json:"stats"`
+	Meter  *smpred.CoverageMeter `json:"meter"`
+}
+
+// journal appends completed runs to a JSONL checkpoint file. Every
+// line is flushed as it is written, so an interrupted batch loses at
+// most the runs still in flight.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// loadJournal reads every checkpoint line that matches the engine's
+// options and returns the replayable runs keyed by normalized spec.
+// Unparseable lines — typically one torn tail line from an interrupted
+// write — and entries from different options or unknown schemes are
+// counted, not fatal: a journal is a cache, and a stale entry just
+// means re-simulating.
+func loadJournal(path string, opts Options) (map[Spec]*RunOut, int, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	runs := make(map[Spec]*RunOut)
+	skipped := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var je journalEntry
+		if err := json.Unmarshal([]byte(line), &je); err != nil {
+			skipped++
+			continue
+		}
+		scheme, err := core.ParseScheme(je.Scheme)
+		if err != nil || je.Stats == nil || je.Meter == nil ||
+			je.Insts != opts.Insts || je.Warmup != opts.Warmup || je.Seed != opts.Seed {
+			skipped++
+			continue
+		}
+		spec := Spec{Bench: je.Bench, Wide8: je.Wide8, Scheme: scheme}
+		if je.Over != nil {
+			spec.Over = *je.Over
+		}
+		spec = spec.Normalize()
+		runs[spec] = &RunOut{Spec: spec, Stats: je.Stats, Meter: je.Meter}
+	}
+	return runs, skipped, nil
+}
+
+// openJournal opens the checkpoint file for appending, creating it if
+// needed.
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// append checkpoints one completed run.
+func (j *journal) append(opts Options, out *RunOut) error {
+	je := journalEntry{
+		Bench:  out.Spec.Bench,
+		Wide8:  out.Spec.Wide8,
+		Scheme: out.Spec.Scheme.String(),
+		Insts:  opts.Insts,
+		Warmup: opts.Warmup,
+		Seed:   opts.Seed,
+		Stats:  out.Stats,
+		Meter:  out.Meter,
+	}
+	if !out.Spec.Over.isZero() {
+		over := out.Spec.Over
+		je.Over = &over
+	}
+	line, err := json.Marshal(je)
+	if err != nil {
+		return fmt.Errorf("sim: journal encode %s: %w", out.Spec, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(line); err != nil {
+		return fmt.Errorf("sim: journal write: %w", err)
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("sim: journal write: %w", err)
+	}
+	// Flush per run: a checkpoint that only hits the disk on Close
+	// would not survive the interrupt it exists for.
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("sim: journal flush: %w", err)
+	}
+	return nil
+}
+
+// close flushes and closes the checkpoint file.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -6,6 +6,11 @@
 // conservative scheduling policy both key off this confidence.
 package smpred
 
+import (
+	"encoding/json"
+	"fmt"
+)
+
 // Confidence is the 2-bit counter value, 0 (strongly hit) through
 // 3 (strongly miss).
 type Confidence uint8
@@ -184,6 +189,40 @@ func (m *CoverageMeter) PredictedFraction(t Confidence) float64 {
 		return 0
 	}
 	return float64(pred) / float64(total)
+}
+
+// coverageMeterJSON is the meter's wire form: the per-confidence load
+// and miss counts as slices.
+type coverageMeterJSON struct {
+	Loads  []uint64 `json:"loads"`
+	Misses []uint64 `json:"misses"`
+}
+
+// MarshalJSON encodes the per-confidence counters so the sim engine
+// can journal a run's Figure 9 data alongside its statistics.
+func (m CoverageMeter) MarshalJSON() ([]byte, error) {
+	return json.Marshal(coverageMeterJSON{
+		Loads:  m.loads[:],
+		Misses: m.misses[:],
+	})
+}
+
+// UnmarshalJSON decodes a meter written by MarshalJSON. Journals from
+// a build with a different confidence range are rejected rather than
+// reinterpreted.
+func (m *CoverageMeter) UnmarshalJSON(data []byte) error {
+	var j coverageMeterJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Loads) != int(MaxConfidence)+1 || len(j.Misses) != int(MaxConfidence)+1 {
+		return fmt.Errorf("smpred: coverage meter with %d/%d confidence levels, want %d",
+			len(j.Loads), len(j.Misses), int(MaxConfidence)+1)
+	}
+	*m = CoverageMeter{}
+	copy(m.loads[:], j.Loads)
+	copy(m.misses[:], j.Misses)
+	return nil
 }
 
 // Totals returns total loads and total misses recorded.

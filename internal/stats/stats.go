@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -129,6 +130,49 @@ func (h *Histogram) Buckets() []Bucket {
 type Bucket struct {
 	Upper int
 	Count uint64
+}
+
+// histogramJSON is the wire form of a Histogram: the sample counts
+// alone. N, sum and max are derived, so round-tripping cannot produce
+// an inconsistent histogram.
+type histogramJSON struct {
+	Counts map[int]uint64 `json:"counts,omitempty"`
+}
+
+// MarshalJSON encodes the histogram as its sample-count map. The sim
+// engine journals per-run statistics as JSONL checkpoints; the derived
+// fields (n, sum, max) are intentionally omitted and rebuilt on decode.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Counts: h.counts})
+}
+
+// UnmarshalJSON decodes a histogram previously written by MarshalJSON.
+// The result is indistinguishable from one built by the same sequence
+// of Add calls: derived fields are recomputed and invalid samples
+// (negative values, zero counts) are rejected rather than silently
+// dropped, so a journaled run replays bit-identically.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var j histogramJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*h = Histogram{}
+	if len(j.Counts) == 0 {
+		return nil
+	}
+	h.counts = make(map[int]uint64, len(j.Counts))
+	for v, c := range j.Counts {
+		if v < 0 || c == 0 {
+			return fmt.Errorf("stats: invalid histogram entry %d:%d", v, c)
+		}
+		h.counts[v] = c
+		h.n += c
+		h.sum += uint64(v) * c
+		if v > h.max {
+			h.max = v
+		}
+	}
+	return nil
 }
 
 // Ratio returns a/b, or 0 when b is zero — the safe form for
