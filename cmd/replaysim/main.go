@@ -26,6 +26,7 @@ func main() {
 	f.RegisterMachine(flag.CommandLine)
 	f.RegisterLength(flag.CommandLine)
 	f.RegisterSeed(flag.CommandLine)
+	f.RegisterCheck(flag.CommandLine)
 	tokens := flag.Int("tokens", 0, "token pool override for TkSel (0 = Table 3 default)")
 	flag.Parse()
 
@@ -37,6 +38,7 @@ func main() {
 		os.Exit(2)
 	}
 	scheme, _ := f.Scheme()
+	check, _ := f.Check()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -45,7 +47,7 @@ func main() {
 	opts.Parallelism = 1
 	out, err := sim.Run(ctx, sim.Spec{
 		Bench: f.Bench, Wide8: f.Wide8, Scheme: scheme,
-		Over: sim.Overrides{Tokens: *tokens},
+		Over: sim.Overrides{Tokens: *tokens, Check: check},
 	}, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

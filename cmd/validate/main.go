@@ -1,0 +1,126 @@
+// Command validate sweeps the differential validation matrix: every
+// requested replay scheme on every requested benchmark and seed, run at
+// each invariant-monitoring level, cross-checked level-against-level
+// and against the magic-scheduler oracle for the same instruction
+// stream. It prints every finding (with the cycle-stamped pipeline
+// trace window for monitor violations) and exits non-zero when
+// validation fails.
+//
+// Usage:
+//
+//	validate -schemes all -bench all -seeds 3
+//	validate -schemes TkSel,DSel -bench gcc,mcf -levels off,full -insts 20000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/simflag"
+	"repro/internal/workload"
+)
+
+func main() {
+	schemesFlag := flag.String("schemes", "all",
+		"comma-separated replay schemes, or all ("+strings.Join(core.SchemeNames(), ", ")+")")
+	benchFlag := flag.String("bench", "all",
+		"comma-separated benchmarks, or all ("+strings.Join(workload.Benchmarks, ", ")+")")
+	seeds := flag.Int("seeds", 1, "validate workload seeds 1..N")
+	levelsFlag := flag.String("levels", "off,cheap,full",
+		"comma-separated monitor levels to run and compare ("+strings.Join(core.CheckLevelNames(), ", ")+")")
+	wide8 := flag.Bool("wide8", false, "validate the 8-wide Table 3 machine")
+	insts := flag.Int64("insts", 50_000, "measured instructions per run")
+	warmup := flag.Int64("warmup", 10_000, "warmup instructions per run")
+	par := flag.Int("par", 0, "max concurrent simulations (0 = NumCPU)")
+	progress := flag.Bool("progress", true, "render a live status line on stderr")
+	flag.Parse()
+
+	opts, err := parseMatrix(*schemesFlag, *benchFlag, *levelsFlag, *seeds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *insts <= 0 || *warmup < 0 || *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "validate: -insts and -seeds must be positive, -warmup non-negative")
+		os.Exit(2)
+	}
+	opts.Wide8 = *wide8
+	opts.Insts = *insts
+	opts.Warmup = *warmup
+	opts.Parallelism = *par
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	status := simflag.NewStatus(os.Stderr, *progress)
+	opts.OnProgress = status.Update
+	report, err := check.Validate(ctx, opts)
+	status.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	for _, f := range report.Findings {
+		fmt.Printf("FAIL %s\n", f)
+		for _, viol := range f.Violations {
+			fmt.Printf("  violation: %s\n", viol)
+			if len(viol.Trace) > 0 {
+				fmt.Printf("  trace window (%d events):\n", len(viol.Trace))
+				for _, ev := range viol.Trace {
+					fmt.Printf("    cycle %6d  %s  seq %6d  pc %#010x  %v\n",
+						ev.Cycle, ev.Kind, ev.Seq, ev.PC, ev.Class)
+				}
+			}
+		}
+	}
+	fmt.Printf("validate: %d runs, %d schemes x %d benchmarks x %d seeds x %d levels: %d finding(s)\n",
+		report.Runs, len(opts.Schemes), len(opts.Benches), len(opts.Seeds), len(opts.Levels),
+		len(report.Findings))
+	if !report.OK() {
+		os.Exit(1)
+	}
+}
+
+// parseMatrix resolves the scheme/bench/level lists and the seed range.
+func parseMatrix(schemes, benches, levels string, seeds int) (check.Options, error) {
+	opts := check.Options{Schemes: core.Schemes(), Benches: workload.Benchmarks}
+	if schemes != "all" {
+		opts.Schemes = nil
+		for _, name := range strings.Split(schemes, ",") {
+			s, err := core.ParseScheme(strings.TrimSpace(name))
+			if err != nil {
+				return opts, err
+			}
+			opts.Schemes = append(opts.Schemes, s)
+		}
+	}
+	if benches != "all" {
+		opts.Benches = nil
+		for _, name := range strings.Split(benches, ",") {
+			name = strings.TrimSpace(name)
+			if _, err := workload.ByName(name); err != nil {
+				return opts, err
+			}
+			opts.Benches = append(opts.Benches, name)
+		}
+	}
+	for _, name := range strings.Split(levels, ",") {
+		l, err := core.ParseCheckLevel(strings.TrimSpace(name))
+		if err != nil {
+			return opts, err
+		}
+		opts.Levels = append(opts.Levels, l)
+	}
+	for s := 1; s <= seeds; s++ {
+		opts.Seeds = append(opts.Seeds, int64(s))
+	}
+	return opts, nil
+}

@@ -1,5 +1,7 @@
 package cache
 
+import "fmt"
+
 // Level identifies where in the hierarchy an access was satisfied.
 type Level uint8
 
@@ -184,6 +186,37 @@ func (h *Hierarchy) L2() *Cache { return h.l2 }
 // HitLatency returns the scheduled (assumed) load-to-use latency, i.e.
 // the DL1 hit latency the scheduler speculates with.
 func (h *Hierarchy) HitLatency() int { return h.cfg.DL1.Latency }
+
+// CheckInvariants verifies the epoch-rotation bookkeeping at the given
+// cycle: the next rotation is never scheduled further out than one
+// epoch, and no in-flight fill completes later than a worst-case miss
+// path allows. The validation layer (internal/check via core's memory
+// monitor) calls this periodically on checked runs.
+func (h *Hierarchy) CheckInvariants(now int64) error {
+	if h.nextSwap > now+h.epochLen {
+		return fmt.Errorf("cache: next epoch swap %d more than one epoch (%d) past cycle %d",
+			h.nextSwap, h.epochLen, now)
+	}
+	dataWorst := now + int64(h.cfg.DL1.Latency+h.cfg.L2.Latency+h.cfg.MemLatency)
+	for _, fills := range []map[uint64]int64{h.fills, h.fillsPrev} {
+		for la, ready := range fills {
+			if ready > dataWorst {
+				return fmt.Errorf("cache: data fill for line %#x completes at %d, past the worst-case bound %d",
+					la, ready, dataWorst)
+			}
+		}
+	}
+	instWorst := now + int64(h.cfg.IL1.Latency+h.cfg.L2.Latency+h.cfg.MemLatency)
+	for _, fills := range []map[uint64]int64{h.instFills, h.instFillsPrev} {
+		for la, ready := range fills {
+			if ready > instWorst {
+				return fmt.Errorf("cache: inst fill for line %#x completes at %d, past the worst-case bound %d",
+					la, ready, instWorst)
+			}
+		}
+	}
+	return nil
+}
 
 // Reset clears all levels and in-flight state, keeping allocations.
 func (h *Hierarchy) Reset() {

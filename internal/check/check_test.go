@@ -1,0 +1,274 @@
+package check
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestOracleDeterministic(t *testing.T) {
+	a, err := RunOracle("gcc", 3, false, 1_000, 4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOracle("gcc", 3, false, 1_000, 4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("oracle not deterministic: %+v != %+v", a, b)
+	}
+	c, err := RunOracle("gcc", 4, false, 1_000, 4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash == a.Hash {
+		t.Fatal("different seeds produced the same stream digest")
+	}
+	if a.Target != 5_000 || a.Loads == 0 || a.Stores == 0 || a.Branches == 0 {
+		t.Fatalf("implausible class counts: %+v", a)
+	}
+	if min := a.Target / 4; a.IdealCycles < min {
+		t.Fatalf("ideal cycles %d below the retire-bandwidth floor %d", a.IdealCycles, min)
+	}
+	if _, err := RunOracle("nope", 1, false, 0, 100); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+// The machine's retired-stream digest must equal the oracle's stream
+// digest, and no machine may finish faster than the dataflow limit.
+func TestOracleMatchesMachine(t *testing.T) {
+	for _, tc := range []struct {
+		scheme core.Scheme
+		bench  string
+	}{{core.PosSel, "gcc"}, {core.TkSel, "mcf"}} {
+		t.Run(tc.bench+"/"+tc.scheme.String(), func(t *testing.T) {
+			t.Parallel()
+			const insts, seed = 6_000, 5
+			prof, err := workload.ByName(tc.bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := workload.NewGenerator(prof, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.Config4Wide()
+			cfg.Scheme = tc.scheme
+			cfg.Check = core.CheckFull
+			cfg.MaxInsts = insts
+			cfg.Warmup = 0
+			m, err := core.New(cfg, gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle, err := RunOracle(tc.bench, seed, false, 0, insts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.RetireHash != oracle.Hash {
+				t.Errorf("retired stream %#x != oracle stream %#x", st.RetireHash, oracle.Hash)
+			}
+			if st.Cycles+4 < oracle.IdealCycles {
+				t.Errorf("machine beat the dataflow limit: %d cycles < ideal %d", st.Cycles, oracle.IdealCycles)
+			}
+		})
+	}
+}
+
+// analyze must flag fabricated divergences; otherwise the whole sweep
+// proves nothing.
+func TestAnalyzeFlagsDivergence(t *testing.T) {
+	opts := Options{
+		Schemes: []core.Scheme{core.PosSel},
+		Benches: []string{"gcc"},
+		Seeds:   []int64{1},
+		Levels:  []core.CheckLevel{core.CheckOff, core.CheckFull},
+		Insts:   1_000, Warmup: 100,
+	}
+	oracle, err := RunOracle("gcc", 1, false, opts.Warmup, opts.Insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := core.Stats{
+		Cycles: 3_000, Retired: 1_000,
+		TotalIssues: 1_200, FirstIssues: 1_000, LoadIssues: 300,
+		LoadSchedMisses: 50, CacheMisses: 40, AliasMisses: 10,
+		MissOnFirstIssue: 30, SquashedIssues: 100,
+		RetireHash: oracle.Hash,
+	}
+	key := func(level core.CheckLevel) runKey {
+		return runKey{seed: 1, bench: "gcc", sch: core.PosSel, level: level}
+	}
+	kinds := func(results map[runKey]*core.Stats) map[string]int {
+		v := &validator{opts: opts.withDefaults()}
+		v.analyze(1, "gcc", core.PosSel, oracle, results)
+		got := map[string]int{}
+		for _, f := range v.report.Findings {
+			got[f.Kind]++
+		}
+		return got
+	}
+
+	a, b := good, good
+	if got := kinds(map[runKey]*core.Stats{key(core.CheckOff): &a, key(core.CheckFull): &b}); len(got) != 0 {
+		t.Fatalf("clean results produced findings: %v", got)
+	}
+
+	bad := good
+	bad.RetireHash++
+	got := kinds(map[runKey]*core.Stats{key(core.CheckOff): &a, key(core.CheckFull): &bad})
+	if got["oracle-hash"] == 0 || got["cross-level"] == 0 {
+		t.Fatalf("hash divergence missed: %v", got)
+	}
+
+	bad = good
+	bad.CacheMisses++ // breaks cache+alias == schedMisses
+	if got := kinds(map[runKey]*core.Stats{key(core.CheckOff): &bad}); got["stats"] == 0 {
+		t.Fatalf("broken miss partition missed: %v", got)
+	}
+
+	bad = good
+	bad.RetireHash = 0 // a stale journal entry predating the digest
+	if got := kinds(map[runKey]*core.Stats{key(core.CheckOff): &bad}); got["oracle-hash"] == 0 {
+		t.Fatalf("missing digest not flagged: %v", got)
+	}
+}
+
+// A small end-to-end matrix must come back clean.
+func TestValidateSmallMatrix(t *testing.T) {
+	report, err := Validate(context.Background(), Options{
+		Schemes: []core.Scheme{core.PosSel, core.DSel},
+		Benches: []string{"gcc"},
+		Seeds:   []int64{1},
+		Insts:   5_000, Warmup: 1_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("findings on a clean matrix: %v", report.Findings)
+	}
+	if want := 2 * 3; report.Runs != want {
+		t.Fatalf("ran %d simulations, want %d", report.Runs, want)
+	}
+}
+
+// batchStats runs the given specs through one engine and returns the
+// per-spec stats. The submission order is the slice order, so callers
+// can permute it.
+func batchStats(t *testing.T, seed int64, specs []sim.Spec) map[sim.Spec]*core.Stats {
+	t.Helper()
+	eng := sim.NewEngine(sim.Options{Insts: 4_000, Warmup: 1_000, Seed: seed})
+	defer eng.Close()
+	out := make(map[sim.Spec]*core.Stats, len(specs))
+	for _, spec := range specs {
+		res, err := eng.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		out[spec] = res.Stats
+	}
+	return out
+}
+
+// Metamorphic: permuting the execution order of a batch (which permutes
+// machine-pool reuse) and permuting the seed list must leave every
+// per-run statistic identical — any difference means state leaks
+// between pooled runs.
+func TestMetamorphicSeedAndOrderPermutation(t *testing.T) {
+	var specs []sim.Spec
+	for _, s := range core.Schemes() {
+		specs = append(specs, sim.Spec{Bench: "gcc", Scheme: s, Over: sim.Overrides{Check: core.CheckCheap}})
+	}
+	seeds := []int64{1, 2, 3}
+	permuted := []int64{3, 1, 2}
+
+	type agg struct {
+		cycles int64
+		hash   uint64
+	}
+	collect := func(order []int64) map[sim.Spec]map[int64]agg {
+		byDim := make(map[sim.Spec]map[int64]agg)
+		for i, seed := range order {
+			sp := append([]sim.Spec(nil), specs...)
+			if i%2 == 1 { // alternate submission order within the batch
+				for l, r := 0, len(sp)-1; l < r; l, r = l+1, r-1 {
+					sp[l], sp[r] = sp[r], sp[l]
+				}
+			}
+			for spec, st := range batchStats(t, seed, sp) {
+				if byDim[spec] == nil {
+					byDim[spec] = make(map[int64]agg)
+				}
+				byDim[spec][seed] = agg{cycles: st.Cycles, hash: st.RetireHash}
+			}
+		}
+		return byDim
+	}
+
+	a := collect(seeds)
+	b := collect(permuted)
+	for spec, perSeed := range a {
+		for seed, want := range perSeed {
+			if got := b[spec][seed]; got != want {
+				t.Errorf("%s seed %d: %+v under one order, %+v under another", spec, seed, want, got)
+			}
+		}
+	}
+}
+
+// Metamorphic: a longer run of the same deterministic stream passes
+// through the shorter run's state, so doubling the trace length can
+// never decrease any cumulative replay counter, for any scheme.
+func TestMetamorphicTraceLengthMonotone(t *testing.T) {
+	const short = 5_000
+	for _, bench := range []string{"gcc", "mcf"} {
+		for _, s := range core.Schemes() {
+			t.Run(bench+"/"+s.String(), func(t *testing.T) {
+				t.Parallel()
+				run := func(insts int64) *core.Stats {
+					prof, err := workload.ByName(bench)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gen, err := workload.NewGenerator(prof, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := core.Config4Wide()
+					cfg.Scheme = s
+					cfg.Check = core.CheckCheap
+					cfg.MaxInsts = insts
+					cfg.Warmup = 0
+					m, err := core.New(cfg, gen)
+					if err != nil {
+						t.Fatal(err)
+					}
+					st, err := m.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					return st
+				}
+				a, b := run(short), run(2*short)
+				replaysA := a.TotalIssues - a.FirstIssues
+				replaysB := b.TotalIssues - b.FirstIssues
+				if replaysB < replaysA || b.LoadSchedMisses < a.LoadSchedMisses ||
+					b.SquashedIssues < a.SquashedIssues || b.Cycles < a.Cycles {
+					t.Errorf("doubling the trace shrank a cumulative counter: replays %d->%d misses %d->%d squashes %d->%d cycles %d->%d",
+						replaysA, replaysB, a.LoadSchedMisses, b.LoadSchedMisses,
+						a.SquashedIssues, b.SquashedIssues, a.Cycles, b.Cycles)
+				}
+			})
+		}
+	}
+}

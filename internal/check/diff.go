@@ -1,0 +1,306 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options selects the validation matrix: which schemes, benchmarks,
+// seeds and monitoring levels to sweep, and how long each run is. The
+// zero value validates every registered scheme on every benchmark at
+// every level, one seed, with runs long enough to exercise replay
+// steady state but short enough for CI.
+type Options struct {
+	// Schemes to validate; nil means every registered scheme.
+	Schemes []core.Scheme
+	// Benches to validate; nil means the full suite.
+	Benches []string
+	// Seeds drive the workload generator; nil means seed 1.
+	Seeds []int64
+	// Levels are the monitoring levels each spec runs at. The same
+	// stream is simulated once per level and the architectural results
+	// must agree bit-for-bit. Nil means off, cheap and full.
+	Levels []core.CheckLevel
+	// Wide8 validates on the 8-wide Table 3 machine.
+	Wide8 bool
+	// Insts and Warmup set the run length (defaults 50k after 10k).
+	Insts, Warmup int64
+	// Parallelism bounds concurrent simulations (0 = NumCPU).
+	Parallelism int
+	// OnProgress receives engine progress snapshots.
+	OnProgress func(sim.Snapshot)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Schemes == nil {
+		o.Schemes = core.Schemes()
+	}
+	if o.Benches == nil {
+		o.Benches = workload.Benchmarks
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []int64{1}
+	}
+	if o.Levels == nil {
+		o.Levels = []core.CheckLevel{core.CheckOff, core.CheckCheap, core.CheckFull}
+	}
+	if o.Insts == 0 {
+		o.Insts = 50_000
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 10_000
+	}
+	return o
+}
+
+// Finding is one validation failure: a run that errored, tripped a
+// monitor, diverged from the oracle, disagreed with itself across
+// monitoring levels, or broke a stats identity.
+type Finding struct {
+	// Spec is the run the finding is about (its Check override names
+	// the level, when one level is at fault).
+	Spec sim.Spec
+	// Seed is the workload seed.
+	Seed int64
+	// Kind classifies the failure: "run-error", "monitor",
+	// "oracle-hash", "cross-level" or "stats".
+	Kind string
+	// Msg is the human-readable explanation.
+	Msg string
+	// Violations carries the monitor violations (with their
+	// cycle-stamped trace windows) when Kind is "monitor".
+	Violations []core.Violation
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s seed %d: [%s] %s", f.Spec, f.Seed, f.Kind, f.Msg)
+}
+
+// Report is the outcome of a validation sweep.
+type Report struct {
+	// Runs is the number of simulations performed (or replayed).
+	Runs int
+	// Findings lists every failure, ordered by spec then seed.
+	Findings []Finding
+}
+
+// OK reports whether the sweep found nothing.
+func (r *Report) OK() bool { return len(r.Findings) == 0 }
+
+// add appends a finding under the report lock.
+func (v *validator) add(f Finding) {
+	v.mu.Lock()
+	v.report.Findings = append(v.report.Findings, f)
+	v.mu.Unlock()
+}
+
+// validator carries the shared state of one sweep.
+type validator struct {
+	opts   Options
+	mu     sync.Mutex
+	report Report
+}
+
+// runKey identifies one simulation in the result table.
+type runKey struct {
+	seed  int64
+	bench string
+	sch   core.Scheme
+	level core.CheckLevel
+}
+
+// Validate runs the full differential matrix: every (seed, bench,
+// scheme, level) simulation, each compared against the magic-scheduler
+// oracle for its stream and against its siblings at the other
+// monitoring levels. It returns a report of findings; the error return
+// is reserved for infrastructure failures (context cancellation,
+// unknown benchmark), not validation failures.
+func Validate(ctx context.Context, opts Options) (*Report, error) {
+	v := &validator{opts: opts.withDefaults()}
+	opts = v.opts
+
+	// Oracles are per (bench, seed) — one stream each, shared by every
+	// scheme and level.
+	oracles := make(map[runKey]OracleResult)
+	for _, bench := range opts.Benches {
+		for _, seed := range opts.Seeds {
+			or, err := RunOracle(bench, seed, opts.Wide8, opts.Warmup, opts.Insts)
+			if err != nil {
+				return nil, err
+			}
+			oracles[runKey{seed: seed, bench: bench}] = or
+		}
+	}
+
+	results := make(map[runKey]*core.Stats)
+	for _, seed := range opts.Seeds {
+		if err := v.runSeed(ctx, seed, results); err != nil {
+			return nil, err
+		}
+	}
+
+	// Analysis: per-run identities, oracle agreement, and cross-level
+	// agreement.
+	for _, seed := range opts.Seeds {
+		for _, bench := range opts.Benches {
+			oracle := oracles[runKey{seed: seed, bench: bench}]
+			for _, sch := range opts.Schemes {
+				v.analyze(seed, bench, sch, oracle, results)
+			}
+		}
+	}
+	sort.Slice(v.report.Findings, func(i, j int) bool {
+		a, b := v.report.Findings[i], v.report.Findings[j]
+		if a.Spec.String() != b.Spec.String() {
+			return a.Spec.String() < b.Spec.String()
+		}
+		return a.Seed < b.Seed
+	})
+	return &v.report, nil
+}
+
+// runSeed fans the (bench, scheme, level) cube for one seed through a
+// batch engine; failures become findings, successes land in results.
+func (v *validator) runSeed(ctx context.Context, seed int64, results map[runKey]*core.Stats) error {
+	opts := v.opts
+	eng := sim.NewEngine(sim.Options{
+		Insts: opts.Insts, Warmup: opts.Warmup, Seed: seed,
+		Parallelism: opts.Parallelism, OnProgress: opts.OnProgress,
+	})
+	defer eng.Close()
+
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex // guards results
+	)
+	for _, bench := range opts.Benches {
+		for _, sch := range opts.Schemes {
+			for _, level := range opts.Levels {
+				spec := sim.Spec{
+					Bench: bench, Wide8: opts.Wide8, Scheme: sch,
+					Over: sim.Overrides{Check: level},
+				}
+				key := runKey{seed: seed, bench: bench, sch: sch, level: level}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					out, err := eng.Run(ctx, spec)
+					if err != nil {
+						var ce *core.CheckError
+						if errors.As(err, &ce) {
+							v.add(Finding{
+								Spec: spec, Seed: seed, Kind: "monitor",
+								Msg:        fmt.Sprintf("%d violation(s), first: %s", len(ce.Violations), ce.Violations[0]),
+								Violations: ce.Violations,
+							})
+						} else if ctx.Err() == nil {
+							v.add(Finding{Spec: spec, Seed: seed, Kind: "run-error", Msg: err.Error()})
+						}
+						return
+					}
+					mu.Lock()
+					results[key] = out.Stats
+					v.report.Runs++
+					mu.Unlock()
+				}()
+			}
+		}
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// analyze checks one (seed, bench, scheme) cell: per-level stats
+// identities, oracle agreement, and cross-level agreement.
+func (v *validator) analyze(seed int64, bench string, sch core.Scheme, oracle OracleResult, results map[runKey]*core.Stats) {
+	opts := v.opts
+	width := int64(4)
+	if opts.Wide8 {
+		width = 8
+	}
+	var ref *core.Stats
+	var refSpec sim.Spec
+	for _, level := range opts.Levels {
+		st := results[runKey{seed: seed, bench: bench, sch: sch, level: level}]
+		if st == nil {
+			continue // already reported as run-error or monitor finding
+		}
+		spec := sim.Spec{
+			Bench: bench, Wide8: opts.Wide8, Scheme: sch,
+			Over: sim.Overrides{Check: level},
+		}
+		fail := func(kind, format string, args ...any) {
+			v.add(Finding{Spec: spec, Seed: seed, Kind: kind, Msg: fmt.Sprintf(format, args...)})
+		}
+
+		// Oracle agreement: the retired stream must be the fetched
+		// stream, bit-for-bit, in order.
+		switch {
+		case st.RetireHash == 0:
+			fail("oracle-hash", "run carries no retired-stream digest (stale journal entry?)")
+		case st.RetireHash != oracle.Hash:
+			fail("oracle-hash", "retired stream diverged from the oracle: %#016x != %#016x over %d insts",
+				st.RetireHash, oracle.Hash, oracle.Target)
+		}
+
+		// Stats identities: structural facts that hold for any correct
+		// run of any scheme.
+		// Both the warmup snapshot and the stopping point land on retire
+		// bundles, so the measured count can deviate from Insts by up to
+		// a bundle in either direction.
+		if d := st.Retired - opts.Insts; d <= -width || d >= width {
+			fail("stats", "retired %d insts, want %d +/- %d", st.Retired, opts.Insts, width-1)
+		}
+		if st.Cycles*width < st.Retired {
+			fail("stats", "%d cycles retired %d insts on a %d-wide machine", st.Cycles, st.Retired, width)
+		}
+		if st.FirstIssues > st.TotalIssues || st.LoadIssues > st.TotalIssues || st.SquashedIssues > st.TotalIssues {
+			fail("stats", "issue counters exceed total: first %d, load %d, squashed %d, total %d",
+				st.FirstIssues, st.LoadIssues, st.SquashedIssues, st.TotalIssues)
+		}
+		if st.CacheMisses+st.AliasMisses != st.LoadSchedMisses {
+			fail("stats", "miss causes do not partition: cache %d + alias %d != %d",
+				st.CacheMisses, st.AliasMisses, st.LoadSchedMisses)
+		}
+		if st.MissOnFirstIssue > st.LoadSchedMisses || st.LoadSchedMisses > st.LoadIssues {
+			fail("stats", "miss counters out of range: firstIssue %d, sched %d, loadIssues %d",
+				st.MissOnFirstIssue, st.LoadSchedMisses, st.LoadIssues)
+		}
+		if sch == core.TkSel {
+			p := &st.Policy
+			if p.MissesWithToken+p.MissTokenStolen+p.MissTokenRefused != st.LoadSchedMisses {
+				fail("stats", "token outcomes do not partition misses: %d + %d + %d != %d",
+					p.MissesWithToken, p.MissTokenStolen, p.MissTokenRefused, st.LoadSchedMisses)
+			}
+		}
+		// The dataflow bound only speaks about the whole run, so it can
+		// only be applied when nothing was subtracted as warmup.
+		if opts.Warmup == 0 && st.Cycles+width < oracle.IdealCycles {
+			fail("stats", "beat the dataflow limit: %d cycles < oracle's ideal %d", st.Cycles, oracle.IdealCycles)
+		}
+
+		// Cross-level agreement: monitoring must not perturb the run.
+		if ref == nil {
+			ref, refSpec = st, spec
+			continue
+		}
+		if st.RetireHash != ref.RetireHash {
+			fail("cross-level", "retired stream differs from %s: %#016x != %#016x",
+				refSpec, st.RetireHash, ref.RetireHash)
+		}
+		if st.Cycles != ref.Cycles || st.Retired != ref.Retired ||
+			st.TotalIssues != ref.TotalIssues || st.FirstIssues != ref.FirstIssues ||
+			st.LoadSchedMisses != ref.LoadSchedMisses || st.SquashedIssues != ref.SquashedIssues {
+			fail("cross-level", "counters differ from %s: cycles %d/%d retired %d/%d issues %d/%d misses %d/%d",
+				refSpec, st.Cycles, ref.Cycles, st.Retired, ref.Retired,
+				st.TotalIssues, ref.TotalIssues, st.LoadSchedMisses, ref.LoadSchedMisses)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package check is the validation layer over the replay simulator: a
+// differential oracle and a matrix runner that drive internal/sim runs
+// at every invariant-monitoring level and compare them against each
+// other and against a "magic scheduler" model of the same instruction
+// stream.
+//
+// The in-situ monitors themselves (replay closure, token conservation,
+// wakeup justification, retire order, occupancy, memory epochs) live in
+// internal/core so they can see machine internals; this package is the
+// cross-run half of the validation story.
+package check
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// OracleResult is the magic scheduler's view of one (bench, seed, width)
+// instruction stream: the retired-stream digest a correct machine must
+// reproduce exactly, plus a dataflow-limit cycle lower bound no machine
+// can beat.
+type OracleResult struct {
+	// Target is the number of instructions hashed (warmup + measured),
+	// matching the machine's retired-stream digest window.
+	Target int64
+	// Hash is the order-sensitive digest of the first Target
+	// instructions, computed exactly as the machine computes
+	// Stats.RetireHash over its retired stream. In-order retirement of
+	// the fetched stream is the architectural contract every replay
+	// scheme must preserve, so this must match bit-for-bit.
+	Hash uint64
+	// Loads, Stores and Branches count instruction classes over the
+	// Target window (informational).
+	Loads, Stores, Branches int64
+	// IdealCycles is the dataflow-limit execution time: every load hits
+	// in the DL1, scheduling is perfect (no replays), fetch sustains
+	// full width, and only true dependences and result latencies
+	// constrain issue. No real run of the same stream can retire Target
+	// instructions in fewer cycles.
+	IdealCycles int64
+}
+
+// oracleRing bounds the dependence window the oracle tracks. The real
+// machine's ROB is far smaller, and the workload generator draws
+// producers from a bounded recent window, so completion times older
+// than the ring are long since architecturally visible and count as
+// ready-at-zero — which keeps the bound a true lower bound.
+const oracleRingBits = 12
+
+// RunOracle replays the (bench, seed) instruction stream through the
+// magic scheduler: perfect load-latency knowledge, no speculation, no
+// structural hazards beyond fetch width. It returns the stream digest
+// and the dataflow cycle bound for a run of warmup+insts instructions.
+func RunOracle(bench string, seed int64, wide8 bool, warmup, insts int64) (OracleResult, error) {
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		return OracleResult{}, err
+	}
+	gen, err := workload.NewGenerator(prof, seed)
+	if err != nil {
+		return OracleResult{}, err
+	}
+	cfg := core.Config4Wide()
+	if wide8 {
+		cfg = core.Config8Wide()
+	}
+	width := int64(cfg.Width)
+	// A perfectly scheduled load completes in address generation plus a
+	// DL1 hit; the magic scheduler's omniscience means it never pays
+	// for a scheduling miss, and real memory latencies only exceed it.
+	loadLat := int64(isa.Load.ExecLatency() + cfg.Hierarchy.DL1.Latency)
+
+	const ringSize = 1 << oracleRingBits
+	var fin [ringSize]int64
+	res := OracleResult{Target: warmup + insts, Hash: isa.HashInit}
+	var maxFin int64
+	for seq := int64(0); seq < res.Target; seq++ {
+		in := gen.Next()
+		res.Hash = isa.HashInst(res.Hash, &in)
+		switch in.Class {
+		case isa.Load:
+			res.Loads++
+		case isa.Store:
+			res.Stores++
+		case isa.Branch:
+			res.Branches++
+		}
+
+		// Earliest start: the fetch/dispatch bound, then each live
+		// producer's completion. Stores need only their address operand
+		// (Src1); their data is consumed at commit, which the dataflow
+		// bound does not model.
+		start := seq / width
+		deps := [2]int64{in.Src1, in.Src2}
+		nsrc := 2
+		if in.Class == isa.Store {
+			nsrc = 1
+		}
+		for _, d := range deps[:nsrc] {
+			if d < 0 || seq-d >= ringSize {
+				continue // ready at dispatch, or long architecturally visible
+			}
+			if f := fin[d&(ringSize-1)]; f > start {
+				start = f
+			}
+		}
+		lat := int64(in.Class.ExecLatency())
+		if in.Class == isa.Load {
+			lat = loadLat
+		}
+		f := start + lat
+		fin[seq&(ringSize-1)] = f
+		if f > maxFin {
+			maxFin = f
+		}
+	}
+	// Retirement cannot beat either the longest dependence chain or the
+	// retire bandwidth.
+	res.IdealCycles = maxFin
+	if rb := (res.Target + width - 1) / width; rb > res.IdealCycles {
+		res.IdealCycles = rb
+	}
+	return res, nil
+}

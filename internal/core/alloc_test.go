@@ -11,6 +11,12 @@ import (
 // past the start-up transient, so pools, wheel slots, rename ring and
 // the cache fill maps are all at their steady-state high-water marks.
 func steadyMachine(tb testing.TB, bench string, warmCycles int) *Machine {
+	return steadyMachineAt(tb, bench, warmCycles, CheckOff)
+}
+
+// steadyMachineAt is steadyMachine with an invariant-monitor level, so
+// the monitored hot path is held to the same allocation discipline.
+func steadyMachineAt(tb testing.TB, bench string, warmCycles int, level CheckLevel) *Machine {
 	tb.Helper()
 	prof, err := workload.ByName(bench)
 	if err != nil {
@@ -21,6 +27,7 @@ func steadyMachine(tb testing.TB, bench string, warmCycles int) *Machine {
 		tb.Fatal(err)
 	}
 	cfg := Config8Wide()
+	cfg.Check = level
 	cfg.MaxInsts = 1 << 60 // stepped manually; never reached
 	m, err := New(cfg, gen)
 	if err != nil {
@@ -75,6 +82,38 @@ func BenchmarkMachineSteadyStateCancellable(b *testing.B) {
 	b.ReportMetric(float64(m.stats.Retired)/b.Elapsed().Seconds(), "sim-insts/s")
 }
 
+// BenchmarkMachineSteadyStateCheckCheap and ...CheckFull measure the
+// warm loop with the invariant monitors live. Guarded by benchguard,
+// they pin both monitor levels to zero steady-state allocations (the
+// monitors only allocate when recording a violation) and make the
+// monitoring overhead a tracked number rather than folklore. The
+// Check=off number is BenchmarkMachineSteadyState above, whose
+// baseline entry proves disabled monitoring stays free.
+func BenchmarkMachineSteadyStateCheckCheap(b *testing.B) {
+	benchmarkChecked(b, CheckCheap)
+}
+
+func BenchmarkMachineSteadyStateCheckFull(b *testing.B) {
+	benchmarkChecked(b, CheckFull)
+}
+
+func benchmarkChecked(b *testing.B, level CheckLevel) {
+	m := steadyMachineAt(b, "gcc", 50_000, level)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.step()
+	}
+	b.StopTimer()
+	if m.stats.Retired == 0 {
+		b.Fatal("machine made no progress")
+	}
+	if len(m.Violations()) != 0 {
+		b.Fatalf("monitors fired during the benchmark: %v", m.Violations())
+	}
+	b.ReportMetric(float64(m.stats.Retired)/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
 // TestSteadyStateAllocBudget is the enforced form of the benchmark: a
 // warm machine stepping a memory-heavy workload must average (almost)
 // zero heap allocations per simulated cycle. The tolerance absorbs
@@ -95,6 +134,27 @@ func TestSteadyStateAllocBudget(t *testing.T) {
 	if perCycle > 0.02 {
 		t.Fatalf("steady-state hot path allocates %.4f allocs/cycle (%.0f per %d cycles); budget is 0.02",
 			perCycle, avg, cyclesPerRun)
+	}
+}
+
+// The monitored hot path is held to the same budget: full-level
+// checking may cost cycles, never allocations.
+func TestCheckedSteadyStateAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is slow under -short")
+	}
+	m := steadyMachineAt(t, "mcf", 60_000, CheckFull)
+	const cyclesPerRun = 2000
+	avg := testing.AllocsPerRun(5, func() {
+		for i := 0; i < cyclesPerRun; i++ {
+			m.step()
+		}
+	})
+	if perCycle := avg / cyclesPerRun; perCycle > 0.02 {
+		t.Fatalf("monitored hot path allocates %.4f allocs/cycle; budget is 0.02", perCycle)
+	}
+	if len(m.Violations()) != 0 {
+		t.Fatalf("monitors fired: %v", m.Violations())
 	}
 }
 

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CheckLevel selects how much invariant monitoring a machine performs
+// while it runs. Checks observe through the same hook points as the
+// pipeline-event observer, so enabling them perturbs nothing
+// architectural: a checked run retires the identical instruction stream
+// as an unchecked one (cmd/validate proves this per spec via the
+// retired-stream hash).
+type CheckLevel uint8
+
+const (
+	// CheckOff disables monitoring entirely; the hot path pays one
+	// pointer nil-test per emitted event and allocates nothing.
+	CheckOff CheckLevel = iota
+	// CheckCheap enables the O(1)-per-event monitors: retire ordering,
+	// occupancy bounds, wakeup justification, sampled token conservation.
+	CheckCheap
+	// CheckFull additionally enables the O(window) sweeps: full ROB/IQ
+	// reconciliation, replay-closure verification at completion, LSQ and
+	// cache-epoch scans.
+	CheckFull
+	numCheckLevels
+)
+
+// String returns the level's flag spelling (off/cheap/full).
+func (l CheckLevel) String() string {
+	switch l {
+	case CheckOff:
+		return "off"
+	case CheckCheap:
+		return "cheap"
+	case CheckFull:
+		return "full"
+	}
+	return fmt.Sprintf("CheckLevel(%d)", uint8(l))
+}
+
+// Valid reports whether l is a defined level.
+func (l CheckLevel) Valid() bool { return l < numCheckLevels }
+
+// ParseCheckLevel resolves a flag spelling to a level.
+func ParseCheckLevel(name string) (CheckLevel, error) {
+	for l := CheckOff; l < numCheckLevels; l++ {
+		if strings.EqualFold(name, l.String()) {
+			return l, nil
+		}
+	}
+	return CheckOff, fmt.Errorf("core: unknown check level %q (want %s)",
+		name, strings.Join(CheckLevelNames(), ", "))
+}
+
+// CheckLevelNames lists the levels in ascending strictness.
+func CheckLevelNames() []string {
+	out := make([]string, numCheckLevels)
+	for l := CheckOff; l < numCheckLevels; l++ {
+		out[l] = l.String()
+	}
+	return out
+}
+
+// Violation is one invariant failure caught by a checker, with the
+// machine's recent pipeline-event history for diagnosis.
+type Violation struct {
+	// Checker is the registered name of the monitor that fired.
+	Checker string
+	// Cycle and Seq locate the failure (Seq is -1 when the violation is
+	// not tied to one instruction).
+	Cycle int64
+	Seq   int64
+	// Msg describes the broken invariant.
+	Msg string
+	// Trace is the cycle-stamped window of pipeline events leading up to
+	// the violation (oldest first).
+	Trace []PipeEvent
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("cycle %d seq %d [%s] %s", v.Cycle, v.Seq, v.Checker, v.Msg)
+}
+
+// CheckError is the error a checked run returns when monitors caught
+// violations; the run stops at the first offending cycle.
+type CheckError struct {
+	Scheme     Scheme
+	Violations []Violation
+}
+
+func (e *CheckError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: %d invariant violation(s) under %v", len(e.Violations), e.Scheme)
+	for i := range e.Violations {
+		b.WriteString("\n  ")
+		b.WriteString(e.Violations[i].String())
+	}
+	return b.String()
+}
+
+// checker is one registered invariant monitor. Implementations observe
+// a machine through three hooks and report failures via monitor.failf;
+// they must not mutate any machine state (the zero-perturbation
+// guarantee rests on that discipline, and is enforced empirically by
+// the cross-level hash comparison in internal/check).
+type checker interface {
+	// name labels the checker in violations and registry listings.
+	name() string
+	// minLevel is the cheapest level that enables this checker.
+	minLevel() CheckLevel
+	// reset prepares the checker for a run of m; it is the checker's one
+	// allocation point (mirroring replayPolicy.reset).
+	reset(m *Machine)
+	// event observes one pipeline lifecycle event as it is emitted.
+	event(m *Machine, u *uop, kind PipeEventKind)
+	// cycleEnd runs after every machine step, with the cycle's final
+	// state visible.
+	cycleEnd(m *Machine)
+	// finish runs once after the run's last cycle.
+	finish(m *Machine)
+}
+
+// noopChecker provides default no-op hooks for checkers that only need
+// a subset; embed it and override what the monitor watches.
+type noopChecker struct{}
+
+func (noopChecker) reset(*Machine)                      {}
+func (noopChecker) event(*Machine, *uop, PipeEventKind) {}
+func (noopChecker) cycleEnd(*Machine)                   {}
+func (noopChecker) finish(*Machine)                     {}
+
+// checkerEntry pairs a registered checker name with its constructor.
+type checkerEntry struct {
+	name  string
+	build func() checker
+}
+
+// checkerRegistry holds the registered monitors in registration order;
+// checkerByName guards against duplicates, mirroring the replay-policy
+// registry.
+var (
+	checkerRegistry []checkerEntry
+	checkerByName   = map[string]int{}
+)
+
+// registerChecker adds a monitor constructor at init time; duplicate
+// names panic, same as registerPolicy.
+func registerChecker(name string, build func() checker) {
+	if _, dup := checkerByName[name]; dup {
+		panic(fmt.Sprintf("core: duplicate checker %q", name))
+	}
+	c := build()
+	if c.name() != name {
+		panic(fmt.Sprintf("core: checker %q registered under name %q", c.name(), name))
+	}
+	checkerByName[name] = len(checkerRegistry)
+	checkerRegistry = append(checkerRegistry, checkerEntry{name: name, build: build})
+}
+
+// CheckerNames lists the registered invariant monitors, sorted.
+func CheckerNames() []string {
+	out := make([]string, 0, len(checkerRegistry))
+	for _, e := range checkerRegistry {
+		out = append(out, e.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// traceWindowSize is how many recent pipeline events the monitor keeps
+// for violation reports. Power of two for the ring index mask.
+const traceWindowSize = 64
+
+// maxViolations bounds how many violations one run collects before the
+// monitor stops recording (the first is almost always the story; the
+// cap keeps a badly broken scheme from flooding memory).
+const maxViolations = 16
+
+// monitor drives the enabled checkers and keeps the rolling trace
+// window. It exists only on machines with cfg.Check > CheckOff, so the
+// disabled path costs one nil test per emit.
+type monitor struct {
+	level    CheckLevel
+	checkers []checker
+
+	// trace is a ring of the last traceWindowSize pipeline events.
+	trace    [traceWindowSize]PipeEvent
+	traceLen int
+	tracePos int
+
+	violations []Violation
+}
+
+func newMonitor(level CheckLevel) *monitor {
+	mon := &monitor{level: level}
+	for _, e := range checkerRegistry {
+		c := e.build()
+		if c.minLevel() <= level {
+			mon.checkers = append(mon.checkers, c)
+		}
+	}
+	return mon
+}
+
+func (mon *monitor) reset(m *Machine) {
+	mon.traceLen, mon.tracePos = 0, 0
+	mon.violations = mon.violations[:0]
+	for _, c := range mon.checkers {
+		c.reset(m)
+	}
+}
+
+// record taps one pipeline event into the trace ring and fans it out to
+// the checkers.
+func (mon *monitor) record(m *Machine, u *uop, kind PipeEventKind) {
+	mon.trace[mon.tracePos] = PipeEvent{
+		Cycle: m.cycle, Seq: u.seq(), PC: u.inst.PC, Class: u.inst.Class, Kind: kind,
+	}
+	mon.tracePos = (mon.tracePos + 1) & (traceWindowSize - 1)
+	if mon.traceLen < traceWindowSize {
+		mon.traceLen++
+	}
+	for _, c := range mon.checkers {
+		c.event(m, u, kind)
+	}
+}
+
+func (mon *monitor) cycleEnd(m *Machine) {
+	for _, c := range mon.checkers {
+		c.cycleEnd(m)
+	}
+}
+
+func (mon *monitor) finish(m *Machine) {
+	for _, c := range mon.checkers {
+		c.finish(m)
+	}
+}
+
+// failf records one violation with a snapshot of the trace window.
+// Allocation happens only here — a clean checked run allocates nothing
+// after reset.
+func (mon *monitor) failf(m *Machine, checkerName string, seq int64, format string, args ...any) {
+	if len(mon.violations) >= maxViolations {
+		return
+	}
+	mon.violations = append(mon.violations, Violation{
+		Checker: checkerName,
+		Cycle:   m.cycle,
+		Seq:     seq,
+		Msg:     fmt.Sprintf(format, args...),
+		Trace:   mon.traceWindow(),
+	})
+}
+
+// traceWindow copies the ring out oldest-first.
+func (mon *monitor) traceWindow() []PipeEvent {
+	out := make([]PipeEvent, mon.traceLen)
+	start := (mon.tracePos - mon.traceLen + traceWindowSize) & (traceWindowSize - 1)
+	for i := 0; i < mon.traceLen; i++ {
+		out[i] = mon.trace[(start+i)&(traceWindowSize-1)]
+	}
+	return out
+}
+
+// err packages the collected violations, or nil when the run is clean.
+func (mon *monitor) err(scheme Scheme) error {
+	if len(mon.violations) == 0 {
+		return nil
+	}
+	return &CheckError{Scheme: scheme, Violations: append([]Violation(nil), mon.violations...)}
+}
+
+// Violations returns the invariant violations collected so far; empty
+// on a clean run. Valid during and after Run.
+func (m *Machine) Violations() []Violation {
+	if m.mon == nil {
+		return nil
+	}
+	return m.mon.violations
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/token"
+)
+
+// This file holds the built-in invariant monitors. Each registers
+// itself like a replay policy does; see DESIGN.md §10 for the checker
+// contract and how to add one.
+
+func init() {
+	registerChecker("retire", func() checker { return &retireChecker{} })
+	registerChecker("occupancy", func() checker { return &occupancyChecker{} })
+	registerChecker("wakeup", func() checker { return &wakeupChecker{} })
+	registerChecker("token", func() checker { return &tokenChecker{} })
+	registerChecker("replay-closure", func() checker { return &closureChecker{} })
+	registerChecker("memory", func() checker { return &memoryChecker{} })
+}
+
+// retireChecker verifies in-order, exactly-once commitment: the retired
+// sequence numbers are dense, every retiring instruction matches the
+// window head, executed at least once, and was squashed strictly fewer
+// times than it issued (its final issue survived).
+type retireChecker struct {
+	noopChecker
+	lastSeq int64
+}
+
+func (c *retireChecker) name() string         { return "retire" }
+func (c *retireChecker) minLevel() CheckLevel { return CheckCheap }
+func (c *retireChecker) reset(*Machine)       { c.lastSeq = -1 }
+
+func (c *retireChecker) event(m *Machine, u *uop, kind PipeEventKind) {
+	if kind != EvRetire {
+		return
+	}
+	seq := u.seq()
+	if c.lastSeq >= 0 && seq != c.lastSeq+1 {
+		m.mon.failf(m, c.name(), seq, "out-of-order retire: seq %d after %d", seq, c.lastSeq)
+	}
+	c.lastSeq = seq
+	if seq != m.headSeq {
+		m.mon.failf(m, c.name(), seq, "retiring seq %d is not the window head %d", seq, m.headSeq)
+	}
+	if !u.completed {
+		m.mon.failf(m, c.name(), seq, "retiring without completion")
+	}
+	if u.issues < 1 {
+		m.mon.failf(m, c.name(), seq, "retiring with %d executions", u.issues)
+	}
+	if u.squashes >= u.issues {
+		m.mon.failf(m, c.name(), seq, "retiring with %d squashes of %d issues (no surviving execution)",
+			u.squashes, u.issues)
+	}
+}
+
+// occupancyChecker verifies the window bookkeeping: ROB/IQ/RQ/LSQ
+// occupancy bounds every cycle, and (at full level) a complete window
+// reconciliation — dense live sequence numbers, per-uop queue flags
+// summing to the counters, and pool conservation.
+type occupancyChecker struct {
+	noopChecker
+	full bool
+}
+
+func (c *occupancyChecker) name() string         { return "occupancy" }
+func (c *occupancyChecker) minLevel() CheckLevel { return CheckCheap }
+func (c *occupancyChecker) reset(m *Machine)     { c.full = m.cfg.Check >= CheckFull }
+
+func (c *occupancyChecker) cycleEnd(m *Machine) {
+	switch {
+	case m.robCount < 0 || m.robCount > m.cfg.ROBSize:
+		m.mon.failf(m, c.name(), -1, "ROB occupancy %d out of [0,%d]", m.robCount, m.cfg.ROBSize)
+	case m.iqCount < 0 || m.iqCount > m.robCount:
+		m.mon.failf(m, c.name(), -1, "IQ occupancy %d outside window population %d", m.iqCount, m.robCount)
+	case m.iqCount > m.cfg.IQSize && m.stats.IQOverflowSquashes == 0:
+		m.mon.failf(m, c.name(), -1, "IQ occupancy %d exceeds %d without a recorded overflow squash",
+			m.iqCount, m.cfg.IQSize)
+	case m.rqCount < 0 || m.rqCount > m.cfg.rqSize():
+		m.mon.failf(m, c.name(), -1, "RQ occupancy %d out of [0,%d]", m.rqCount, m.cfg.rqSize())
+	case m.lsqLen < 0 || m.lsqLen > m.cfg.LSQSize:
+		m.mon.failf(m, c.name(), -1, "LSQ occupancy %d out of [0,%d]", m.lsqLen, m.cfg.LSQSize)
+	}
+	if m.robCount > 0 {
+		head := m.rob[m.robHead]
+		if head == nil || head.seq() != m.headSeq {
+			m.mon.failf(m, c.name(), m.headSeq, "window head does not carry headSeq %d", m.headSeq)
+			return
+		}
+	}
+	if !c.full {
+		return
+	}
+	inIQ, inRQ := 0, 0
+	for i := 0; i < m.robCount; i++ {
+		w := m.rob[(m.robHead+i)%len(m.rob)]
+		want := m.headSeq + int64(i)
+		if w == nil {
+			m.mon.failf(m, c.name(), want, "nil window slot at seq %d", want)
+			return
+		}
+		if w.seq() != want {
+			m.mon.failf(m, c.name(), w.seq(), "window slot holds seq %d, want %d", w.seq(), want)
+			return
+		}
+		if w.retired {
+			m.mon.failf(m, c.name(), w.seq(), "retired uop still in the window")
+		}
+		if w.inIQ {
+			inIQ++
+		}
+		if w.inRQ {
+			inRQ++
+		}
+	}
+	if inIQ != m.iqCount {
+		m.mon.failf(m, c.name(), -1, "IQ count %d but %d window uops hold entries", m.iqCount, inIQ)
+	}
+	if inRQ != m.rqCount {
+		m.mon.failf(m, c.name(), -1, "RQ count %d but %d window uops hold entries", m.rqCount, inRQ)
+	}
+	if len(m.free)+m.robCount != len(m.pool) {
+		m.mon.failf(m, c.name(), -1, "uop pool leak: %d free + %d live != %d pooled",
+			len(m.free), m.robCount, len(m.pool))
+	}
+}
+
+// wakeupChecker verifies scoreboard/ready-bit consistency: an operand
+// marked ready must have a cause — producer out of the window, producer
+// issued at least once (its broadcast or completion woke us), a live
+// value prediction, or the scheme's own wakeup rule (serial
+// verification's scoreboard). Issue must only select fully ready
+// instructions (except the replay queue's blind re-issues, which cannot
+// observe wakeups by design).
+type wakeupChecker struct{ noopChecker }
+
+func (c *wakeupChecker) name() string         { return "wakeup" }
+func (c *wakeupChecker) minLevel() CheckLevel { return CheckCheap }
+
+func (c *wakeupChecker) event(m *Machine, u *uop, kind PipeEventKind) {
+	switch kind {
+	case EvDispatch:
+		if !u.inIQ || u.issued || u.completed {
+			m.mon.failf(m, c.name(), u.seq(), "dispatched in a non-waiting state (inIQ=%v issued=%v completed=%v)",
+				u.inIQ, u.issued, u.completed)
+		}
+		if want := m.headSeq + int64(m.robCount) - 1; u.seq() != want {
+			m.mon.failf(m, c.name(), u.seq(), "dispatched seq %d is not the window tail %d", u.seq(), want)
+		}
+		c.checkOperands(m, u)
+	case EvIssue:
+		if !u.issued || u.issues < 1 || u.completed || u.retired {
+			m.mon.failf(m, c.name(), u.seq(), "issued in an inconsistent state (issued=%v issues=%d completed=%v retired=%v)",
+				u.issued, u.issues, u.completed, u.retired)
+		}
+		if !u.inRQ && !u.allReady() {
+			m.mon.failf(m, c.name(), u.seq(), "issued with an operand not ready")
+		}
+		c.checkOperands(m, u)
+	}
+}
+
+func (c *wakeupChecker) checkOperands(m *Machine, u *uop) {
+	for i := 0; i < 2; i++ {
+		if u.srcSeq(i) < 0 || !u.src[i].ready {
+			continue
+		}
+		p := m.prod(u, i)
+		if p == nil || !p.inst.Class.HasDest() {
+			continue // producer retired or produces no register value
+		}
+		// issues is cumulative, so a producer squashed after waking us
+		// still justifies the stale-but-legal ready bit (the safety
+		// check at completion is what catches actually-consumed staleness).
+		if p.issues > 0 || p.completed || (p.valuePredicted && !p.valueWrong) || m.pol.wakeupEligible(p) {
+			continue
+		}
+		m.mon.failf(m, c.name(), u.seq(), "operand %d ready with never-issued producer %d", i, p.seq())
+	}
+}
+
+// tokenChecker verifies TkSel's token conservation: every held token's
+// head is a live in-window load that knows it holds the token, the
+// pool's in-use count matches the holder table, and (at full level)
+// every window holder and dependence-vector bit resolves to an in-use
+// token. A non-TkSel run disables the checker at reset.
+type tokenChecker struct {
+	noopChecker
+	pol  *tkselPolicy
+	full bool
+}
+
+func (c *tokenChecker) name() string         { return "token" }
+func (c *tokenChecker) minLevel() CheckLevel { return CheckCheap }
+
+func (c *tokenChecker) reset(m *Machine) {
+	c.pol, _ = m.pol.(*tkselPolicy)
+	c.full = m.cfg.Check >= CheckFull
+}
+
+func (c *tokenChecker) cycleEnd(m *Machine) {
+	if c.pol == nil {
+		return
+	}
+	// The cheap level samples: token state only changes at rename,
+	// completion and kill, and a leak stays visible forever.
+	if !c.full && m.cycle&63 != 0 {
+		return
+	}
+	a := c.pol.alloc
+	inUse := 0
+	var live token.Vector
+	for id := 0; id < a.Size(); id++ {
+		h := a.Holder(id)
+		if h < 0 {
+			continue
+		}
+		inUse++
+		live = live.With(id)
+		if h < m.headSeq || h >= m.tailSeq() {
+			m.mon.failf(m, c.name(), h, "token %d held by out-of-window seq %d (window [%d,%d))",
+				id, h, m.headSeq, m.tailSeq())
+			continue
+		}
+		w := m.lookup(h)
+		if w == nil || w.tokenID != id {
+			m.mon.failf(m, c.name(), h, "token %d's head seq %d does not hold it back", id, h)
+		}
+	}
+	if inUse != a.InUse() {
+		m.mon.failf(m, c.name(), -1, "token pool reports %d in use, holder table has %d", a.InUse(), inUse)
+	}
+	if !c.full {
+		return
+	}
+	holders := 0
+	for i := 0; i < m.robCount; i++ {
+		w := m.rob[(m.robHead+i)%len(m.rob)]
+		if w.tokenID >= 0 {
+			holders++
+			if a.Holder(w.tokenID) != w.seq() {
+				m.mon.failf(m, c.name(), w.seq(), "uop holds token %d allocated to seq %d",
+					w.tokenID, a.Holder(w.tokenID))
+			}
+		}
+		if w.depVec.Merge(live) != live {
+			m.mon.failf(m, c.name(), w.seq(), "dependence vector %b carries bits of free tokens (live %b)",
+				uint64(w.depVec), uint64(live))
+		}
+	}
+	if holders != inUse {
+		m.mon.failf(m, c.name(), -1, "token conservation: %d in-window holders vs %d tokens in use",
+			holders, inUse)
+	}
+	for i := range c.pol.renameVec {
+		e := &c.pol.renameVec[i]
+		if e.seq >= 0 && e.vec.Merge(live) != live {
+			m.mon.failf(m, c.name(), e.seq, "rename vector %b carries bits of free tokens (live %b)",
+				uint64(e.vec), uint64(live))
+		}
+	}
+}
+
+// closureChecker verifies replay closure at the completion gate. The
+// direct property — every transitive consumer of a squashed load result
+// re-executes before retiring — is scheme-dependent at kill time (DSel
+// deliberately defers invalidation to completion-poison, NonSel
+// over-kills), so the checker asserts its contrapositive where all
+// schemes converge: no instruction may complete having consumed a value
+// that was not actually valid at its execution, and only completed
+// instructions retire (retireChecker). Together these force any
+// consumer of a mis-scheduled result to re-execute with valid data
+// before commit, whichever replay mechanism got it there.
+type closureChecker struct{ noopChecker }
+
+func (c *closureChecker) name() string         { return "replay-closure" }
+func (c *closureChecker) minLevel() CheckLevel { return CheckFull }
+
+func (c *closureChecker) event(m *Machine, u *uop, kind PipeEventKind) {
+	if kind != EvComplete {
+		return
+	}
+	if u.issues < 1 || u.execStart > m.cycle {
+		m.mon.failf(m, c.name(), u.seq(), "completing before executing (issues=%d execStart=%d)",
+			u.issues, u.execStart)
+	}
+	if u.dataReadyAt > m.cycle {
+		m.mon.failf(m, c.name(), u.seq(), "completing at cycle %d before its data arrives at %d",
+			m.cycle, u.dataReadyAt)
+	}
+	nsrc := 2
+	if u.inst.Class == isa.Store {
+		nsrc = 1 // stores complete on address readiness alone
+	}
+	for i := 0; i < nsrc; i++ {
+		if u.srcSeq(i) >= 0 && !dataValidFor(m.prod(u, i), u.execStart) {
+			m.mon.failf(m, c.name(), u.seq(),
+				"completed consuming stale data from producer %d (replay closure broken)", u.srcSeq(i))
+		}
+	}
+}
+
+// memoryChecker verifies LSQ and cache-epoch sanity: the LSQ holds
+// exactly the in-window memory instructions in program order, and the
+// hierarchy's epoch-rotated in-flight fill maps obey their rotation and
+// latency bounds. Throttled — the scans are O(LSQ + fill entries) and
+// the state drifts slowly.
+type memoryChecker struct{ noopChecker }
+
+func (c *memoryChecker) name() string         { return "memory" }
+func (c *memoryChecker) minLevel() CheckLevel { return CheckFull }
+
+func (c *memoryChecker) cycleEnd(m *Machine) {
+	if m.cycle&255 != 0 {
+		return
+	}
+	prev := int64(-1)
+	for i := 0; i < m.lsqLen; i++ {
+		w := m.lsqAt(i)
+		if w == nil {
+			m.mon.failf(m, c.name(), -1, "nil LSQ slot %d of %d", i, m.lsqLen)
+			return
+		}
+		seq := w.seq()
+		switch {
+		case !w.inst.Class.IsMem():
+			m.mon.failf(m, c.name(), seq, "non-memory %v in the LSQ", w.inst.Class)
+		case seq <= prev:
+			m.mon.failf(m, c.name(), seq, "LSQ out of program order: seq %d after %d", seq, prev)
+		case seq < m.headSeq || seq >= m.tailSeq():
+			m.mon.failf(m, c.name(), seq, "LSQ entry outside the window [%d,%d)", m.headSeq, m.tailSeq())
+		}
+		prev = seq
+	}
+	if err := m.hier.CheckInvariants(m.cycle); err != nil {
+		m.mon.failf(m, c.name(), -1, "cache hierarchy: %v", err)
+	}
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func runWithChecks(t *testing.T, cfg Config, bench string, seed int64) (*Stats, error) {
+	t.Helper()
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run()
+}
+
+// Every scheme must run violation-free under full monitoring — this is
+// the empirical soundness gate for the monitors themselves: a checker
+// that misunderstands a legal scheme behaviour fails here, not in the
+// field.
+func TestCheckedRunsCleanAllSchemes(t *testing.T) {
+	for _, bench := range []string{"gcc", "mcf"} {
+		for _, s := range Schemes() {
+			t.Run(bench+"/"+s.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := Config4Wide()
+				cfg.Scheme = s
+				cfg.Check = CheckFull
+				cfg.MaxInsts = 8_000
+				cfg.Warmup = 2_000
+				if _, err := runWithChecks(t, cfg, bench, 1); err != nil {
+					t.Fatalf("checked run failed: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// The replay-queue and value-prediction variants exercise different
+// issue/verify paths; they must be clean too, on every scheme that
+// supports them.
+func TestCheckedRunsCleanVariants(t *testing.T) {
+	for _, s := range Schemes() {
+		if policyRegistry[s].rq {
+			t.Run("rq/"+s.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := Config4Wide()
+				cfg.Scheme = s
+				cfg.ReplayQueue = true
+				cfg.Check = CheckFull
+				cfg.MaxInsts = 8_000
+				cfg.Warmup = 2_000
+				if _, err := runWithChecks(t, cfg, "mcf", 2); err != nil {
+					t.Fatalf("checked replay-queue run failed: %v", err)
+				}
+			})
+		}
+		if policyRegistry[s].vp {
+			t.Run("vp/"+s.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := Config4Wide()
+				cfg.Scheme = s
+				cfg.ValuePrediction = true
+				cfg.Check = CheckFull
+				cfg.MaxInsts = 8_000
+				cfg.Warmup = 2_000
+				if _, err := runWithChecks(t, cfg, "mcf", 2); err != nil {
+					t.Fatalf("checked value-prediction run failed: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// Monitoring must not perturb the simulation: the same spec at
+// off/cheap/full retires the identical stream (hash) in the identical
+// number of cycles with identical counters.
+func TestCheckZeroPerturbation(t *testing.T) {
+	for _, s := range []Scheme{PosSel, TkSel, DSel} {
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			var ref *Stats
+			for _, level := range []CheckLevel{CheckOff, CheckCheap, CheckFull} {
+				cfg := Config4Wide()
+				cfg.Scheme = s
+				cfg.Check = level
+				cfg.MaxInsts = 10_000
+				cfg.Warmup = 1_000
+				st, err := runWithChecks(t, cfg, "gcc", 7)
+				if err != nil {
+					t.Fatalf("level %v: %v", level, err)
+				}
+				if ref == nil {
+					got := st.Clone()
+					ref = &got
+					continue
+				}
+				if st.RetireHash != ref.RetireHash {
+					t.Errorf("level %v retired a different stream: hash %#x != %#x",
+						level, st.RetireHash, ref.RetireHash)
+				}
+				if st.Cycles != ref.Cycles || st.TotalIssues != ref.TotalIssues ||
+					st.LoadSchedMisses != ref.LoadSchedMisses || st.SquashedIssues != ref.SquashedIssues {
+					t.Errorf("level %v perturbed the run: cycles %d/%d issues %d/%d misses %d/%d squashes %d/%d",
+						level, st.Cycles, ref.Cycles, st.TotalIssues, ref.TotalIssues,
+						st.LoadSchedMisses, ref.LoadSchedMisses, st.SquashedIssues, ref.SquashedIssues)
+				}
+			}
+		})
+	}
+}
+
+func TestParseCheckLevel(t *testing.T) {
+	for _, lvl := range []CheckLevel{CheckOff, CheckCheap, CheckFull} {
+		got, err := ParseCheckLevel(lvl.String())
+		if err != nil || got != lvl {
+			t.Errorf("ParseCheckLevel(%q) = %v, %v", lvl.String(), got, err)
+		}
+	}
+	if _, err := ParseCheckLevel("paranoid"); err == nil {
+		t.Error("ParseCheckLevel accepted an unknown level")
+	}
+	if !CheckFull.Valid() || CheckLevel(99).Valid() {
+		t.Error("CheckLevel.Valid misclassifies")
+	}
+	if len(CheckerNames()) < 6 {
+		t.Errorf("expected at least the six built-in checkers, got %v", CheckerNames())
+	}
+}
+
+// checkedMachine builds a machine over the given bench and steps it
+// until the window is populated, returning it for corruption tests.
+func checkedMachine(t *testing.T, scheme Scheme, level CheckLevel, steps int) *Machine {
+	t.Helper()
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config4Wide()
+	cfg.Scheme = scheme
+	cfg.Check = level
+	m, err := New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		m.step()
+	}
+	if len(m.Violations()) != 0 {
+		t.Fatalf("clean prefix already has violations: %v", m.Violations())
+	}
+	return m
+}
+
+// Each corruption below breaks one invariant directly in machine state
+// and asserts the corresponding monitor actually fires — the monitors
+// are themselves code under test, and a checker that can never fail
+// verifies nothing.
+func TestMonitorsCatchCorruption(t *testing.T) {
+	t.Run("occupancy/iq-count", func(t *testing.T) {
+		m := checkedMachine(t, PosSel, CheckFull, 500)
+		m.iqCount = m.robCount + 1
+		m.mon.cycleEnd(m)
+		if len(m.Violations()) == 0 {
+			t.Fatal("inflated IQ count not caught")
+		}
+	})
+	t.Run("occupancy/pool-leak", func(t *testing.T) {
+		m := checkedMachine(t, PosSel, CheckFull, 500)
+		m.free = m.free[:len(m.free)-1]
+		m.mon.cycleEnd(m)
+		if len(m.Violations()) == 0 {
+			t.Fatal("uop pool leak not caught")
+		}
+	})
+	t.Run("retire/incomplete", func(t *testing.T) {
+		m := checkedMachine(t, PosSel, CheckCheap, 500)
+		if m.robCount == 0 {
+			t.Fatal("empty window")
+		}
+		head := m.rob[m.robHead]
+		head.completed = false
+		head.issues = 0
+		m.emit(head, EvRetire)
+		if len(m.Violations()) == 0 {
+			t.Fatal("incomplete retirement not caught")
+		}
+	})
+	t.Run("retire/out-of-order", func(t *testing.T) {
+		m := checkedMachine(t, PosSel, CheckCheap, 500)
+		rc := &retireChecker{lastSeq: 41}
+		u := m.rob[m.robHead]
+		rc.event(m, u, EvRetire) // headSeq is far from 42
+		if len(m.Violations()) == 0 {
+			t.Fatal("non-dense retirement not caught")
+		}
+	})
+	t.Run("wakeup/unjustified-ready", func(t *testing.T) {
+		m := checkedMachine(t, PosSel, CheckCheap, 2000)
+		// Find a consumer with an in-window value-producing producer and
+		// rewrite history: operand ready, producer never issued.
+		for i := 0; i < m.robCount; i++ {
+			u := m.rob[(m.robHead+i)%len(m.rob)]
+			for op := 0; op < 2; op++ {
+				p := m.prod(u, op)
+				if p == nil || !p.inst.Class.HasDest() {
+					continue
+				}
+				u.src[op].ready = true
+				p.issues = 0
+				p.issued = false
+				p.completed = false
+				p.valuePredicted = false
+				m.emit(u, EvIssue)
+				if len(m.Violations()) == 0 {
+					t.Fatal("unjustified ready bit not caught")
+				}
+				return
+			}
+		}
+		t.Skip("no in-window producer edge found in the prefix")
+	})
+	t.Run("token/phantom-holder", func(t *testing.T) {
+		m := checkedMachine(t, TkSel, CheckFull, 2000)
+		for i := 0; m.robCount == 0 && i < 10_000; i++ {
+			m.step()
+		}
+		if m.robCount == 0 {
+			t.Fatal("empty window")
+		}
+		// Claim a token the allocator did not grant this uop.
+		u := m.rob[(m.robHead+m.robCount-1)%len(m.rob)]
+		u.tokenID = 0
+		m.mon.cycleEnd(m)
+		if len(m.Violations()) == 0 {
+			t.Fatal("phantom token holder not caught")
+		}
+	})
+	t.Run("closure/stale-complete", func(t *testing.T) {
+		m := checkedMachine(t, PosSel, CheckFull, 2000)
+		for i := 0; i < m.robCount; i++ {
+			u := m.rob[(m.robHead+i)%len(m.rob)]
+			for op := 0; op < 2; op++ {
+				p := m.prod(u, op)
+				if p == nil || !p.inst.Class.HasDest() {
+					continue
+				}
+				p.completed = false
+				p.retired = false
+				p.valuePredicted = false
+				p.dataReadyAt = unknown
+				u.execStart = m.cycle
+				u.issues = 1
+				u.dataReadyAt = m.cycle
+				m.emit(u, EvComplete)
+				if len(m.Violations()) == 0 {
+					t.Fatal("stale-data completion not caught")
+				}
+				return
+			}
+		}
+		t.Skip("no in-window producer edge found in the prefix")
+	})
+	t.Run("memory/lsq-order", func(t *testing.T) {
+		m := checkedMachine(t, PosSel, CheckFull, 2000)
+		for i := 0; m.lsqLen < 2 && i < 10_000; i++ {
+			m.step()
+		}
+		if m.lsqLen < 2 {
+			t.Fatal("LSQ too empty to corrupt")
+		}
+		i0 := m.lsqHead
+		i1 := (m.lsqHead + 1) % len(m.lsq)
+		m.lsq[i0], m.lsq[i1] = m.lsq[i1], m.lsq[i0]
+		mc := &memoryChecker{}
+		m.cycle = (m.cycle + 255) &^ 255 // pass the throttle gate
+		mc.cycleEnd(m)
+		if len(m.Violations()) == 0 {
+			t.Fatal("LSQ disorder not caught")
+		}
+	})
+}
+
+// A violation must surface as a *CheckError from RunContext, carrying
+// the trace window.
+func TestRunContextReturnsCheckError(t *testing.T) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config4Wide()
+	cfg.Check = CheckCheap
+	cfg.MaxInsts = 1_000
+	m, err := New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.mon.failf(m, "test", -1, "injected violation")
+	_, err = m.RunContext(context.Background())
+	var ce *CheckError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CheckError, got %v", err)
+	}
+	if len(ce.Violations) == 0 || ce.Violations[0].Checker != "test" {
+		t.Fatalf("unexpected violations: %+v", ce.Violations)
+	}
+	if got := m.Violations(); len(got) == 0 {
+		t.Fatal("Violations() lost the record")
+	}
+}
+
+// Check=off must report no violations and no monitor.
+func TestCheckOffHasNoMonitor(t *testing.T) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config4Wide()
+	cfg.MaxInsts = 2_000
+	m, err := New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Violations() != nil {
+		t.Fatal("Check=off reported violations")
+	}
+}

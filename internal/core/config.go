@@ -148,6 +148,11 @@ type Config struct {
 	// Scheme is the replay scheme to run.
 	Scheme Scheme
 
+	// Check selects the invariant-monitoring level (see CheckLevel).
+	// Monitoring observes through the emit hooks and never perturbs
+	// architectural state; off costs one nil test per event.
+	Check CheckLevel
+
 	// Hierarchy, Bpred and SMPred configure the substrates.
 	Hierarchy cache.HierarchyConfig
 	Bpred     bpred.Config
@@ -215,6 +220,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative re-insert penalty")
 	case !c.Scheme.Valid():
 		return fmt.Errorf("core: invalid scheme %d", uint8(c.Scheme))
+	case !c.Check.Valid():
+		return fmt.Errorf("core: invalid check level %d", uint8(c.Check))
 	case c.Scheme == TkSel && c.Tokens <= 0:
 		return fmt.Errorf("core: TkSel needs a positive token count")
 	case c.MaxInsts <= 0:

@@ -316,6 +316,12 @@ func (m *Machine) retire() {
 		m.robHead = (m.robHead + 1) % len(m.rob)
 		m.robCount--
 		m.headSeq++
+		// The retire-stream digest stops at the run target: the final
+		// cycle may overshoot by up to Width-1 retirements, and those
+		// must not make the digest depend on retire bandwidth.
+		if m.stats.Retired < m.hashTarget {
+			m.retireHash = isa.HashInst(m.retireHash, &u.inst)
+		}
 		m.stats.Retired++
 		m.pol.onRetire(m, u)
 		m.freeUop(u)

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzCheckedMachine drives randomized (config, seed) pairs through
+// full-level checked runs: whatever corner the fuzzer finds, every
+// invariant monitor and the run itself must hold. The seed corpus
+// covers all nine schemes plus the replay-queue, value-prediction and
+// tight-token corners from the golden configurations.
+func FuzzCheckedMachine(f *testing.F) {
+	for i, s := range Schemes() {
+		f.Add(int64(i+1), uint8(s), uint8(i), uint16(0), uint8(0), false, false)
+	}
+	f.Add(int64(99), uint8(TkSel), uint8(6), uint16(8), uint8(1), false, false)
+	f.Add(int64(7), uint8(PosSel), uint8(4), uint16(4), uint8(0), true, false)
+	f.Add(int64(8), uint8(PosSel), uint8(1), uint16(0), uint8(0), false, true)
+	f.Fuzz(func(t *testing.T, seed int64, schemeRaw, benchRaw uint8, iqSize uint16, tok uint8, rq, vp bool) {
+		schemes := Schemes()
+		cfg := Config4Wide()
+		cfg.Scheme = schemes[int(schemeRaw)%len(schemes)]
+		cfg.Check = CheckFull
+		cfg.MaxInsts = 3_000
+		cfg.Warmup = 500
+		if iqSize > 0 {
+			cfg.IQSize = 1 + int(iqSize)%96
+		}
+		if tok > 0 {
+			cfg.Tokens = 1 + int(tok)%31
+		}
+		cfg.ReplayQueue = rq
+		cfg.ValuePrediction = vp
+		if err := cfg.Validate(); err != nil {
+			t.Skip(err) // not every tuple is a legal machine
+		}
+		prof, err := workload.ByName(workload.Benchmarks[int(benchRaw)%len(workload.Benchmarks)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := workload.NewGenerator(prof, seed)
+		if err != nil {
+			t.Skip(err)
+		}
+		m, err := New(cfg, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("checked run violated invariants: %v", err)
+		}
+	})
+}

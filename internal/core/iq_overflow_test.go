@@ -3,21 +3,81 @@ package core
 import (
 	"testing"
 
+	"repro/internal/isa"
 	"repro/internal/workload"
 )
 
+// overflowStream is a synthetic workload built to corner the TkSel
+// issue queue: a serial integer-divide chain drains the queue slowly,
+// a crowd of dependent ALU waiters keeps it pinned full, and a cold
+// load each period — dependence-free, so its tokenless issue releases
+// its queue slot immediately — always misses. By the time the miss is
+// detected the freed slot has been re-dispatched into, so the squash
+// must take the escape hatch.
+type overflowStream struct {
+	seq  int64
+	addr uint64
+}
+
+const ofPeriod = 8
+
+func (s *overflowStream) Next() isa.Inst {
+	i := s.seq
+	s.seq++
+	in := isa.Inst{Seq: i, PC: 0x1000 + uint64(i%ofPeriod)*4, Src1: -1, Src2: -1}
+	switch i % ofPeriod {
+	case 0: // serial divide chain: one long-latency drain per period
+		in.Class = isa.IntDiv
+		if i >= ofPeriod {
+			in.Src1 = i - ofPeriod
+		}
+	case 6: // cold load: a never-seen line, so issuing it is always a scheduling miss
+		in.Class = isa.Load
+		s.addr += 4096
+		in.Addr = s.addr
+	default: // waiters pinned in the queue behind this period's divide
+		in.Class = isa.IntALU
+		in.Src1 = (i / ofPeriod) * ofPeriod
+	}
+	return in
+}
+
 // The issue-queue escape hatch: a squash must re-enter the IQ even
-// when it is full (under TkSel, completion-time early release can
-// hand the slot away before the kill lands). The transient over-count
-// must stay bounded — the squashed instructions already live in the
-// window, so occupancy can never exceed the in-flight population —
-// and every use of the hatch must be accounted in the stats.
+// when it is full (under TkSel, issue-time early release can hand the
+// slot away before the kill lands). The transient over-count must stay
+// bounded — the squashed instructions already live in the window, so
+// occupancy can never exceed the in-flight population — and every use
+// of the hatch must be accounted in the stats.
 func TestIQOverflowEscapeHatchBounded(t *testing.T) {
+	// The synthetic stream exercises the hatch deterministically; the
+	// full monitors enforce the occupancy bounds every cycle.
+	cfg := Config4Wide()
+	cfg.Scheme = TkSel
+	cfg.Tokens = 1
+	cfg.IQSize = 12
+	cfg.Check = CheckFull
+	cfg.MaxInsts = 8_000
+	m, err := New(cfg, &overflowStream{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("checked run failed: %v", err)
+	}
+	if st.IQOverflowSquashes == 0 {
+		t.Fatal("synthetic pressure workload never exercised the escape hatch; invariant checks vacuous")
+	}
+	if max := st.IQOvershootMax; max > uint64(cfg.ROBSize-cfg.IQSize) {
+		t.Fatalf("overshoot high-water %d exceeds ROB-IQ headroom %d", max, cfg.ROBSize-cfg.IQSize)
+	}
+
+	// The real workload keeps the bounds honest under organic pressure
+	// (whether or not the hatch fires there).
 	prof, err := workload.ByName("mcf")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var overshootSeen uint64
 	for _, seed := range []int64{1, 2, 3} {
 		gen, err := workload.NewGenerator(prof, seed)
 		if err != nil {
@@ -50,12 +110,5 @@ func TestIQOverflowEscapeHatchBounded(t *testing.T) {
 			t.Fatalf("seed %d: %d overflow squashes recorded with zero overshoot high-water",
 				seed, m.stats.IQOverflowSquashes)
 		}
-		overshootSeen += m.stats.IQOverflowSquashes
-	}
-	// The stat itself is part of the contract: if no seed ever trips
-	// the hatch under this much pressure, the instrumentation (or the
-	// pressure assumption) is broken and the test is vacuous.
-	if overshootSeen == 0 {
-		t.Skip("escape hatch never exercised under this workload; invariant checks vacuous")
 	}
 }

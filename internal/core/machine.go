@@ -97,6 +97,17 @@ type Machine struct {
 	meter smpred.CoverageMeter
 	// observer receives pipeline lifecycle events (tooling only).
 	observer func(PipeEvent)
+	// mon drives the invariant monitors; nil when cfg.Check is off, so
+	// the disabled path costs one nil test per emitted event.
+	mon *monitor
+
+	// retireHash chains the retired instruction stream into a digest
+	// (always on; the validation layer compares it across check levels
+	// and against the oracle). hashTarget stops the chain at
+	// Warmup+MaxInsts so the final cycle's overshoot retirements do not
+	// make the digest depend on retire bandwidth.
+	retireHash uint64
+	hashTarget int64
 
 	ran bool
 }
@@ -284,6 +295,20 @@ func (m *Machine) init(cfg Config, src workload.Stream) {
 	m.killStack = m.killStack[:0]
 	m.refetchInsts = m.refetchInsts[:0]
 
+	// The monitor survives resets at the same level so its checkers'
+	// private state is reused; like the policy, reset is its one
+	// allocation point.
+	if cfg.Check > CheckOff {
+		if m.mon == nil || m.mon.level != cfg.Check {
+			m.mon = newMonitor(cfg.Check)
+		}
+		m.mon.reset(m)
+	} else {
+		m.mon = nil
+	}
+	m.retireHash = isa.HashInit
+	m.hashTarget = cfg.Warmup + cfg.MaxInsts
+
 	m.stats = Stats{}
 	m.meter = smpred.CoverageMeter{}
 	m.observer = nil
@@ -356,6 +381,10 @@ func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 	warm := m.cfg.Warmup == 0
 	for m.stats.Retired < target {
 		m.step()
+		if m.mon != nil && len(m.mon.violations) > 0 {
+			m.stats.Cycles = m.cycle
+			return nil, m.mon.err(m.cfg.Scheme)
+		}
 		if m.canceled(done) {
 			return nil, fmt.Errorf("core: run canceled at cycle %d: %w", m.cycle, ctx.Err())
 		}
@@ -376,7 +405,14 @@ func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 	if m.cfg.Warmup > 0 {
 		m.stats.subtract(&base)
 	}
+	m.stats.RetireHash = m.retireHash
 	m.pol.finish(m)
+	if m.mon != nil {
+		m.mon.finish(m)
+		if err := m.mon.err(m.cfg.Scheme); err != nil {
+			return nil, err
+		}
+	}
 	return &m.stats, nil
 }
 
@@ -393,6 +429,9 @@ func (m *Machine) step() {
 	m.fetch()
 	slot := m.cycle & m.wheelMask
 	m.wheel[slot] = m.wheel[slot][:0]
+	if m.mon != nil {
+		m.mon.cycleEnd(m)
+	}
 }
 
 // runEvents drains this cycle's event list in schedule order. Handlers

@@ -55,6 +55,9 @@ type PipeEvent struct {
 func (m *Machine) SetObserver(f func(PipeEvent)) { m.observer = f }
 
 func (m *Machine) emit(u *uop, kind PipeEventKind) {
+	if m.mon != nil {
+		m.mon.record(m, u, kind)
+	}
 	if m.observer == nil {
 		return
 	}

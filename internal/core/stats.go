@@ -67,6 +67,14 @@ type Stats struct {
 	// dependents squashed by value-misprediction recovery.
 	ValuePredictions, ValueMispredicts, ValueKilledInsts uint64
 
+	// RetireHash is the order-sensitive digest of the retired
+	// instruction stream over the first Warmup+MaxInsts retirements
+	// (isa.HashInst chain). Two runs of the same spec must agree on it
+	// regardless of check level, scheme-internal timing, or machine
+	// pooling; the validation layer compares it against the
+	// magic-scheduler oracle's digest of the same stream.
+	RetireHash uint64
+
 	// Policy holds the per-scheme measurements, maintained by the
 	// active replay policy (zero for schemes that do not use them).
 	Policy PolicyStats

@@ -1,0 +1,36 @@
+package isa
+
+// HashInit seeds the retired-stream hash chain (see HashInst). Any odd
+// non-zero constant works; this is splitmix64's increment.
+const HashInit uint64 = 0x9E3779B97F4A7C15
+
+// HashInst folds one instruction into a running stream hash. The chain
+// is order-sensitive (each step mixes the previous digest), so two runs
+// produce equal digests iff they retired the same instructions in the
+// same order. The mix is a few multiplies per word — cheap enough to
+// run on every retirement — rather than a cryptographic digest; the
+// validation layer only needs collisions to be implausible, not
+// adversarially hard.
+func HashInst(h uint64, in *Inst) uint64 {
+	h = hashWord(h, in.PC)
+	h = hashWord(h, in.Addr)
+	packed := uint64(in.Class) << 2
+	if in.Taken {
+		packed |= 1
+	}
+	if in.ValueRepeat {
+		packed |= 2
+	}
+	h = hashWord(h, packed)
+	h = hashWord(h, in.Target)
+	return h
+}
+
+// hashWord is one round of a splitmix-style mix: xor the word in, then
+// diffuse with a multiply and a shift-xor.
+func hashWord(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h
+}

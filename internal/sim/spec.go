@@ -41,6 +41,11 @@ type Overrides struct {
 	ReplayQueue bool `json:"rq,omitempty"`
 	// ValuePrediction enables load value prediction.
 	ValuePrediction bool `json:"vp,omitempty"`
+	// Check sets the invariant-monitoring level (core.CheckLevel); the
+	// zero value is off. Distinct levels are distinct specs: they memoize
+	// and journal separately, which is what lets the validation layer
+	// compare the same run at different levels.
+	Check core.CheckLevel `json:"check,omitempty"`
 }
 
 // isZero reports whether every override keeps its default.
@@ -77,6 +82,9 @@ func (s Spec) String() string {
 	}
 	if s.Over.ValuePrediction {
 		d = append(d, "vp")
+	}
+	if s.Over.Check != core.CheckOff {
+		d = append(d, "check="+s.Over.Check.String())
 	}
 	return base + " [" + strings.Join(d, " ") + "]"
 }
@@ -145,5 +153,6 @@ func (s Spec) config(opts Options) core.Config {
 	}
 	cfg.ReplayQueue = o.ReplayQueue
 	cfg.ValuePrediction = o.ValuePrediction
+	cfg.Check = o.Check
 	return cfg
 }

@@ -43,10 +43,11 @@ type Sim struct {
 	Par         int
 	Journal     string
 	Progress    bool
+	CheckName   string
 
 	// which flag groups were registered, so Validate only checks
 	// values the user could actually set.
-	hasBench, hasMachine, hasLength, hasBatch bool
+	hasBench, hasMachine, hasLength, hasBatch, hasCheck bool
 }
 
 // New returns the canonical defaults: the paper's 200k-instruction
@@ -60,6 +61,7 @@ func New() *Sim {
 		Warmup:     60_000,
 		Seed:       1,
 		Progress:   true,
+		CheckName:  core.CheckOff.String(),
 	}
 }
 
@@ -102,6 +104,18 @@ func (s *Sim) RegisterBatch(fs *flag.FlagSet) {
 	fs.BoolVar(&s.Progress, "progress", s.Progress, "render a live status line on stderr")
 }
 
+// RegisterCheck registers -check, the invariant-monitoring level.
+func (s *Sim) RegisterCheck(fs *flag.FlagSet) {
+	s.hasCheck = true
+	fs.StringVar(&s.CheckName, "check", s.CheckName,
+		"invariant monitor level: "+strings.Join(core.CheckLevelNames(), ", "))
+}
+
+// Check resolves -check.
+func (s *Sim) Check() (core.CheckLevel, error) {
+	return core.ParseCheckLevel(s.CheckName)
+}
+
 // HandleListSchemes prints the scheme list to w when -list-schemes was
 // given, reporting whether the command should exit.
 func (s *Sim) HandleListSchemes(w io.Writer) bool {
@@ -140,6 +154,11 @@ func (s *Sim) Validate() error {
 	}
 	if s.hasBatch && s.Par < 0 {
 		return fmt.Errorf("simflag: -par %d must be non-negative", s.Par)
+	}
+	if s.hasCheck {
+		if _, err := s.Check(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
