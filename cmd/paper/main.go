@@ -10,7 +10,7 @@
 // Usage:
 //
 //	paper [-exp all|table1|table3|table4|table5|table6|fig3|fig9|fig12|fig13|wires|ext]
-//	      [-insts N] [-warmup N] [-seed N] [-par N] [-journal file.jsonl]
+//	      [-insts N] [-warmup N] [-seed N] [-par N] [-journal file.jsonl] [-check level]
 package main
 
 import (
@@ -32,6 +32,7 @@ func main() {
 	f.RegisterLength(flag.CommandLine)
 	f.RegisterSeed(flag.CommandLine)
 	f.RegisterBatch(flag.CommandLine)
+	f.RegisterCheck(flag.CommandLine)
 	flag.Parse()
 	if err := f.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,89 @@
+// Command repolint runs the repository's static invariant suite: the
+// determinism contract of the simulator packages, the zero-allocation
+// hot path (proved from the compiler's escape analysis), replay-policy
+// and checker registry conformance, stats completeness, and context
+// hygiene in the batch engine. Built on the standard library's
+// go/parser, go/ast and go/types only — no external analysis
+// framework, so the gate needs nothing but the Go toolchain.
+//
+// Usage:
+//
+//	go run ./cmd/repolint [-json] [packages]
+//
+// Packages default to ./... (the whole module). Exit status is 0 when
+// the tree is clean, 1 when findings were reported, 2 on driver
+// errors. A finding can be waived in place with
+//
+//	//lint:allow <rule> <reason>
+//
+// on the offending line or the line above — except for the
+// determinism and escape rules, whose waivers are themselves findings
+// (see internal/lint and DESIGN.md §11).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: repolint [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := lint.Run(wd, patterns, lint.Default(moduleOf(wd)))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// moduleOf resolves the module path the analyzers scope their rules
+// by; errors surface later in lint.Run with better context.
+func moduleOf(dir string) string {
+	module, err := lint.ModulePath(dir)
+	if err != nil {
+		fatal(err)
+	}
+	return module
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repolint:", err)
+	os.Exit(2)
+}

@@ -206,6 +206,7 @@ func main() {
 	f.RegisterLength(flag.CommandLine)
 	f.RegisterSeed(flag.CommandLine)
 	f.RegisterBatch(flag.CommandLine)
+	f.RegisterCheck(flag.CommandLine)
 	flag.Parse()
 
 	if f.HandleListSchemes(os.Stdout) {

@@ -142,6 +142,7 @@ func run(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	f := simflag.New()
 	f.RegisterMachine(fs)
+	f.RegisterCheck(fs)
 	// Run length comes from the recorded trace, not the canonical
 	// defaults, so these stay local instead of using RegisterLength.
 	insts := fs.Int64("insts", 0, "instructions to simulate (0 = one pass of the trace)")
@@ -170,6 +171,7 @@ func run(args []string) {
 		cfg.MaxInsts = *insts
 	}
 	cfg.Warmup = *warmup
+	cfg.Check, _ = f.Check() // Validate has already vetted it
 	m, err := core.New(cfg, trace.NewLoop(recorded))
 	if err != nil {
 		fatal(err)

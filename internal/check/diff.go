@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -94,17 +93,16 @@ type Report struct {
 // OK reports whether the sweep found nothing.
 func (r *Report) OK() bool { return len(r.Findings) == 0 }
 
-// add appends a finding under the report lock.
+// add appends a finding. The sweep aggregates findings on one
+// goroutine (simulation parallelism lives inside the batch engine), so
+// no lock is needed and the report order is deterministic.
 func (v *validator) add(f Finding) {
-	v.mu.Lock()
 	v.report.Findings = append(v.report.Findings, f)
-	v.mu.Unlock()
 }
 
 // validator carries the shared state of one sweep.
 type validator struct {
 	opts   Options
-	mu     sync.Mutex
 	report Report
 }
 
@@ -168,6 +166,12 @@ func Validate(ctx context.Context, opts Options) (*Report, error) {
 
 // runSeed fans the (bench, scheme, level) cube for one seed through a
 // batch engine; failures become findings, successes land in results.
+// The fan-out itself happens inside the engine's RunAll (this package
+// spawns no goroutines, so finding aggregation is deterministic);
+// specs that failed are then re-Run one at a time to recover their
+// individual errors — those attempts are memoized for successes and
+// rare for failures, so the second pass costs almost nothing on a
+// clean matrix.
 func (v *validator) runSeed(ctx context.Context, seed int64, results map[runKey]*core.Stats) error {
 	opts := v.opts
 	eng := sim.NewEngine(sim.Options{
@@ -177,43 +181,47 @@ func (v *validator) runSeed(ctx context.Context, seed int64, results map[runKey]
 	defer eng.Close()
 
 	var (
-		wg sync.WaitGroup
-		mu sync.Mutex // guards results
+		specs []sim.Spec
+		keys  []runKey
 	)
 	for _, bench := range opts.Benches {
 		for _, sch := range opts.Schemes {
 			for _, level := range opts.Levels {
-				spec := sim.Spec{
+				specs = append(specs, sim.Spec{
 					Bench: bench, Wide8: opts.Wide8, Scheme: sch,
 					Over: sim.Overrides{Check: level},
-				}
-				key := runKey{seed: seed, bench: bench, sch: sch, level: level}
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					out, err := eng.Run(ctx, spec)
-					if err != nil {
-						var ce *core.CheckError
-						if errors.As(err, &ce) {
-							v.add(Finding{
-								Spec: spec, Seed: seed, Kind: "monitor",
-								Msg:        fmt.Sprintf("%d violation(s), first: %s", len(ce.Violations), ce.Violations[0]),
-								Violations: ce.Violations,
-							})
-						} else if ctx.Err() == nil {
-							v.add(Finding{Spec: spec, Seed: seed, Kind: "run-error", Msg: err.Error()})
-						}
-						return
-					}
-					mu.Lock()
-					results[key] = out.Stats
-					v.report.Runs++
-					mu.Unlock()
-				}()
+				})
+				keys = append(keys, runKey{seed: seed, bench: bench, sch: sch, level: level})
 			}
 		}
 	}
-	wg.Wait()
+	outs, _ := eng.RunAll(ctx, specs)
+	for i, spec := range specs {
+		if outs[i] != nil {
+			results[keys[i]] = outs[i].Stats
+			v.report.Runs++
+			continue
+		}
+		out, err := eng.Run(ctx, spec)
+		if err == nil {
+			// The retry succeeded where the batch attempt failed (a
+			// transient the engine's own retry already explains); take
+			// the result rather than inventing a finding.
+			results[keys[i]] = out.Stats
+			v.report.Runs++
+			continue
+		}
+		var ce *core.CheckError
+		if errors.As(err, &ce) {
+			v.add(Finding{
+				Spec: spec, Seed: seed, Kind: "monitor",
+				Msg:        fmt.Sprintf("%d violation(s), first: %s", len(ce.Violations), ce.Violations[0]),
+				Violations: ce.Violations,
+			})
+		} else if ctx.Err() == nil {
+			v.add(Finding{Spec: spec, Seed: seed, Kind: "run-error", Msg: err.Error()})
+		}
+	}
 	return ctx.Err()
 }
 

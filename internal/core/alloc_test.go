@@ -164,7 +164,7 @@ func TestSteadyStateAllocBudgetSchemes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation accounting is slow under -short")
 	}
-	for _, sc := range []Scheme{NonSel, TkSel, ReInsert, Refetch} {
+	for _, sc := range []Scheme{NonSel, TkSel, ReInsert, Refetch, SerialVerify} {
 		sc := sc
 		t.Run(sc.String(), func(t *testing.T) {
 			prof, err := workload.ByName("gcc")

@@ -222,8 +222,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: invalid scheme %d", uint8(c.Scheme))
 	case !c.Check.Valid():
 		return fmt.Errorf("core: invalid check level %d", uint8(c.Check))
-	case c.Scheme == TkSel && c.Tokens <= 0:
-		return fmt.Errorf("core: TkSel needs a positive token count")
+	case policyRegistry[c.Scheme].tokens && c.Tokens <= 0:
+		return fmt.Errorf("core: %v needs a positive token count", c.Scheme)
 	case c.MaxInsts <= 0:
 		return fmt.Errorf("core: MaxInsts must be positive")
 	case c.Warmup < 0:

@@ -151,8 +151,9 @@ type event struct {
 	op int
 	// depth is the propagation level for evSerialStep.
 	depth int
-	// chain tracks an in-progress serial propagation.
-	chain *serialChain
+	// chain tracks an in-progress serial propagation (1-based index
+	// into the serial policy's chain table).
+	chain serialChainID
 }
 
 // New builds a machine over the given workload stream. The stream must

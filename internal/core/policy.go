@@ -124,10 +124,19 @@ func (noopPolicy) finish(*Machine)                          {}
 // policy constructor, and the capabilities Config.Validate consults
 // (probed from a throwaway instance at registration).
 type policyEntry struct {
-	name  string
-	build func() replayPolicy
-	vp    bool // supportsValuePrediction
-	rq    bool // supportsReplayQueue
+	name   string
+	build  func() replayPolicy
+	vp     bool // supportsValuePrediction
+	rq     bool // supportsReplayQueue
+	tokens bool // usesTokenPool
+}
+
+// tokenPoolUser is the optional capability a policy implements when it
+// allocates from the Config.Tokens pool; Config.Validate requires a
+// positive pool size for such schemes without branching on the scheme
+// itself.
+type tokenPoolUser interface {
+	usesTokenPool() bool
 }
 
 // policyRegistry is the name-keyed scheme registry, indexed by the
@@ -157,12 +166,16 @@ func registerPolicy(s Scheme, name string, build func() replayPolicy) {
 	if probe.scheme() != s {
 		panic(fmt.Sprintf("core: policy registered for %q reports scheme %v", name, probe.scheme()))
 	}
-	policyRegistry[s] = policyEntry{
+	entry := policyEntry{
 		name:  name,
 		build: build,
 		vp:    probe.supportsValuePrediction(),
 		rq:    probe.supportsReplayQueue(),
 	}
+	if tu, ok := probe.(tokenPoolUser); ok {
+		entry.tokens = tu.usesTokenPool()
+	}
+	policyRegistry[s] = entry
 	policyByName[key] = s
 }
 

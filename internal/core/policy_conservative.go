@@ -1,0 +1,13 @@
+package core
+
+// Conservative schedules high-confidence predicted-miss loads
+// pessimistically (§5.4, after Yoaz et al.), so their dependents never
+// wake speculatively and only wrong hit-predictions pay the re-insert.
+// The shared reinsertPolicy implementation lives in policy_reinsert.go;
+// the conservative flag enables the pessimistic classification at
+// rename.
+func init() {
+	registerPolicy(Conservative, "Conservative", func() replayPolicy {
+		return &reinsertPolicy{s: Conservative, conservative: true}
+	})
+}

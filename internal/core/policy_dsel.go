@@ -1,0 +1,12 @@
+package core
+
+// DSel is delayed selective replay (§3.4.2): NonSel's kill in the
+// scheduler, but issued instructions keep flowing with poison bits and
+// a completion bus re-validates independents when they complete
+// cleanly. The shared shadowPolicy implementation lives in
+// policy_nonsel.go.
+func init() {
+	registerPolicy(DSel, "DSel", func() replayPolicy {
+		return &shadowPolicy{s: DSel}
+	})
+}

@@ -1,0 +1,11 @@
+package core
+
+// IDSel is the full-name-space variant of selective replay (§3.4.1):
+// the shared selectivePolicy implementation lives in policy_possel.go,
+// and the fullNameSpace flag is what makes value prediction
+// recoverable under this scheme.
+func init() {
+	registerPolicy(IDSel, "IDSel", func() replayPolicy {
+		return &selectivePolicy{s: IDSel, fullNameSpace: true}
+	})
+}

@@ -4,9 +4,6 @@ func init() {
 	registerPolicy(NonSel, "NonSel", func() replayPolicy {
 		return &shadowPolicy{s: NonSel, flushPipeline: true, countSafety: true}
 	})
-	registerPolicy(DSel, "DSel", func() replayPolicy {
-		return &shadowPolicy{s: DSel}
-	})
 }
 
 // shadowPolicy implements the two countdown-timer schemes built on the
@@ -14,7 +11,8 @@ func init() {
 // replay, which flushes the whole schedule-to-execute region on a
 // miss, and delayed selective replay (§3.4.2), which lets issued
 // instructions keep flowing with poison bits and revalidates
-// independents off the completion bus.
+// independents off the completion bus. NonSel registers here; the
+// delayed variant lives in policy_dsel.go.
 type shadowPolicy struct {
 	noopPolicy
 	s Scheme

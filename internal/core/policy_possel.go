@@ -4,9 +4,6 @@ func init() {
 	registerPolicy(PosSel, "PosSel", func() replayPolicy {
 		return &selectivePolicy{s: PosSel}
 	})
-	registerPolicy(IDSel, "IDSel", func() replayPolicy {
-		return &selectivePolicy{s: IDSel, fullNameSpace: true}
-	})
 }
 
 // selectivePolicy implements position-based (§3.4.3) and ID-based
@@ -15,7 +12,8 @@ func init() {
 // mis-scheduled load — the schemes differ only in the hardware name
 // space (position matrices vs. full load-ID vectors), which the
 // analytic package costs out and which decides whether the scheme
-// survives value speculation's arbitrary verification boundary.
+// survives value speculation's arbitrary verification boundary. PosSel
+// registers here; the ID-based variant lives in policy_idsel.go.
 type selectivePolicy struct {
 	noopPolicy
 	s Scheme

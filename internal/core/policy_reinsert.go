@@ -4,18 +4,15 @@ func init() {
 	registerPolicy(ReInsert, "ReInsert", func() replayPolicy {
 		return &reinsertPolicy{s: ReInsert}
 	})
-	registerPolicy(Conservative, "Conservative", func() replayPolicy {
-		return &reinsertPolicy{s: Conservative, conservative: true}
-	})
 }
 
 // reinsertPolicy recovers every miss by flushing younger instructions
 // from the scheduler and re-inserting them from the ROB in program
 // order (§4.2's safety mechanism, evaluated standalone in Figure 13).
-// The Conservative variant (§5.4, after Yoaz et al.) additionally
-// schedules high-confidence predicted-miss loads pessimistically, so
-// their dependents never wake speculatively and only wrong
-// hit-predictions pay the re-insert.
+// The Conservative variant (§5.4, after Yoaz et al., registered in
+// policy_conservative.go) additionally schedules high-confidence
+// predicted-miss loads pessimistically, so their dependents never wake
+// speculatively and only wrong hit-predictions pay the re-insert.
 type reinsertPolicy struct {
 	noopPolicy
 	s Scheme

@@ -15,6 +15,13 @@ type serialChain struct {
 	maxDepth int
 }
 
+// serialChainID names one wavefront: a 1-based index into the serial
+// policy's chain table, with 0 meaning "not on a wavefront". Uops and
+// events carry the index rather than a pointer so starting a wavefront
+// appends to a reused table instead of allocating a fresh object —
+// the hot path stays allocation-free once the table is warm.
+type serialChainID int32
+
 // serialPolicy propagates verification one dependence level per cycle
 // (§2.1, Figure 2a); it exists to reproduce Figure 3's
 // runaway-wavefront behaviour. The policy owns every wavefront started
@@ -22,14 +29,18 @@ type serialChain struct {
 // namespace when the run finishes.
 type serialPolicy struct {
 	noopPolicy
-	// chains collects every wavefront; entries are appended at kill
-	// time and never removed, so the slice is reused across runs.
-	chains []*serialChain
+	// chains collects every wavefront by value; entries are appended at
+	// kill time and never removed, so the backing array is reused
+	// across runs (reset trims the length, not the capacity).
+	chains []serialChain
 }
 
 func (p *serialPolicy) scheme() Scheme { return SerialVerify }
 
 func (p *serialPolicy) reset(*Machine) { p.chains = p.chains[:0] }
+
+// chain resolves a wavefront id to its table entry.
+func (p *serialPolicy) chain(id serialChainID) *serialChain { return &p.chains[id-1] }
 
 // wakeupEligible: serial verification has no parallel dependence
 // tracking — the register-file scoreboard shows a value was written
@@ -58,29 +69,29 @@ func (p *serialPolicy) onKill(m *Machine, u *uop) {
 // through newly inserted instructions and chained misses, far past the
 // window size.
 func (p *serialPolicy) serialKill(m *Machine, load *uop) {
-	ch := load.serialChain
+	id := load.serialChain
 	depth := load.serialDepth
-	if ch == nil {
-		ch = &serialChain{}
+	if id == 0 {
+		p.chains = append(p.chains, serialChain{})
+		id = serialChainID(len(p.chains))
 		depth = 0
-		load.serialChain = ch
-		p.chains = append(p.chains, ch)
+		load.serialChain = id
 	}
-	m.scheduleNow(event{kind: evSerialStep, u: load, depth: depth, chain: ch})
+	m.scheduleNow(event{kind: evSerialStep, u: load, depth: depth, chain: id})
 }
 
 // onStaleOperand: under serial verification a stale execution is the
 // invalid wavefront advancing one level; the consumer inherits the
 // producer's chain so chained misses keep extending it.
 func (p *serialPolicy) onStaleOperand(m *Machine, u *uop, op int, prod *uop) {
-	if prod == nil || prod.serialChain == nil {
+	if prod == nil || prod.serialChain == 0 {
 		return
 	}
-	if u.serialChain == nil || prod.serialDepth+1 > u.serialDepth {
+	if u.serialChain == 0 || prod.serialDepth+1 > u.serialDepth {
 		u.serialChain = prod.serialChain
 		u.serialDepth = prod.serialDepth + 1
-		if u.serialDepth > u.serialChain.maxDepth {
-			u.serialChain.maxDepth = u.serialDepth
+		if ch := p.chain(u.serialChain); u.serialDepth > ch.maxDepth {
+			ch.maxDepth = u.serialDepth
 		}
 	}
 }
@@ -88,16 +99,19 @@ func (p *serialPolicy) onStaleOperand(m *Machine, u *uop, op int, prod *uop) {
 // finish folds the wavefront depth histogram (Figure 3) into the
 // per-scheme stats namespace.
 func (p *serialPolicy) finish(m *Machine) {
-	for _, ch := range p.chains {
-		m.stats.Policy.SerialDepth.Add(ch.maxDepth)
+	for i := range p.chains {
+		m.stats.Policy.SerialDepth.Add(p.chains[i].maxDepth)
 	}
 }
 
 // handleSerialStep advances one wavefront one dependence level: every
 // consumer whose operand still rides the invalid value is cleared,
 // squashed if issued, and scheduled to propagate further next cycle.
+// Only the serial policy schedules evSerialStep events, so the policy
+// assertion cannot fail.
 func (m *Machine) handleSerialStep(ev event) {
-	ch := ev.chain
+	pol := m.pol.(*serialPolicy)
+	ch := pol.chain(ev.chain)
 	if ev.depth > ch.maxDepth {
 		ch.maxDepth = ev.depth
 	}
@@ -125,8 +139,8 @@ func (m *Machine) handleSerialStep(ev event) {
 			m.squash(c)
 			m.stats.SquashedIssues++
 		}
-		c.serialChain = ch
+		c.serialChain = ev.chain
 		c.serialDepth = ev.depth + 1
-		m.schedule(m.cycle+1, event{kind: evSerialStep, u: c, depth: ev.depth + 1, chain: ch})
+		m.schedule(m.cycle+1, event{kind: evSerialStep, u: c, depth: ev.depth + 1, chain: ev.chain})
 	}
 }

@@ -42,6 +42,10 @@ func (p *tkselPolicy) scheme() Scheme { return TkSel }
 // arbitrary verification boundary of §3.5 is recoverable.
 func (p *tkselPolicy) supportsValuePrediction() bool { return true }
 
+// usesTokenPool: the scheme allocates from the Config.Tokens pool, so
+// Config.Validate requires a positive pool size (tokenPoolUser probe).
+func (p *tkselPolicy) usesTokenPool() bool { return true }
+
 func (p *tkselPolicy) reset(m *Machine) {
 	if p.alloc == nil || p.alloc.Size() != m.cfg.Tokens {
 		p.alloc = token.NewAllocator(m.cfg.Tokens)

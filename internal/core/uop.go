@@ -139,8 +139,11 @@ type uop struct {
 	// serialChain/serialDepth place the instruction on an invalid
 	// wavefront under SerialVerify: set when serial invalidation (or a
 	// stale-data execution) reaches it, so chained misses extend the
-	// parent wavefront's depth.
-	serialChain *serialChain
+	// parent wavefront's depth. The chain is a 1-based index into the
+	// serial policy's chain table (0 = not on a wavefront); an index
+	// instead of a pointer keeps wavefront starts allocation-free — the
+	// table's backing array is reused across runs.
+	serialChain serialChainID
 	serialDepth int
 }
 

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ContextHygiene enforces cancellation discipline on the batch
+// engine's public surface: blocking entry points thread a
+// context.Context as their first parameter, nothing conjures a fresh
+// context with context.Background/TODO (that silently detaches the
+// work from the caller's cancellation), and no struct stores a
+// Context — the standard library's own rule, because a stored context
+// outlives the call it scoped.
+type ContextHygiene struct {
+	// Paths are the import paths the rule covers.
+	Paths []string
+}
+
+// DefaultContextHygiene covers the batch simulation engine.
+func DefaultContextHygiene(module string) *ContextHygiene {
+	return &ContextHygiene{Paths: []string{module + "/internal/sim"}}
+}
+
+func (*ContextHygiene) Name() string { return "context" }
+
+func (c *ContextHygiene) Check(u *Unit) error {
+	for _, path := range c.Paths {
+		if p := u.Pkg(path); p != nil {
+			c.checkPackage(u, p)
+		}
+	}
+	return nil
+}
+
+func (c *ContextHygiene) checkPackage(u *Unit, p *Package) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				c.checkStructFields(u, p, n)
+			case *ast.SelectorExpr:
+				if fn, ok := p.Info.Uses[n.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+					u.Report(c.Name(), n.Pos(),
+						"context.%s detaches the work from the caller's cancellation; thread the ctx parameter through instead", fn.Name())
+				}
+			case *ast.FuncDecl:
+				c.checkSignature(u, p, n)
+			}
+			return true
+		})
+	}
+}
+
+func (c *ContextHygiene) checkStructFields(u *Unit, p *Package, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isContextType(p.Info.TypeOf(field.Type)) {
+			u.Report(c.Name(), field.Pos(),
+				"struct stores a context.Context; contexts scope one call and must be passed as parameters")
+		}
+	}
+}
+
+// checkSignature requires a context parameter, when present, to come
+// first — the convention every caller and every wrapper relies on.
+func (c *ContextHygiene) checkSignature(u *Unit, p *Package, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(p.Info.TypeOf(field.Type)) && pos != 0 {
+			u.Report(c.Name(), field.Pos(),
+				"%s takes a context.Context after other parameters; ctx comes first", fd.Name.Name)
+		}
+		pos += n
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

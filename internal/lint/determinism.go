@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the simulator's bit-identical-rerun contract on
+// the pure packages: no wall-clock reads, no global random source, no
+// goroutines (parallelism belongs in the batch engine, which replays
+// results deterministically), and no iteration over a map whose order
+// can leak into state or output. The one sanctioned map-range shape is
+// key collection before a sort:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//
+// This rule accepts no allow pragmas — see noPragmaRules.
+type Determinism struct {
+	// Paths are the import paths the rule covers.
+	Paths []string
+}
+
+// DefaultDeterminism covers the packages whose outputs feed the
+// paper's numbers: the pipeline model, the instruction stream, the
+// workload generator, and the validation layer that judges them.
+func DefaultDeterminism(module string) *Determinism {
+	return &Determinism{Paths: []string{
+		module + "/internal/core",
+		module + "/internal/isa",
+		module + "/internal/workload",
+		module + "/internal/check",
+	}}
+}
+
+func (*Determinism) Name() string { return "determinism" }
+
+// wallClockFuncs are the time package functions that read the host
+// clock (or schedule against it); any of them makes a run depend on
+// when it happened.
+var wallClockFuncs = map[string]bool{
+	"time.Now": true, "time.Since": true, "time.Until": true,
+	"time.Sleep": true, "time.After": true, "time.Tick": true,
+	"time.NewTimer": true, "time.NewTicker": true, "time.AfterFunc": true,
+}
+
+// seededRandFuncs are the math/rand package-level functions that build
+// an explicitly seeded source rather than consuming the global one.
+var seededRandFuncs = map[string]bool{
+	"math/rand.New": true, "math/rand.NewSource": true,
+}
+
+func (d *Determinism) Check(u *Unit) error {
+	for _, path := range d.Paths {
+		if p := u.Pkg(path); p != nil {
+			d.checkPackage(u, p)
+		}
+	}
+	return nil
+}
+
+func (d *Determinism) checkPackage(u *Unit, p *Package) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				u.Report(d.Name(), n.Pos(),
+					"goroutine spawned in deterministic package %s; keep it sequential and let internal/sim parallelize runs", p.Types.Name())
+			case *ast.Ident:
+				// Covers qualified references too: the Sel of a
+				// SelectorExpr is itself an Ident visited here.
+				d.checkUse(u, p, n)
+			case *ast.RangeStmt:
+				d.checkRange(u, p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkUse flags references to wall-clock readers and to math/rand's
+// global-source functions. Methods on an injected *rand.Rand (and the
+// seeded constructors that make one) are the sanctioned randomness.
+func (d *Determinism) checkUse(u *Unit, p *Package, id *ast.Ident) {
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. on *rand.Rand) carry their own source
+	}
+	name := fn.Pkg().Path() + "." + fn.Name()
+	switch {
+	case wallClockFuncs[name]:
+		u.Report(d.Name(), id.Pos(),
+			"%s reads the wall clock; simulated time must come from the machine's cycle counter", name)
+	case fn.Pkg().Path() == "math/rand" && !seededRandFuncs[name]:
+		u.Report(d.Name(), id.Pos(),
+			"%s draws from the global random source; inject a seeded *rand.Rand (rand.New(rand.NewSource(seed)))", name)
+	}
+}
+
+// checkRange flags iteration over a map when the body lets the
+// unspecified order escape: writing anything declared outside the
+// loop, returning, or branching out of an enclosing statement. The key
+// collection idiom (every statement appends the key to one slice, for
+// sorting afterwards) is order-insensitive and allowed.
+func (d *Determinism) checkRange(u *Unit, p *Package, rs *ast.RangeStmt) {
+	t := p.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if keyCollectionBody(p, rs) {
+		return
+	}
+	if id, ok := orderEscapes(p, rs); ok {
+		u.Report(d.Name(), rs.Pos(),
+			"map iteration order escapes through %q; iterate sorted keys instead (collect keys, sort, then range the slice)", id)
+	}
+}
+
+// keyCollectionBody reports whether every statement in the range body
+// is `s = append(s, k)` for the range's key variable k — the sanctioned
+// collect-then-sort shape.
+func keyCollectionBody(p *Package, rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || rs.Value != nil || len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, st := range rs.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return false
+		}
+		dst, ok := call.Args[0].(*ast.Ident)
+		if !ok || dst.Name != lhs.Name {
+			return false
+		}
+		arg, ok := call.Args[1].(*ast.Ident)
+		if !ok || p.Info.Uses[arg] != p.Info.Defs[key] {
+			return false
+		}
+	}
+	return true
+}
+
+// orderEscapes reports whether the range body publishes iteration
+// order: an assignment (or ++/--) to a variable declared outside the
+// range statement, a return, a break/goto leaving the loop, or a send.
+// It returns a description of the escape route.
+func orderEscapes(p *Package, rs *ast.RangeStmt) (string, bool) {
+	var route string
+	inside := func(obj types.Object) bool {
+		return obj != nil && rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+	}
+	writesOuter := func(e ast.Expr) (string, bool) {
+		// Peel selectors/indexes down to the base identifier: writing
+		// x.f or x[i] mutates x.
+		for {
+			switch v := e.(type) {
+			case *ast.SelectorExpr:
+				e = v.X
+			case *ast.IndexExpr:
+				e = v.X
+			case *ast.StarExpr:
+				e = v.X
+			case *ast.ParenExpr:
+				e = v.X
+			case *ast.Ident:
+				if v.Name == "_" {
+					return "", false
+				}
+				if obj := p.Info.Uses[v]; obj != nil && !inside(obj) {
+					return v.Name, true
+				}
+				return "", false
+			default:
+				// Writes through a computed expression (function result,
+				// composite literal) reach outside the loop's locals.
+				return "a computed destination", true
+			}
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if route != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if n.Tok == token.DEFINE {
+					continue
+				}
+				if id, ok := writesOuter(lhs); ok {
+					route = id
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := writesOuter(n.X); ok {
+				route = id
+				return false
+			}
+		case *ast.ReturnStmt:
+			route = "an order-dependent return"
+			return false
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				route = "an order-dependent " + n.Tok.String()
+				return false
+			}
+		case *ast.SendStmt:
+			route = "a channel send"
+			return false
+		case *ast.DeferStmt:
+			route = "a deferred call"
+			return false
+		case *ast.CallExpr:
+			// Direct output in iteration order (fmt.Print*, println).
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Print") {
+					route = "an output call (" + fn.FullName() + ")"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return route, route != ""
+}

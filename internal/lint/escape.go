@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Escape is the hot-path allocation gate: it drives the real compiler
+// (`go build -gcflags=-m -m`) over one package, parses the escape
+// analysis it prints, and fails if any diagnosed heap allocation sits
+// inside a function on the hot-path manifest. The benchmark suite
+// measures 0 allocs/op empirically; this rule proves the same property
+// from the compiler's own escape analysis, per function, at lint time
+// — and names the function when someone breaks it.
+//
+// Allocations on cold sinks inside hot functions are exempt: the
+// arguments of panic(...) and monitor.failf(...) box into interfaces
+// (and so "escape"), but those calls execute only on the
+// invariant-violation path, never in a clean run.
+//
+// This rule accepts no allow pragmas — see noPragmaRules.
+type Escape struct {
+	// PkgPath is the import path the gate compiles and judges.
+	PkgPath string
+	// Manifest computes the hot function set for the package; nil means
+	// the core manifest (machine cycle loop, policy hooks, monitors).
+	Manifest func(u *Unit, p *Package) map[string]bool
+	// ColdSinks are the call shapes whose argument allocations are
+	// exempt: "panic" matches the builtin, ".failf" any method of that
+	// name. Nil means the default pair.
+	ColdSinks []string
+}
+
+// DefaultEscape gates the pipeline core.
+func DefaultEscape(module string) *Escape {
+	return &Escape{PkgPath: module + "/internal/core"}
+}
+
+func (*Escape) Name() string { return "escape" }
+
+func (e *Escape) Check(u *Unit) error {
+	p := u.Pkg(e.PkgPath)
+	if p == nil {
+		return nil // package not in this run's pattern set
+	}
+	manifest := coreManifest
+	if e.Manifest != nil {
+		manifest = e.Manifest
+	}
+	hot := manifest(u, p)
+
+	diags, err := e.compile(u, p)
+	if err != nil {
+		return err
+	}
+
+	funcs := indexFuncs(u.Fset, p)
+	sinks := coldSinkRanges(u.Fset, p, e.coldSinks())
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		fd := enclosingFunc(funcs, d.file, d.line)
+		if fd == nil || !hot[funcKey(fd)] {
+			continue
+		}
+		if inColdSink(sinks, d) {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d", d.file, d.line, d.col)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		u.Report(e.Name(), posFor(u.Fset, p, d),
+			"hot function %s heap-allocates: %s (move the allocation to reset, or pool it)", funcKey(fd), d.msg)
+	}
+	return nil
+}
+
+func (e *Escape) coldSinks() []string {
+	if e.ColdSinks != nil {
+		return e.ColdSinks
+	}
+	return []string{"panic", ".failf"}
+}
+
+// escDiag is one compiler escape diagnostic.
+type escDiag struct {
+	file      string // absolute path
+	line, col int
+	msg       string
+}
+
+// compile runs `go build -gcflags=-m -m` on the gated package (the Go
+// build cache replays diagnostics on cache hits, so repeated lint runs
+// stay cheap) and returns the heap-allocation diagnostics.
+func (e *Escape) compile(u *Unit, p *Package) ([]escDiag, error) {
+	rel, err := filepath.Rel(u.Root, p.Dir)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command("go", "build", "-gcflags=-m -m", "./"+filepath.ToSlash(rel))
+	cmd.Dir = u.Root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m -m %s: %w\n%s", p.Path, err, out)
+	}
+	var diags []escDiag
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, " ") || strings.HasPrefix(line, "\t") {
+			continue // explanation/flow continuation lines
+		}
+		d, ok := parseDiag(line)
+		if !ok {
+			continue
+		}
+		if !strings.Contains(d.msg, "escapes to heap") && !strings.HasPrefix(d.msg, "moved to heap") {
+			continue
+		}
+		// A string (or other) constant "escaping" into an interface is
+		// static read-only data to the compiler — panic("msg") in an
+		// inlined callee is the usual shape — and allocates nothing at
+		// run time, so it is not a gate violation.
+		if strings.HasPrefix(d.msg, `"`) && strings.Contains(d.msg, `" escapes to heap`) {
+			continue
+		}
+		if !filepath.IsAbs(d.file) {
+			d.file = filepath.Join(u.Root, d.file)
+		}
+		diags = append(diags, d)
+	}
+	return diags, sc.Err()
+}
+
+// parseDiag splits "file.go:12:34: message".
+func parseDiag(s string) (escDiag, bool) {
+	rest := s
+	var parts [3]string
+	for i := 0; i < 3; i++ {
+		j := strings.Index(rest, ":")
+		if j < 0 {
+			return escDiag{}, false
+		}
+		parts[i], rest = rest[:j], rest[j+1:]
+	}
+	line, err1 := strconv.Atoi(parts[1])
+	col, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || !strings.HasSuffix(parts[0], ".go") {
+		return escDiag{}, false
+	}
+	msg := strings.TrimSuffix(strings.TrimSpace(rest), ":")
+	return escDiag{file: parts[0], line: line, col: col, msg: msg}, true
+}
+
+// funcExtent is one declared function's file/line range.
+type funcExtent struct {
+	file       string
+	start, end int
+	decl       *ast.FuncDecl
+}
+
+func indexFuncs(fset *token.FileSet, p *Package) []funcExtent {
+	var out []funcExtent
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			start := fset.Position(fd.Pos())
+			end := fset.Position(fd.End())
+			out = append(out, funcExtent{file: start.Filename, start: start.Line, end: end.Line, decl: fd})
+		}
+	}
+	return out
+}
+
+func enclosingFunc(funcs []funcExtent, file string, line int) *ast.FuncDecl {
+	for i := range funcs {
+		fe := &funcs[i]
+		if fe.file == file && fe.start <= line && line <= fe.end {
+			return fe.decl
+		}
+	}
+	return nil
+}
+
+// sinkRange is the source extent of one cold-sink call.
+type sinkRange struct {
+	file              string
+	fromLine, fromCol int
+	toLine, toCol     int
+}
+
+// coldSinkRanges collects the extents of every cold-sink call in the
+// package, so diagnostics raised by their arguments can be exempted.
+func coldSinkRanges(fset *token.FileSet, p *Package, sinks []string) []sinkRange {
+	var out []sinkRange
+	match := func(fun ast.Expr) bool {
+		for _, s := range sinks {
+			if name, isMethod := strings.CutPrefix(s, "."); isMethod {
+				if sel, ok := fun.(*ast.SelectorExpr); ok && sel.Sel.Name == name {
+					return true
+				}
+			} else if id, ok := fun.(*ast.Ident); ok && id.Name == s {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !match(call.Fun) {
+				return true
+			}
+			from := fset.Position(call.Pos())
+			to := fset.Position(call.End())
+			out = append(out, sinkRange{
+				file: from.Filename, fromLine: from.Line, fromCol: from.Column,
+				toLine: to.Line, toCol: to.Column,
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func inColdSink(sinks []sinkRange, d escDiag) bool {
+	for _, s := range sinks {
+		if s.file != d.file {
+			continue
+		}
+		afterStart := d.line > s.fromLine || (d.line == s.fromLine && d.col >= s.fromCol)
+		beforeEnd := d.line < s.toLine || (d.line == s.toLine && d.col <= s.toCol)
+		if afterStart && beforeEnd {
+			return true
+		}
+	}
+	return false
+}
+
+// posFor converts a diagnostic's file/line/col back into a token.Pos
+// within the loaded package (for uniform Report output); diagnostics
+// in files we did not parse fall back to the package's first file.
+func posFor(fset *token.FileSet, p *Package, d escDiag) token.Pos {
+	for _, f := range p.Files {
+		tf := fset.File(f.Pos())
+		if tf == nil || tf.Name() != d.file {
+			continue
+		}
+		if d.line <= tf.LineCount() {
+			return tf.LineStart(d.line) + token.Pos(d.col-1)
+		}
+	}
+	return p.Files[0].Pos()
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// machineHotMethods are the Machine methods that run inside the warm
+// cycle loop: the per-cycle step and its event pump, every pipeline
+// stage they drive (fetch through retire), the scheduling and replay
+// machinery, and the pooled-storage helpers they lean on. Reset-time
+// and reporting code (New, Reset, init, Run, RunContext, Stats,
+// describeHead, ...) is deliberately absent — allocation is fine
+// there.
+var machineHotMethods = []string{
+	// Cycle loop and event wheel.
+	"step", "runEvents", "schedule", "scheduleNow", "canceled",
+	// Window and queue storage (pooled; must stay allocation-free).
+	"allocUop", "freeUop", "lookup", "prod", "tailSeq",
+	"lsqAt", "lsqPush", "lsqPopFront", "fqAt", "fqPush", "fqPopFront",
+	// Front end.
+	"fetch", "fetchQCap", "dispatch", "insert", "schedLatOf",
+	// Scheduler.
+	"newBudget", "selectAndIssue", "issue", "squash",
+	"forceIQ", "releaseIQ", "reacquireIQ", "handleBroadcast", "handleOpWake",
+	// Execute and complete.
+	"handleExec", "execLoad", "aliasingStore", "storeDataReadyAt",
+	"handleComplete", "rearmOperand", "retire",
+	// Replay machinery (shared by the policies).
+	"handleKill", "replayLoad", "selectiveKill", "shadowKill",
+	"startReinsert", "handleReinsertStart", "reinsertStep",
+	"refetch", "valueKill", "handleSerialStep",
+	// Observation tap (the monitors hang off it).
+	"emit",
+}
+
+// hotFreeFuncs and hotAuxMethods extend the manifest beyond Machine:
+// free functions and non-Machine receivers on the cycle path.
+var (
+	hotFreeFuncs  = []string{"dataValidFor"}
+	hotAuxMethods = map[string][]string{
+		"fuBudget": {"take"},
+		// The monitor's per-event and per-cycle taps run on every
+		// emitted pipeline event under cheap/full checking; failf and
+		// traceWindow are the violation path (cold by definition) and
+		// reset/finish bracket the run.
+		"monitor": {"record", "cycleEnd"},
+	}
+	// coldHookMethods are the sanctioned allocation points of the
+	// policy and checker interfaces: reset sizes state before the run,
+	// finish folds results after it.
+	coldHookMethods = map[string]bool{"reset": true, "finish": true}
+	// coldIfaceMethods are interface-conformance trivia excluded along
+	// with the cold hooks when a policy/checker type's methods are
+	// swept into the manifest.
+	coldIfaceMethods = map[string]bool{"name": true, "minLevel": true}
+)
+
+// coreManifest computes the hot-path function set for the core
+// package: the explicit Machine manifest above, plus — derived from
+// the type-checked package so new schemes and monitors are covered the
+// moment they register — every method of every type implementing
+// replayPolicy or checker, except the cold reset/finish hooks. Stale
+// explicit entries (a rename the manifest missed) are reported through
+// u so the gate cannot silently narrow.
+func coreManifest(u *Unit, p *Package) map[string]bool {
+	manifest := make(map[string]bool)
+	for _, m := range machineHotMethods {
+		manifest["Machine."+m] = true
+	}
+	for _, f := range hotFreeFuncs {
+		manifest[f] = true
+	}
+	for recv, methods := range hotAuxMethods {
+		for _, m := range methods {
+			manifest[recv+"."+m] = true
+		}
+	}
+
+	// Sweep the policy and checker implementations. The noop embeddings
+	// provide the default hook bodies, so their methods are hot too even
+	// though the bare types satisfy neither interface.
+	policyIface := ifaceType(p, "replayPolicy")
+	checkerIface := ifaceType(p, "checker")
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		hot := name == "noopPolicy" || name == "noopChecker" ||
+			(policyIface != nil && types.Implements(ptr, policyIface)) ||
+			(checkerIface != nil && types.Implements(ptr, checkerIface))
+		if !hot {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i).Name()
+			if coldHookMethods[m] || coldIfaceMethods[m] {
+				continue
+			}
+			manifest[name+"."+m] = true
+		}
+	}
+
+	// Guard against manifest drift: every explicit entry must name a
+	// declared function, or the gate is quietly checking nothing.
+	declared := make(map[string]bool)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				declared[funcKey(fd)] = true
+			}
+		}
+	}
+	for key := range manifest {
+		if !declared[key] {
+			u.Report("escape", p.Files[0].Pos(),
+				"hot-path manifest entry %q matches no declared function in %s; update internal/lint/hotpath.go", key, p.Path)
+		}
+	}
+	return manifest
+}
+
+// ifaceType resolves a package-scope interface by name.
+func ifaceType(p *Package, name string) *types.Interface {
+	obj := p.Types.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// funcKey names a declaration the way the manifest does:
+// "Recv.method" for methods, "name" for free functions.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,277 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the non-test syntax
+// (repolint proves invariants about shipped code; test files get their
+// discipline from the test runner itself) plus the type information
+// the analyzers query.
+type Package struct {
+	// Path is the import path; Dir the absolute directory.
+	Path string
+	Dir  string
+	// Files holds the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// File returns the syntax of the file with the given base name, or nil.
+func (p *Package) File(fset *token.FileSet, base string) *ast.File {
+	for _, f := range p.Files {
+		if filepath.Base(fset.Position(f.Pos()).Filename) == base {
+			return f
+		}
+	}
+	return nil
+}
+
+// loader type-checks module packages from source, resolving module
+// imports recursively and everything else (the standard library) via
+// the stdlib source importer. Results are memoized per import path so
+// the shared prefix of the dependency graph is checked once.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	module  string
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// Import implements types.Importer for the type-checker's benefit.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one module package (memoized).
+func (l *loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no non-test Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Load builds a Unit: it finds the module root at or above dir,
+// expands the patterns ("./..." walks the tree; an explicit directory
+// loads just that package, even under testdata), and type-checks every
+// matched package from source.
+func Load(dir string, patterns []string) (*Unit, error) {
+	root, module, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		root:    root,
+		module:  module,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+
+	paths, err := expand(root, module, patterns)
+	if err != nil {
+		return nil, err
+	}
+	u := &Unit{Root: root, Module: module, Fset: l.fset}
+	for _, path := range paths {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		u.Pkgs = append(u.Pkgs, p)
+	}
+	u.collectPragmas()
+	return u, nil
+}
+
+// ModulePath returns the module path of the module enclosing dir.
+func ModulePath(dir string) (string, error) {
+	_, module, err := moduleRoot(dir)
+	return module, err
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod and returns the
+// root directory and module path.
+func moduleRoot(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod declares no module", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+	}
+}
+
+// expand resolves package patterns to import paths, sorted and
+// de-duplicated. "./..." (or a "dir/..." form) walks the subtree,
+// skipping testdata, vendor and hidden directories; a plain directory
+// pattern matches exactly, with no skip list — that is how the test
+// fixtures under testdata are loaded deliberately.
+func expand(root, module string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(dir string) error {
+		path, err := dirImportPath(root, module, dir)
+		if err != nil {
+			return err
+		}
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		base, recursive := strings.CutSuffix(pat, "...")
+		base = strings.TrimSuffix(base, "/")
+		if base == "" || base == "." {
+			base = root
+		} else if !filepath.IsAbs(base) {
+			base = filepath.Join(root, filepath.FromSlash(base))
+		}
+		if !recursive {
+			if hasGoFiles(base) {
+				if err := add(base); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, fmt.Errorf("lint: no Go files in %s", base)
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				return add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// dirImportPath maps a directory under the module root to its import
+// path.
+func dirImportPath(root, module, dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	if abs == root {
+		return module, nil
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, root)
+	}
+	return module + "/" + filepath.ToSlash(rel), nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The escape gate is only as strong as its manifest: this test pins
+// the required coverage — the cycle loop, every one of the nine policy
+// hooks on at least one concrete policy, and both monitor levels'
+// event taps — and pins the sanctioned exclusions (reset/finish, the
+// violation path) so neither side drifts silently.
+func TestCoreManifestCoverage(t *testing.T) {
+	u, err := Load(".", []string{"./internal/core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := u.Pkg(u.Module + "/internal/core")
+	if p == nil {
+		t.Fatal("core package not loaded")
+	}
+	manifest := coreManifest(u, p)
+	if f := u.Findings(); len(f) != 0 {
+		t.Fatalf("manifest has stale entries: %v", f[0])
+	}
+
+	// The cycle loop and the stages it drives.
+	for _, key := range []string{
+		"Machine.step", "Machine.runEvents", "Machine.fetch",
+		"Machine.dispatch", "Machine.selectAndIssue", "Machine.handleExec",
+		"Machine.handleComplete", "Machine.retire", "Machine.emit",
+	} {
+		if !manifest[key] {
+			t.Errorf("manifest misses cycle-loop function %s", key)
+		}
+	}
+
+	// All nine policy hooks, each on at least one implementation.
+	hooks := []string{
+		"onRename", "wakeupEligible", "onIssue", "onKill", "onSquash",
+		"onVerify", "onStaleOperand", "onRetire", "onFlush",
+	}
+	for _, hook := range hooks {
+		found := false
+		for key := range manifest {
+			if strings.HasSuffix(key, "."+hook) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("manifest covers no implementation of policy hook %s", hook)
+		}
+	}
+
+	// Both monitor levels: the cheap per-event checkers and the full
+	// per-cycle sweeps, plus the monitor's own taps.
+	for _, key := range []string{
+		"monitor.record", "monitor.cycleEnd",
+		"retireChecker.event", "occupancyChecker.cycleEnd",
+		"closureChecker.event", "memoryChecker.cycleEnd",
+	} {
+		if !manifest[key] {
+			t.Errorf("manifest misses monitor function %s", key)
+		}
+	}
+
+	// Sanctioned cold paths stay out: reset/finish may allocate, failf
+	// and traceWindow run only on violations.
+	for _, key := range []string{
+		"tkselPolicy.reset", "serialPolicy.finish",
+		"monitor.failf", "monitor.traceWindow", "Machine.init",
+	} {
+		if manifest[key] {
+			t.Errorf("manifest wrongly includes cold function %s", key)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Registry enforces the scheme and checker registry discipline on the
+// pipeline core: every policy_*.go file registers exactly one scheme
+// from its init (one file, one scheme — the file name is the index),
+// registration happens nowhere else, every invariant checker type is
+// registered, and no code branches on scheme identity — the registry's
+// capability bits and the policy hooks are the only sanctioned
+// dispatch (DESIGN.md §8).
+type Registry struct {
+	// PkgPath is the package holding the registries.
+	PkgPath string
+}
+
+// DefaultRegistry covers the pipeline core.
+func DefaultRegistry(module string) *Registry {
+	return &Registry{PkgPath: module + "/internal/core"}
+}
+
+func (*Registry) Name() string { return "registry" }
+
+func (r *Registry) Check(u *Unit) error {
+	p := u.Pkg(r.PkgPath)
+	if p == nil {
+		return nil
+	}
+	r.checkPolicyFiles(u, p)
+	r.checkCheckers(u, p)
+	r.checkSchemeBranches(u, p)
+	return nil
+}
+
+// checkPolicyFiles verifies the one-file-one-scheme layout: each
+// policy_*.go contains exactly one registerPolicy call, inside init,
+// and no other file calls registerPolicy at all.
+func (r *Registry) checkPolicyFiles(u *Unit, p *Package) {
+	for _, f := range p.Files {
+		base := filepath.Base(u.Fset.Position(f.Pos()).Filename)
+		isPolicyFile := strings.HasPrefix(base, "policy_") && strings.HasSuffix(base, ".go")
+		var calls []*ast.CallExpr
+		var inInit int
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "registerPolicy" {
+					calls = append(calls, call)
+					if fd.Name.Name == "init" && fd.Recv == nil {
+						inInit++
+					}
+				}
+				return true
+			})
+		}
+		switch {
+		case !isPolicyFile && len(calls) > 0:
+			u.Report(r.Name(), calls[0].Pos(),
+				"registerPolicy call outside a policy_*.go file; one scheme lives in one policy file")
+		case isPolicyFile && len(calls) == 0:
+			u.Report(r.Name(), f.Pos(),
+				"%s registers no scheme; a policy file must register exactly one", base)
+		case isPolicyFile && len(calls) > 1:
+			u.Report(r.Name(), calls[1].Pos(),
+				"%s registers %d schemes; a policy file must register exactly one", base, len(calls))
+		case isPolicyFile && inInit != len(calls):
+			u.Report(r.Name(), calls[0].Pos(),
+				"registerPolicy must be called from the file's init function")
+		}
+	}
+}
+
+// checkCheckers verifies every type implementing the checker interface
+// is registered via registerChecker — an unregistered monitor compiles
+// fine and silently never runs.
+func (r *Registry) checkCheckers(u *Unit, p *Package) {
+	iface := ifaceType(p, "checker")
+	if iface == nil {
+		return
+	}
+	// Types mentioned inside registerChecker(...) calls.
+	registered := make(map[string]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "registerChecker" {
+				return true
+			}
+			ast.Inspect(call, func(m ast.Node) bool {
+				if cl, ok := m.(*ast.CompositeLit); ok {
+					if id, ok := cl.Type.(*ast.Ident); ok {
+						registered[id.Name] = true
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+	scope := p.Types.Scope()
+	var names []string
+	for _, name := range scope.Names() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || name == "noopChecker" {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+			continue
+		}
+		if types.Implements(types.NewPointer(named), iface) && !registered[name] {
+			u.Report(r.Name(), tn.Pos(),
+				"checker %s implements the monitor interface but is never registered (add registerChecker in check_monitors.go)", name)
+		}
+	}
+}
+
+// checkSchemeBranches flags scheme-identity dispatch outside the
+// registry: ==/!= against a scheme constant and switches over a Scheme
+// value. Capability questions go through policyEntry bits or policy
+// hooks, so the machine core stays scheme-agnostic.
+func (r *Registry) checkSchemeBranches(u *Unit, p *Package) {
+	schemeType := p.Types.Scope().Lookup("Scheme")
+	if schemeType == nil {
+		return
+	}
+	isSchemeConst := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		c, ok := p.Info.Uses[id].(*types.Const)
+		// numSchemes is the registry's own bound, not a scheme identity.
+		return ok && c.Type() == schemeType.Type() && c.Name() != "numSchemes"
+	}
+	for _, f := range p.Files {
+		base := filepath.Base(u.Fset.Position(f.Pos()).Filename)
+		if base == "policy.go" {
+			continue // the registry itself
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if (n.Op == token.EQL || n.Op == token.NEQ) && (isSchemeConst(n.X) || isSchemeConst(n.Y)) {
+					u.Report(r.Name(), n.Pos(),
+						"branch on scheme identity; dispatch through a replayPolicy hook or a policyEntry capability bit instead")
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil {
+					if t := p.Info.TypeOf(n.Tag); t != nil && t == schemeType.Type() {
+						u.Report(r.Name(), n.Pos(),
+							"switch over Scheme; dispatch through a replayPolicy hook or a policyEntry capability bit instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// StatsComplete proves the measurement plumbing keeps up with the
+// Stats struct: every exported counter must be wiped between runs
+// (the wholesale `stats = Stats{}` reset), accounted for in the warmup
+// subtraction (or explicitly waived on its declaration line — high
+// -water marks and whole-run digests are deliberately not subtracted),
+// and reachable from JSON/checkpoint serialization (no json:"-",
+// and struct-typed fields with unexported state must round-trip via
+// MarshalJSON/UnmarshalJSON). The journal's checkpoint entry must
+// carry the Stats type wholesale.
+type StatsComplete struct {
+	// PkgPath holds the Stats and PolicyStats structs.
+	PkgPath string
+	// JournalPath holds the checkpoint serialization; "" skips that
+	// check (fixtures).
+	JournalPath string
+}
+
+// DefaultStatsComplete covers core.Stats and the sim journal.
+func DefaultStatsComplete(module string) *StatsComplete {
+	return &StatsComplete{
+		PkgPath:     module + "/internal/core",
+		JournalPath: module + "/internal/sim",
+	}
+}
+
+func (*StatsComplete) Name() string { return "stats" }
+
+func (s *StatsComplete) Check(u *Unit) error {
+	p := u.Pkg(s.PkgPath)
+	if p == nil {
+		return nil
+	}
+	statsObj := structType(p, "Stats")
+	if statsObj == nil {
+		return nil
+	}
+	s.checkWholesaleReset(u, p)
+	s.checkStruct(u, p, "Stats")
+	s.checkStruct(u, p, "PolicyStats")
+	if s.JournalPath != "" {
+		s.checkJournal(u, p)
+	}
+	return nil
+}
+
+// structType resolves a package-scope struct declaration.
+func structType(p *Package, name string) *types.TypeName {
+	tn, ok := p.Types.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	if _, isStruct := tn.Type().Underlying().(*types.Struct); !isStruct {
+		return nil
+	}
+	return tn
+}
+
+// checkWholesaleReset requires an assignment of the zero Stats
+// composite somewhere in the package — the one reset shape that cannot
+// miss a newly added field.
+func (s *StatsComplete) checkWholesaleReset(u *Unit, p *Package) {
+	found := false
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || found || len(as.Rhs) != 1 {
+				return !found
+			}
+			cl, ok := as.Rhs[0].(*ast.CompositeLit)
+			if !ok || len(cl.Elts) != 0 {
+				return true
+			}
+			if id, ok := cl.Type.(*ast.Ident); ok && id.Name == "Stats" {
+				found = true
+			}
+			return true
+		})
+	}
+	if !found {
+		tn := structType(p, "Stats")
+		u.Report(s.Name(), tn.Pos(),
+			"no wholesale `= Stats{}` reset in %s; per-field resets silently miss new counters", p.Types.Name())
+	}
+}
+
+// checkStruct audits one stats struct: subtraction coverage and
+// serialization reachability for every exported field.
+func (s *StatsComplete) checkStruct(u *Unit, p *Package, name string) {
+	tn := structType(p, name)
+	if tn == nil {
+		return
+	}
+	st := tn.Type().Underlying().(*types.Struct)
+	subtracted := subtractMentions(p, tn.Type())
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !field.Exported() {
+			continue
+		}
+		if tag := reflect.StructTag(st.Tag(i)); jsonOmitted(tag) {
+			u.Report(s.Name(), field.Pos(),
+				"%s.%s is hidden from serialization (json:\"-\"); checkpointed runs would silently drop it", name, field.Name())
+		}
+		if !subtracted[field.Name()] {
+			u.Report(s.Name(), field.Pos(),
+				"%s.%s is not handled by (*%s).subtract; subtract it for warmup accounting, or waive with //lint:allow stats <why>", name, field.Name(), name)
+		}
+		s.checkRoundTrip(u, name, field)
+	}
+}
+
+// subtractMentions collects every field name the struct's subtract
+// method touches (including nested delegation like Policy.subtract).
+func subtractMentions(p *Package, recv types.Type) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "subtract" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			rt := p.Info.Defs[fd.Name].(*types.Func).Type().(*types.Signature).Recv().Type()
+			if ptr, ok := rt.(*types.Pointer); ok {
+				rt = ptr.Elem()
+			}
+			if rt != recv {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					out[sel.Sel.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkRoundTrip requires struct-typed fields that hide unexported
+// state to declare their own JSON round-trip, or a marshaled
+// checkpoint would lose them.
+func (s *StatsComplete) checkRoundTrip(u *Unit, owner string, field *types.Var) {
+	named, ok := field.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	hidden := false
+	for i := 0; i < st.NumFields(); i++ {
+		if !st.Field(i).Exported() {
+			hidden = true
+			break
+		}
+	}
+	if !hidden {
+		return
+	}
+	ms := types.NewMethodSet(types.NewPointer(named))
+	if ms.Lookup(nil, "MarshalJSON") == nil || ms.Lookup(nil, "UnmarshalJSON") == nil {
+		u.Report(s.Name(), field.Pos(),
+			"%s.%s has unexported state in %s but no MarshalJSON/UnmarshalJSON pair; checkpoints would lose it", owner, field.Name(), named.Obj().Name())
+	}
+}
+
+// checkJournal requires the checkpoint layer to serialize the Stats
+// type wholesale: some struct in the journal package must carry a
+// (possibly pointered) Stats field that is not json-omitted.
+func (s *StatsComplete) checkJournal(u *Unit, core *Package) {
+	jp := u.Pkg(s.JournalPath)
+	if jp == nil {
+		return
+	}
+	statsType := structType(core, "Stats").Type()
+	scope := jp.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			t := st.Field(i).Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if t == statsType && !jsonOmitted(reflect.StructTag(st.Tag(i))) {
+				return // found the wholesale carrier
+			}
+		}
+	}
+	u.Report(s.Name(), jp.Files[0].Pos(),
+		"no struct in %s serializes core.Stats wholesale; the checkpoint journal must carry the full Stats", s.JournalPath)
+}
+
+// jsonOmitted reports whether a struct tag hides the field from
+// encoding/json.
+func jsonOmitted(tag reflect.StructTag) bool {
+	v, ok := tag.Lookup("json")
+	return ok && strings.Split(v, ",")[0] == "-"
+}

@@ -1,0 +1,15 @@
+package lint
+
+// Default is repolint's production analyzer suite for the module:
+// determinism over the simulator packages, the hot-path escape gate on
+// the core, registry conformance, stats completeness, and context
+// hygiene on the batch engine.
+func Default(module string) []Analyzer {
+	return []Analyzer{
+		DefaultDeterminism(module),
+		DefaultEscape(module),
+		DefaultRegistry(module),
+		DefaultStatsComplete(module),
+		DefaultContextHygiene(module),
+	}
+}

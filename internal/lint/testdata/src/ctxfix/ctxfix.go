@@ -1,0 +1,29 @@
+// Package ctxfix seeds context-hygiene violations: a stored context,
+// a conjured one, and a misplaced ctx parameter.
+package ctxfix
+
+import "context"
+
+// Engine stores a context in a struct — finding.
+type Engine struct {
+	ctx context.Context
+	n   int
+}
+
+// Run detaches itself from the caller's cancellation — finding.
+func Run(e *Engine) error {
+	e.ctx = context.Background()
+	return e.ctx.Err()
+}
+
+// Misordered takes its context after another parameter — finding.
+func Misordered(n int, ctx context.Context) error {
+	_ = n
+	return ctx.Err()
+}
+
+// WellFormed threads ctx first — no finding.
+func WellFormed(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}

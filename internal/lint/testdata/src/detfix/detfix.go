@@ -1,0 +1,69 @@
+// Package detfix seeds determinism violations for the analyzer's own
+// test: wall-clock reads, the global random source, a goroutine, and
+// map ranges that leak iteration order — next to the sanctioned
+// shapes, which must stay finding-free.
+package detfix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock reads the wall clock twice — two findings.
+func Clock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// GlobalRand draws from the global source — one finding.
+func GlobalRand() int {
+	return rand.Intn(10)
+}
+
+// SeededRand injects a seeded source — sanctioned, no findings.
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Spawn starts a goroutine — one finding.
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// SumInOrder writes an outer accumulator from a map range — one
+// finding (float addition makes the sum order-dependent).
+func SumInOrder(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// PrintInOrder emits output from a map range — one finding.
+func PrintInOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// SortedKeys collects keys then sorts — the sanctioned idiom, no
+// findings.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Waived tries to pragma away a determinism finding; the pragma itself
+// must be reported and the finding must still fire.
+func Waived() int64 {
+	//lint:allow determinism this waiver must be rejected
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,50 @@
+// Package escapefix seeds hot-path allocations for the escape gate's
+// own test: functions named hot* form the fixture manifest; coldSetup
+// allocates legitimately outside it.
+package escapefix
+
+import "fmt"
+
+// hotAlloc leaks a stack variable — the gate must flag it.
+func hotAlloc() *int {
+	x := 42
+	return &x
+}
+
+// hotSlice grows a fresh slice every call — the gate must flag it.
+func hotSlice(n int) []int {
+	buf := make([]int, n)
+	return buf
+}
+
+// hotGuard allocates only on the panic path; the cold-sink exemption
+// must keep it clean.
+func hotGuard(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("escapefix: negative %d", n))
+	}
+	return n * 2
+}
+
+// hotClean stays on the stack — no finding.
+func hotClean(a, b int) int {
+	s := [4]int{a, b, a + b, a - b}
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// coldSetup allocates freely; it is not on the manifest.
+func coldSetup(n int) []*int {
+	out := make([]*int, 0, n)
+	for i := 0; i < n; i++ {
+		v := i
+		out = append(out, &v)
+	}
+	return out
+}
+
+// use keeps every fixture function referenced so vet stays quiet.
+var use = []any{hotAlloc, hotSlice, hotGuard, hotClean, coldSetup}

@@ -1,0 +1,23 @@
+package regfix
+
+// Dispatch branches on scheme identity — one finding for the
+// comparison, one for the switch. The range guard against numSchemes
+// is the registry's own bound and stays clean.
+func Dispatch(s Scheme) int {
+	if s >= numSchemes {
+		return -1
+	}
+	if s == Alpha {
+		return 1
+	}
+	switch s {
+	case Beta:
+		return 2
+	}
+	return 0
+}
+
+// lateRegister calls registerPolicy from a non-policy file — finding.
+func lateRegister() {
+	registerPolicy(Gamma, "Late", func() any { return nil })
+}

@@ -1,0 +1,6 @@
+package regfix
+
+// One file, one scheme, registered from init — no findings.
+func init() {
+	registerPolicy(Alpha, "Alpha", func() any { return nil })
+}

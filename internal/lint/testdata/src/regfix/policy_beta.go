@@ -1,0 +1,7 @@
+package regfix
+
+// Two schemes in one policy file — finding on the second call.
+func init() {
+	registerPolicy(Beta, "Beta", func() any { return nil })
+	registerPolicy(Gamma, "Gamma", func() any { return nil })
+}

@@ -1,0 +1,6 @@
+package regfix
+
+// Registration outside init — finding.
+func setupDelta() {
+	registerPolicy(Gamma, "Delta", func() any { return nil })
+}

@@ -1,0 +1,52 @@
+// Package regfix mimics the core package's registry shape — a Scheme
+// enum, registerPolicy, and a checker interface — and seeds the
+// conformance violations the registry analyzer must catch.
+package regfix
+
+// Scheme mirrors core.Scheme for the fixture.
+type Scheme uint8
+
+const (
+	Alpha Scheme = iota
+	Beta
+	Gamma
+	numSchemes
+)
+
+var policies [numSchemes]func() any
+
+func registerPolicy(s Scheme, name string, build func() any) {
+	if s >= numSchemes {
+		panic(name)
+	}
+	policies[s] = build
+}
+
+// checker mirrors the core monitor interface.
+type checker interface {
+	name() string
+	check() bool
+}
+
+var checkers []func() checker
+
+func registerChecker(name string, build func() checker) {
+	_ = name
+	checkers = append(checkers, build)
+}
+
+// goodChecker is registered below — no finding.
+type goodChecker struct{}
+
+func (goodChecker) name() string { return "good" }
+func (goodChecker) check() bool  { return true }
+
+// strayChecker implements checker but is never registered — finding.
+type strayChecker struct{}
+
+func (strayChecker) name() string { return "stray" }
+func (strayChecker) check() bool  { return false }
+
+func init() {
+	registerChecker("good", func() checker { return &goodChecker{} })
+}

@@ -1,0 +1,32 @@
+// Package statfix seeds stats-completeness violations: a counter the
+// subtract method forgot, a field hidden from serialization, a struct
+// field that cannot round-trip, and no wholesale reset — next to a
+// properly waived high-water mark.
+package statfix
+
+// Stats mirrors the shape of core.Stats for the fixture. There is no
+// `= Stats{}` reset anywhere in the package — finding at this decl.
+type Stats struct {
+	// Good is subtracted — no finding.
+	Good int64
+	// Missing is not subtracted — finding.
+	Missing int64
+	// Hidden is subtracted but json-omitted — finding.
+	Hidden int64 `json:"-"`
+	//lint:allow stats fixture high-water mark, deliberately not subtracted
+	Waived int64
+	// Depth's type hides unexported state with no JSON round-trip —
+	// finding.
+	Depth hist
+}
+
+// hist hides its counts.
+type hist struct {
+	counts []int
+}
+
+func (s *Stats) subtract(base *Stats) {
+	s.Good -= base.Good
+	s.Hidden -= base.Hidden
+	s.Depth = base.Depth
+}

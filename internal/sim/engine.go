@@ -57,6 +57,12 @@ type Options struct {
 	// state change (spec queued, simulation started/finished/failed).
 	// Calls are serialized by the engine; keep the callback fast.
 	OnProgress func(Snapshot)
+	// DefaultCheck is the invariant-monitoring level applied to every
+	// spec that does not pin its own (spec.Over.Check left at the zero
+	// CheckOff). It folds into spec normalization, so a run at the
+	// defaulted level and one requesting that level explicitly share a
+	// cache entry and a journal line.
+	DefaultCheck core.CheckLevel
 }
 
 func (o Options) withDefaults() Options {
@@ -216,9 +222,19 @@ func (e *Engine) Close() error {
 	return j.close()
 }
 
+// normalize canonicalizes a spec against the engine's options: specs
+// that leave Check at the zero level inherit Options.DefaultCheck
+// before the usual Table 3 normalization.
+func (e *Engine) normalize(s Spec) Spec {
+	if s.Over.Check == core.CheckOff {
+		s.Over.Check = e.opts.DefaultCheck
+	}
+	return s.Normalize()
+}
+
 // Run executes (or recalls) one simulation.
 func (e *Engine) Run(ctx context.Context, spec Spec) (*RunOut, error) {
-	spec = spec.Normalize()
+	spec = e.normalize(spec)
 	e.prog.queued.Add(1)
 	e.notify()
 	out, err := e.result(ctx, spec)
@@ -243,7 +259,7 @@ func (e *Engine) RunAll(ctx context.Context, specs []Spec) ([]*RunOut, error) {
 	uniq := make([]Spec, 0, len(specs))
 	seen := make(map[Spec]bool, len(specs))
 	for _, s := range specs {
-		n := s.Normalize()
+		n := e.normalize(s)
 		if !seen[n] {
 			seen[n] = true
 			uniq = append(uniq, n)
@@ -270,7 +286,7 @@ func (e *Engine) RunAll(ctx context.Context, specs []Spec) ([]*RunOut, error) {
 	}
 	out := make([]*RunOut, len(specs))
 	for i, s := range specs {
-		out[i] = bySpec[s.Normalize()]
+		out[i] = bySpec[e.normalize(s)]
 	}
 	return out, errors.Join(errs...)
 }

@@ -163,15 +163,21 @@ func (s *Sim) Validate() error {
 	return nil
 }
 
-// Options assembles the engine options from the parsed flags.
+// Options assembles the engine options from the parsed flags. When the
+// -check group is registered, the chosen level becomes the engine-wide
+// default for every spec that does not pin its own.
 func (s *Sim) Options() sim.Options {
-	return sim.Options{
+	o := sim.Options{
 		Insts:       s.Insts,
 		Warmup:      s.Warmup,
 		Seed:        s.Seed,
 		Parallelism: s.Par,
 		Journal:     s.Journal,
 	}
+	if s.hasCheck {
+		o.DefaultCheck, _ = s.Check() // Validate has already vetted it
+	}
+	return o
 }
 
 // Status renders engine progress snapshots as a single live status
