@@ -158,13 +158,17 @@ func TestCheckedSteadyStateAllocBudget(t *testing.T) {
 	}
 }
 
-// The schemes with auxiliary replay structures must stay on the pooled
-// hot path too: no per-cycle allocations once warm.
+// Every scheme must stay on the pooled hot path: no per-cycle
+// allocations once warm. All nine run, not just the ones with
+// auxiliary replay structures — the structure-of-arrays window is
+// shared state, and a scheme-specific path that strays off it (a
+// closure in a kill walk, a slice in a policy hook) is exactly what
+// this sweep exists to catch.
 func TestSteadyStateAllocBudgetSchemes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation accounting is slow under -short")
 	}
-	for _, sc := range []Scheme{NonSel, TkSel, ReInsert, Refetch, SerialVerify} {
+	for _, sc := range Schemes() {
 		sc := sc
 		t.Run(sc.String(), func(t *testing.T) {
 			prof, err := workload.ByName("gcc")

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"repro/internal/isa"
 	"repro/internal/token"
 )
@@ -16,6 +18,7 @@ func init() {
 	registerChecker("token", func() checker { return &tokenChecker{} })
 	registerChecker("replay-closure", func() checker { return &closureChecker{} })
 	registerChecker("memory", func() checker { return &memoryChecker{} })
+	registerChecker("window-soa", func() checker { return &soaChecker{} })
 }
 
 // retireChecker verifies in-order, exactly-once commitment: the retired
@@ -43,7 +46,7 @@ func (c *retireChecker) event(m *Machine, u *uop, kind PipeEventKind) {
 	if seq != m.headSeq {
 		m.mon.failf(m, c.name(), seq, "retiring seq %d is not the window head %d", seq, m.headSeq)
 	}
-	if !u.completed {
+	if !m.completedState(u) {
 		m.mon.failf(m, c.name(), seq, "retiring without completion")
 	}
 	if u.issues < 1 {
@@ -107,10 +110,10 @@ func (c *occupancyChecker) cycleEnd(m *Machine) {
 		if w.retired {
 			m.mon.failf(m, c.name(), w.seq(), "retired uop still in the window")
 		}
-		if w.inIQ {
+		if m.inIQ(w) {
 			inIQ++
 		}
-		if w.inRQ {
+		if m.inRQ(w) {
 			inRQ++
 		}
 	}
@@ -141,20 +144,20 @@ func (c *wakeupChecker) minLevel() CheckLevel { return CheckCheap }
 func (c *wakeupChecker) event(m *Machine, u *uop, kind PipeEventKind) {
 	switch kind {
 	case EvDispatch:
-		if !u.inIQ || u.issued || u.completed {
+		if !m.inIQ(u) || m.issuedState(u) || m.completedState(u) {
 			m.mon.failf(m, c.name(), u.seq(), "dispatched in a non-waiting state (inIQ=%v issued=%v completed=%v)",
-				u.inIQ, u.issued, u.completed)
+				m.inIQ(u), m.issuedState(u), m.completedState(u))
 		}
 		if want := m.headSeq + int64(m.robCount) - 1; u.seq() != want {
 			m.mon.failf(m, c.name(), u.seq(), "dispatched seq %d is not the window tail %d", u.seq(), want)
 		}
 		c.checkOperands(m, u)
 	case EvIssue:
-		if !u.issued || u.issues < 1 || u.completed || u.retired {
+		if !m.issuedState(u) || u.issues < 1 || m.completedState(u) || u.retired {
 			m.mon.failf(m, c.name(), u.seq(), "issued in an inconsistent state (issued=%v issues=%d completed=%v retired=%v)",
-				u.issued, u.issues, u.completed, u.retired)
+				m.issuedState(u), u.issues, m.completedState(u), u.retired)
 		}
-		if !u.inRQ && !u.allReady() {
+		if !m.inRQ(u) && !m.allReady(u) {
 			m.mon.failf(m, c.name(), u.seq(), "issued with an operand not ready")
 		}
 		c.checkOperands(m, u)
@@ -163,7 +166,7 @@ func (c *wakeupChecker) event(m *Machine, u *uop, kind PipeEventKind) {
 
 func (c *wakeupChecker) checkOperands(m *Machine, u *uop) {
 	for i := 0; i < 2; i++ {
-		if u.srcSeq(i) < 0 || !u.src[i].ready {
+		if u.srcSeq(i) < 0 || !m.opReady(u, i) {
 			continue
 		}
 		p := m.prod(u, i)
@@ -173,7 +176,7 @@ func (c *wakeupChecker) checkOperands(m *Machine, u *uop) {
 		// issues is cumulative, so a producer squashed after waking us
 		// still justifies the stale-but-legal ready bit (the safety
 		// check at completion is what catches actually-consumed staleness).
-		if p.issues > 0 || p.completed || (p.valuePredicted && !p.valueWrong) || m.pol.wakeupEligible(p) {
+		if p.issues > 0 || m.completedState(p) || (p.valuePredicted && !p.valueWrong) || m.pol.wakeupEligible(p) {
 			continue
 		}
 		m.mon.failf(m, c.name(), u.seq(), "operand %d ready with never-issued producer %d", i, p.seq())
@@ -294,7 +297,7 @@ func (c *closureChecker) event(m *Machine, u *uop, kind PipeEventKind) {
 		nsrc = 1 // stores complete on address readiness alone
 	}
 	for i := 0; i < nsrc; i++ {
-		if u.srcSeq(i) >= 0 && !dataValidFor(m.prod(u, i), u.execStart) {
+		if u.srcSeq(i) >= 0 && !m.dataValidFor(m.prod(u, i), u.execStart) {
 			m.mon.failf(m, c.name(), u.seq(),
 				"completed consuming stale data from producer %d (replay closure broken)", u.srcSeq(i))
 		}
@@ -335,5 +338,114 @@ func (c *memoryChecker) cycleEnd(m *Machine) {
 	}
 	if err := m.hier.CheckInvariants(m.cycle); err != nil {
 		m.mon.failf(m, c.name(), -1, "cache hierarchy: %v", err)
+	}
+}
+
+// soaChecker verifies the structure-of-arrays window's internal
+// coherence: every live slot's bitmap planes agree with the uop and
+// with each other (derived bits like the ready summary and pendStore
+// recompute to their stored values), every dead slot is fully clear,
+// and the plane population counts reconcile with the queue counters.
+// This is the self-check side of the SoA rewrite's bit-identity
+// argument: the per-uop state the old layout carried implicitly is now
+// re-derived and compared every cycle at full check level.
+type soaChecker struct{ noopChecker }
+
+func (c *soaChecker) name() string         { return "window-soa" }
+func (c *soaChecker) minLevel() CheckLevel { return CheckFull }
+
+func (c *soaChecker) cycleEnd(m *Machine) {
+	// Sampled, like tokenChecker's cheap level: bitmap incoherence is
+	// sticky (a wrong bit persists until its slot is vacated), so a
+	// 16-cycle sampling interval still catches real divergence while
+	// keeping the full-level sweep from dominating the cycle cost.
+	if m.cycle&15 != 0 {
+		return
+	}
+	w := &m.win
+	liveSlot := func(slot int32) bool {
+		d := int(slot) - m.robHead
+		if d < 0 {
+			d += w.size
+		}
+		return d < m.robCount
+	}
+	for i := 0; i < m.robCount; i++ {
+		slot := int32((m.robHead + i) % w.size)
+		u := m.rob[slot]
+		if u == nil {
+			return // occupancyChecker reports the hole
+		}
+		if u.slot != slot {
+			m.mon.failf(m, c.name(), u.seq(), "uop carries slot %d but lives in slot %d", u.slot, slot)
+			continue
+		}
+		if got := m.seqAt(slot); got != u.seq() {
+			m.mon.failf(m, c.name(), u.seq(), "seqAt(%d)=%d disagrees with resident seq %d", slot, got, u.seq())
+		}
+		if w.class[slot] != u.inst.Class {
+			m.mon.failf(m, c.name(), u.seq(), "class plane holds %v, uop is %v", w.class[slot], u.inst.Class)
+		}
+		if w.test(w.loads, slot) != u.isLoad() {
+			m.mon.failf(m, c.name(), u.seq(), "loads plane bit %v for class %v", w.test(w.loads, slot), u.inst.Class)
+		}
+		if w.test(w.completed, slot) && !w.test(w.issued, slot) {
+			m.mon.failf(m, c.name(), u.seq(), "completed without the issued bit")
+		}
+		wantPend := u.inst.Class == isa.Store && !w.test(w.issued, slot) && !w.test(w.completed, slot)
+		if w.test(w.pendStore, slot) != wantPend {
+			m.mon.failf(m, c.name(), u.seq(), "pendStore bit %v, want %v (issued=%v completed=%v)",
+				w.test(w.pendStore, slot), wantPend, w.test(w.issued, slot), w.test(w.completed, slot))
+		}
+		var rdy uint8
+		for lane := 0; lane < 2; lane++ {
+			tagged := w.test(w.opTagged[lane], slot)
+			if tagged != (w.tag[lane][slot] >= 0) {
+				m.mon.failf(m, c.name(), u.seq(), "operand %d tagged bit %v but tag %d", lane, tagged, w.tag[lane][slot])
+			}
+			if tagged && w.tag[lane][slot] != u.srcSeq(lane) {
+				m.mon.failf(m, c.name(), u.seq(), "operand %d tag %d, uop names producer %d",
+					lane, w.tag[lane][slot], u.srcSeq(lane))
+			}
+			if w.test(w.opReady[lane], slot) {
+				rdy |= 1 << uint(lane)
+			}
+			// Row coverage: a live operand tagged with a live in-window
+			// producer must appear in that producer's broadcast row, or
+			// the producer's wakeup would skip it.
+			if tagged && w.tag[lane][slot] >= m.headSeq {
+				if p := m.lookup(w.tag[lane][slot]); p != nil {
+					if w.consMask[lane][int(p.slot)*w.words+int(slot>>6)]>>(uint(slot)&63)&1 == 0 {
+						m.mon.failf(m, c.name(), u.seq(),
+							"operand %d tagged to live producer %d but absent from its broadcast row", lane, p.seq())
+					}
+				}
+			}
+		}
+		if want := w.needMask[slot]&^rdy == 0; w.test(w.ready, slot) != want {
+			m.mon.failf(m, c.name(), u.seq(), "ready summary bit %v, recomputed %v (need %b ready %b)",
+				w.test(w.ready, slot), want, w.needMask[slot], rdy)
+		}
+	}
+	inIQ, inRQ := 0, 0
+	for wi := 0; wi < w.words; wi++ {
+		inIQ += bits.OnesCount64(w.inIQ[wi])
+		inRQ += bits.OnesCount64(w.inRQ[wi])
+		stateBits := w.inIQ[wi] | w.inRQ[wi] | w.issued[wi] | w.completed[wi] |
+			w.pendStore[wi] | w.reinsert[wi] | w.opTagged[0][wi] | w.opTagged[1][wi]
+		for stateBits != 0 {
+			slot := int32(wi<<6 | bits.TrailingZeros64(stateBits))
+			stateBits &= stateBits - 1
+			if !liveSlot(slot) {
+				m.mon.failf(m, c.name(), -1, "dead slot %d holds window state bits", slot)
+				return
+			}
+		}
+	}
+	if inIQ != m.iqCount {
+		m.mon.failf(m, c.name(), -1, "inIQ plane population %d, counter %d", inIQ, m.iqCount)
+	}
+	if inRQ != m.rqCount {
+		m.mon.failf(m, c.name(), -1, "inRQ plane population %d, counter %d", inRQ, m.rqCount)
 	}
 }

@@ -194,7 +194,7 @@ func TestMonitorsCatchCorruption(t *testing.T) {
 			t.Fatal("empty window")
 		}
 		head := m.rob[m.robHead]
-		head.completed = false
+		m.win.clearBit(m.win.completed, head.slot)
 		head.issues = 0
 		m.emit(head, EvRetire)
 		if len(m.Violations()) == 0 {
@@ -221,10 +221,10 @@ func TestMonitorsCatchCorruption(t *testing.T) {
 				if p == nil || !p.inst.Class.HasDest() {
 					continue
 				}
-				u.src[op].ready = true
+				m.wakeOperand(u, op, m.cycle)
 				p.issues = 0
-				p.issued = false
-				p.completed = false
+				m.win.clearBit(m.win.issued, p.slot)
+				m.win.clearBit(m.win.completed, p.slot)
 				p.valuePredicted = false
 				m.emit(u, EvIssue)
 				if len(m.Violations()) == 0 {
@@ -260,7 +260,7 @@ func TestMonitorsCatchCorruption(t *testing.T) {
 				if p == nil || !p.inst.Class.HasDest() {
 					continue
 				}
-				p.completed = false
+				m.win.clearBit(m.win.completed, p.slot)
 				p.retired = false
 				p.valuePredicted = false
 				p.dataReadyAt = unknown

@@ -54,10 +54,10 @@ func TestDiagLossAccounting(t *testing.T) {
 					winEmpty++
 				} else {
 					h := m.rob[m.robHead]
-					if !h.completed && h.holdUntil > m.cycle {
+					if !m.completedState(h) && m.holdUntil(h) > m.cycle {
 						holdHead++
 					}
-					if !h.completed && h.issued {
+					if !m.completedState(h) && m.issuedState(h) {
 						issuedHead++
 					}
 				}

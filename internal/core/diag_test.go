@@ -64,14 +64,14 @@ func TestDiagBottlenecks(t *testing.T) {
 				continue
 			}
 			h := m.rob[m.robHead]
-			if !h.completed {
+			if !m.completedState(h) {
 				headWait++
 				switch {
-				case h.issued:
+				case m.issuedState(h):
 					headIssued++
-				case h.holdUntil > m.cycle:
+				case m.holdUntil(h) > m.cycle:
 					headHold++
-				case !h.allReady():
+				case !m.allReady(h):
 					headNotReady++
 				}
 			}

@@ -28,33 +28,43 @@ func TestDSelShadowInvalidation(t *testing.T) {
 	// parent P (issued, past execute, completing at 108), and a waiting
 	// consumer C whose operand from P was woken two cycles ago.
 	load := &uop{inst: isa.Inst{Seq: 0, Class: isa.Load, Addr: 0x40, Src1: -1, Src2: -1},
-		inIQ: true, missed: true, issued: true,
+		missed: true,
 		issueCycle: 91, execStart: 96, dataReadyAt: 207,
 		completeCycle: unknown, broadcastCycle: 94, tokenID: -1, storeDataSeq: -1}
 	parent := &uop{inst: isa.Inst{Seq: 1, Class: isa.IntALU, Src1: -1, Src2: -1},
-		inIQ: true, issued: true,
 		issueCycle: 97, execStart: 102, broadcastCycle: 98, completeCycle: 103,
 		dataReadyAt: 103, tokenID: -1, storeDataSeq: -1}
 	consumer := &uop{inst: isa.Inst{Seq: 2, Class: isa.IntALU, Src1: 1, Src2: -1},
-		inIQ: true, tokenID: -1, storeDataSeq: -1,
+		tokenID: -1, storeDataSeq: -1,
 		broadcastCycle: unknown, completeCycle: unknown, dataReadyAt: unknown}
-	consumer.src[0] = operand{producer: 1, ready: true, wokenAt: 98}
-	consumer.src[1].producer = -1
-	load.src[0].producer, load.src[1].producer = -1, -1
-	parent.src[0].producer, parent.src[1].producer = -1, -1
 	parent.consumers = []int64{2}
 	m.rob[0], m.rob[1], m.rob[2] = load, parent, consumer
 	m.robCount, m.headSeq = 3, 0
+	// Install the window-slot state insert() would have built.
+	for i, u := range [...]*uop{load, parent, consumer} {
+		u.slot = int32(i)
+		m.win.clearSlot(u.slot)
+		m.win.set(m.win.inIQ, u.slot)
+		m.win.class[u.slot] = u.inst.Class
+		m.win.refreshReady(u.slot)
+	}
+	m.win.set(m.win.loads, load.slot)
+	m.win.set(m.win.issued, load.slot)
+	m.win.set(m.win.issued, parent.slot)
+	m.win.needMask[consumer.slot] = 1
+	m.win.tag[0][consumer.slot] = 1
+	m.win.set(m.win.opTagged[0], consumer.slot)
+	m.win.setOp(0, consumer.slot, 98)
 
 	// The parent's in-flight completion, as issue() would have scheduled.
 	m.schedule(parent.completeCycle, event{kind: evComplete, u: parent})
 
 	m.shadowKill(load, false)
 
-	if consumer.src[0].ready {
+	if m.opReady(consumer, 0) {
 		t.Fatal("shadow-woken operand survived the kill")
 	}
-	if consumer.issued {
+	if m.issuedState(consumer) {
 		t.Fatal("DSel must not flush unissued instructions into issued state")
 	}
 	// The re-arm must fire at the parent's completion + 1, not before.
@@ -62,7 +72,7 @@ func TestDSelShadowInvalidation(t *testing.T) {
 	for c := int64(101); c < 120 && reawoken < 0; c++ {
 		m.cycle = c
 		m.runEvents()
-		if consumer.src[0].ready {
+		if m.opReady(consumer, 0) {
 			reawoken = c
 		}
 		slot := c & m.wheelMask

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+var updateEquiv = flag.Bool("update-equiv", false,
+	"rewrite testdata/equivalence.golden with current simulator output")
+
+// equivSpec is one run of the scheduler-equivalence battery: a scheme ×
+// workload × check-level point, with the model variants (replay queue,
+// value prediction, 8-wide) that exercise every scheduler-state
+// transition the structure-of-arrays window has to reproduce.
+type equivSpec struct {
+	scheme Scheme
+	bench  string
+	check  CheckLevel
+	wide8  bool
+	rq     bool
+	vp     bool
+}
+
+func (s equivSpec) key() string {
+	k := fmt.Sprintf("%v/%s/check=%v", s.scheme, s.bench, s.check)
+	if s.wide8 {
+		k += "/8wide"
+	}
+	if s.rq {
+		k += "/rq"
+	}
+	if s.vp {
+		k += "/vp"
+	}
+	return k
+}
+
+func (s equivSpec) config() Config {
+	cfg := Config4Wide()
+	if s.wide8 {
+		cfg = Config8Wide()
+	}
+	cfg.Scheme = s.scheme
+	cfg.Check = s.check
+	cfg.ReplayQueue = s.rq
+	cfg.ValuePrediction = s.vp
+	cfg.MaxInsts = 8_000
+	cfg.Warmup = 2_000
+	return cfg
+}
+
+// equivSpecs enumerates the battery. Coverage goals, not volume: every
+// scheme at every check level, the replay-queue model (inRQ/rqRetryAt
+// state), value prediction (collapsed dependences and value kills), and
+// an 8-wide window whose 256 slots span four bitmap words.
+func equivSpecs() []equivSpec {
+	var specs []equivSpec
+	for _, s := range Schemes() {
+		for _, bench := range []string{"gcc", "mcf", "twolf"} {
+			for _, lvl := range []CheckLevel{CheckOff, CheckCheap, CheckFull} {
+				specs = append(specs, equivSpec{scheme: s, bench: bench, check: lvl})
+			}
+		}
+		// Multi-word window: ROB 256 = four uint64 words.
+		specs = append(specs, equivSpec{scheme: s, bench: "gcc", check: CheckFull, wide8: true})
+	}
+	// Replay-queue model (Figure 4b): blind re-issues, rqRetryAt state.
+	for _, s := range []Scheme{PosSel, IDSel, NonSel, DSel} {
+		for _, lvl := range []CheckLevel{CheckOff, CheckFull} {
+			specs = append(specs, equivSpec{scheme: s, bench: "mcf", check: lvl, rq: true})
+		}
+	}
+	// Value prediction: collapsed rename dependences and value kills.
+	for _, s := range []Scheme{IDSel, TkSel, ReInsert, Refetch} {
+		for _, lvl := range []CheckLevel{CheckOff, CheckFull} {
+			specs = append(specs, equivSpec{scheme: s, bench: "gcc", check: lvl, vp: true})
+		}
+	}
+	return specs
+}
+
+// runEquivSpec executes one battery point and renders its result line:
+// the retire-stream digest, the cycle count, and the full Stats as
+// deterministic JSON.
+func runEquivSpec(t *testing.T, spec equivSpec) string {
+	t.Helper()
+	prof, err := workload.ByName(spec.bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(spec.config(), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", spec.key(), err)
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%s retirehash=%016x cycles=%d stats=%s",
+		spec.key(), st.RetireHash, st.Cycles, blob)
+}
+
+// TestSchedulerEquivalenceGolden is the differential suite that made
+// the structure-of-arrays window rewrite safe to attempt: every scheme
+// × workload × check-level point must reproduce the committed
+// pre-rewrite goldens bit for bit — same RetireHash, same cycle count,
+// same full Stats. The golden file was generated from the pointer-
+// chasing scheduler this battery replaced; any diff is a behavioural
+// divergence in the bitmap window, never acceptable drift.
+func TestSchedulerEquivalenceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence battery is slow under -short")
+	}
+	specs := equivSpecs()
+	lines := make([]string, 0, len(specs))
+	for _, spec := range specs {
+		lines = append(lines, runEquivSpec(t, spec))
+	}
+	sort.Strings(lines)
+	got := strings.Join(lines, "\n") + "\n"
+
+	path := filepath.Join("testdata", "equivalence.golden")
+	if *updateEquiv {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (generate on a KNOWN-GOOD scheduler with -update-equiv): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Report per-line so a single diverging spec names itself.
+	wantLines := map[string]string{}
+	for _, l := range strings.Split(strings.TrimSpace(string(want)), "\n") {
+		if k, _, ok := strings.Cut(l, " "); ok {
+			wantLines[k] = l
+		}
+	}
+	for _, l := range lines {
+		k, _, _ := strings.Cut(l, " ")
+		w, ok := wantLines[k]
+		if !ok {
+			t.Errorf("spec %s has no golden entry (new spec? regenerate with -update-equiv on a known-good scheduler)", k)
+			continue
+		}
+		delete(wantLines, k)
+		if l != w {
+			t.Errorf("scheduler diverged from pre-rewrite golden:\n  want %s\n  got  %s", w, l)
+		}
+	}
+	for k := range wantLines {
+		t.Errorf("golden entry %s was not exercised", k)
+	}
+}

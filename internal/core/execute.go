@@ -95,8 +95,8 @@ func (m *Machine) execLoad(u *uop) {
 		// data arrives.
 		if dataAt == unknown {
 			// Unresolvable alias: retry execution shortly.
-			u.unissue()
-			u.holdUntil = m.cycle + 4
+			m.unissue(u)
+			m.setHoldUntil(u, m.cycle+4)
 			return
 		}
 		bc := m.cycle + 1
@@ -165,21 +165,6 @@ func (m *Machine) storeDataReadyAt(s *uop) int64 {
 	return unknown
 }
 
-// dataValidFor reports whether producer p's result was actually valid
-// when consumed at cycle `at` — the simulator's ground truth standing
-// in for poison bits.
-func dataValidFor(p *uop, at int64) bool {
-	if p == nil || p.retired {
-		return true
-	}
-	if p.valuePredicted && !p.valueWrong {
-		// Consumers ride the predicted value; validity is settled by the
-		// load's own verification (valueKill on a wrong prediction).
-		return true
-	}
-	return p.completed && p.dataReadyAt <= at
-}
-
 // handleComplete models the completion stage for an instruction whose
 // scheduled execution finished. The completion verifies the schedule:
 // an instruction that consumed a value which was not actually valid
@@ -188,7 +173,7 @@ func dataValidFor(p *uop, at int64) bool {
 // kill normally beat us here and this path is a safety net.
 func (m *Machine) handleComplete(ev event) {
 	u := ev.u
-	if u.gen != ev.gen || u.retired || u.completed {
+	if u.gen != ev.gen || u.retired || m.completedState(u) {
 		return
 	}
 
@@ -202,7 +187,7 @@ func (m *Machine) handleComplete(ev event) {
 	}
 	bad := false
 	for i := 0; i < nsrc; i++ {
-		if u.srcSeq(i) >= 0 && !dataValidFor(m.prod(u, i), u.execStart) {
+		if u.srcSeq(i) >= 0 && !m.dataValidFor(m.prod(u, i), u.execStart) {
 			bad = true
 		}
 	}
@@ -217,8 +202,8 @@ func (m *Machine) handleComplete(ev event) {
 		m.squash(u)
 		for i := 0; i < nsrc; i++ {
 			p := m.prod(u, i)
-			if u.srcSeq(i) >= 0 && !dataValidFor(p, u.execStart) {
-				u.src[i].ready = false
+			if u.srcSeq(i) >= 0 && !m.dataValidFor(p, u.execStart) {
+				m.clearOperand(u, i)
 				m.rearmOperand(u, i)
 				m.pol.onStaleOperand(m, u, i, p)
 			}
@@ -242,14 +227,15 @@ func (m *Machine) handleComplete(ev event) {
 		m.vp.Update(u.inst.PC, u.inst.ValueRepeat, false)
 	}
 
-	u.completed = true
+	m.win.set(m.win.completed, u.slot)
+	m.win.clearBit(m.win.pendStore, u.slot)
 	m.emit(u, EvComplete)
 	if u.dataReadyAt == unknown || u.dataReadyAt < m.cycle {
 		u.dataReadyAt = m.cycle
 	}
-	if u.inRQ {
+	if m.inRQ(u) {
 		// Verified: the replay-queue entry is reclaimed.
-		u.inRQ = false
+		m.win.clearBit(m.win.inRQ, u.slot)
 		m.rqCount--
 	}
 
@@ -269,23 +255,22 @@ func (m *Machine) handleComplete(ev event) {
 // producer is in flight with known timing, schedule a targeted wake;
 // if it is waiting or replaying, its re-issue broadcast covers it.
 func (m *Machine) rearmOperand(c *uop, i int) {
-	if c.src[i].ready {
+	if m.opReady(c, i) {
 		return
 	}
 	p := m.prod(c, i)
 	if p == nil {
 		// No in-window producer (never renamed one, or it retired):
 		// the value is architecturally available.
-		c.src[i].ready = true
-		c.src[i].wokenAt = m.cycle
+		m.wakeOperand(c, i, m.cycle)
 		return
 	}
 	switch {
-	case p.completed:
+	case m.completedState(p):
 		m.schedule(m.cycle+1, event{kind: evOpWake, u: c, op: i})
-	case p.issued && p.completeCycle != unknown:
+	case m.issuedState(p) && p.completeCycle != unknown:
 		m.schedule(p.completeCycle+1, event{kind: evOpWake, u: c, op: i})
-	case p.issued:
+	case m.issuedState(p):
 		m.schedule(p.execStart+1, event{kind: evOpWake, u: c, op: i})
 	}
 	// Otherwise: p waits in the queue; its issue broadcast will wake us.
@@ -296,14 +281,14 @@ func (m *Machine) rearmOperand(c *uop, i int) {
 func (m *Machine) retire() {
 	for n := 0; n < m.cfg.Width && m.robCount > 0; n++ {
 		u := m.rob[m.robHead]
-		if !u.completed {
+		if !m.completedState(u) {
 			return
 		}
 		u.retired = true
 		m.emit(u, EvRetire)
 		m.releaseIQ(u)
-		if u.inRQ {
-			u.inRQ = false
+		if m.inRQ(u) {
+			m.win.clearBit(m.win.inRQ, u.slot)
 			m.rqCount--
 		}
 		if u.inst.Class.IsMem() {
@@ -312,6 +297,7 @@ func (m *Machine) retire() {
 				m.lsqPopFront()
 			}
 		}
+		m.win.clearSlot(u.slot)
 		m.rob[m.robHead] = nil
 		m.robHead = (m.robHead + 1) % len(m.rob)
 		m.robCount--

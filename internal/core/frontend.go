@@ -99,15 +99,43 @@ func (m *Machine) dispatch() {
 func (m *Machine) insert(in isa.Inst) {
 	u := m.allocUop()
 	u.inst = in
-	u.inIQ = true
 	u.tokenID = -1
 	u.broadcastCycle = unknown
 	u.completeCycle = unknown
 	u.dataReadyAt = unknown
 	u.storeDataSeq = -1
 	u.schedLat = m.schedLatOf(in)
-	u.src[0].producer = -1
-	u.src[1].producer = -1
+
+	// Install the window-slot state: the slot is fixed for the uop's
+	// whole residency (slot = seq mod ROBSize — the ROB ring never
+	// compacts), so the scheduler's structure-of-arrays planes key off
+	// it from here on.
+	w := &m.win
+	slot := int32((m.robHead + m.robCount) % w.size)
+	u.slot = slot
+	w.clearSlot(slot)
+	w.set(w.inIQ, slot)
+	w.class[slot] = in.Class
+	switch in.Class {
+	case isa.Load:
+		w.set(w.loads, slot)
+	case isa.Store:
+		w.set(w.pendStore, slot)
+	}
+	// needMask: which operand lanes gate select. Stores wait on the
+	// address operand only; the data operand is tracked for forwarding.
+	if in.Class == isa.Store {
+		if in.Src1 >= 0 {
+			w.needMask[slot] = 1
+		}
+	} else {
+		if in.Src1 >= 0 {
+			w.needMask[slot] |= 1
+		}
+		if in.Src2 >= 0 {
+			w.needMask[slot] |= 2
+		}
+	}
 
 	// Rename: wire source operands to in-window producers.
 	for i := 0; i < 2; i++ {
@@ -121,35 +149,35 @@ func (m *Machine) insert(in isa.Inst) {
 			// defensively, the stream violated the contract and named a
 			// producer with no register result, which would otherwise
 			// never wake this operand.
-			u.src[i].ready = true
-			u.src[i].wokenAt = 0
+			w.setOp(i, slot, 0)
 			continue
 		}
-		u.src[i].producer = seq
+		w.tag[i][slot] = seq
+		w.set(w.opTagged[i], slot)
+		w.linkConsumer(i, p.slot, slot)
 		p.consumers = append(p.consumers, u.seq())
-		if p.completed {
-			u.src[i].ready = true
-			u.src[i].wokenAt = p.completeCycle
+		if m.completedState(p) {
+			w.setOp(i, slot, p.completeCycle)
 		} else if p.valuePredicted && !p.valueWrong {
 			// The producer load's value was predicted at rename: the
 			// dependence is collapsed and the operand is available now,
 			// pending the load's eventual verification.
-			u.src[i].ready = true
-			u.src[i].wokenAt = m.cycle
-		} else if p.issued && p.broadcastCycle != unknown && p.broadcastCycle <= m.cycle {
+			w.setOp(i, slot, m.cycle)
+		} else if m.issuedState(p) && p.broadcastCycle != unknown && p.broadcastCycle <= m.cycle {
 			// The speculative wakeup already flew past; the operand is
 			// ready in the scheduler's eyes.
-			u.src[i].ready = true
-			u.src[i].wokenAt = p.broadcastCycle
+			w.setOp(i, slot, p.broadcastCycle)
 		} else if m.pol.wakeupEligible(p) {
 			// The scheme's dependence tracking considers the operand
 			// (speculatively) available already — serial verification,
 			// whose register-file scoreboard shows a possibly invalid
 			// value was written (§2.1, Figure 2a).
-			u.src[i].ready = true
-			u.src[i].wokenAt = m.cycle
+			w.setOp(i, slot, m.cycle)
 		}
 	}
+	// Operand-free instructions never get a setOp call; compute their
+	// always-ready summary bit explicitly.
+	w.refreshReady(slot)
 	if in.Class == isa.Store {
 		u.storeDataSeq = in.Src2
 	}

@@ -167,14 +167,14 @@ func TestLoadWaitsForOlderStoreIssue(t *testing.T) {
 		oldestUnissuedStore := unknown
 		for i := 0; i < m.lsqLen; i++ {
 			s := m.lsqAt(i)
-			if s.inst.Class == isa.Store && !s.issued && !s.completed {
+			if s.inst.Class == isa.Store && !m.issuedState(s) && !m.completedState(s) {
 				oldestUnissuedStore = s.seq()
 				break
 			}
 		}
 		for i := 0; i < m.lsqLen; i++ {
 			l := m.lsqAt(i)
-			if l.isLoad() && l.issued && l.issueCycle == m.cycle && l.seq() > oldestUnissuedStore {
+			if l.isLoad() && m.issuedState(l) && l.issueCycle == m.cycle && l.seq() > oldestUnissuedStore {
 				t.Fatalf("cycle %d: load %d issued past unissued store %d",
 					m.cycle, l.seq(), oldestUnissuedStore)
 			}

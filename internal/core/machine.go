@@ -43,6 +43,12 @@ type Machine struct {
 	robCount int
 	headSeq  int64
 
+	// win is the structure-of-arrays scheduler window: the hot per-uop
+	// scheduling state packed into bitmap planes and parallel arrays
+	// indexed by window slot (see window.go). The ROB ring and the
+	// window arrays advance together — slot = seq mod ROBSize.
+	win schedWindow
+
 	// pool is the uop arena; free holds recycled entries. The window
 	// admits at most ROBSize live uops, so the pool never grows.
 	pool []uop
@@ -251,6 +257,7 @@ func (m *Machine) init(cfg Config, src workload.Stream) {
 		m.free = append(m.free, &m.pool[i])
 	}
 	m.robHead, m.robCount, m.headSeq = 0, 0, 0
+	m.win.init(cfg.ROBSize)
 	m.iqCount, m.rqCount = 0, 0
 
 	if len(m.lsq) != cfg.LSQSize {
@@ -525,7 +532,7 @@ func (m *Machine) lookup(seq int64) *uop {
 // no in-window producer at rename or the producer has since left the
 // window (retired — value architecturally available).
 func (m *Machine) prod(u *uop, i int) *uop {
-	seq := u.src[i].producer
+	seq := m.win.tag[i][u.slot]
 	if seq < 0 {
 		return nil
 	}
@@ -575,5 +582,6 @@ func (m *Machine) describeHead() string {
 	}
 	u := m.rob[m.robHead]
 	return fmt.Sprintf("seq=%d class=%v issued=%v completed=%v inIQ=%v ready=%v hold=%d",
-		u.seq(), u.inst.Class, u.issued, u.completed, u.inIQ, u.allReady(), u.holdUntil)
+		u.seq(), u.inst.Class, m.issuedState(u), m.completedState(u), m.inIQ(u),
+		m.allReady(u), m.holdUntil(u))
 }

@@ -122,20 +122,20 @@ func (m *Machine) handleSerialStep(ev event) {
 	pseq := p.seq()
 	for _, cseq := range p.consumers {
 		c := m.lookup(cseq)
-		if c == nil || c.completed {
+		if c == nil || m.completedState(c) {
 			continue
 		}
 		touched := false
 		for i := 0; i < 2; i++ {
-			if c.src[i].producer == pseq && c.src[i].ready && !dataValidFor(p, m.cycle) {
-				c.src[i].ready = false
+			if m.producerOf(c, i) == pseq && m.opReady(c, i) && !m.dataValidFor(p, m.cycle) {
+				m.clearOperand(c, i)
 				touched = true
 			}
 		}
 		if !touched {
 			continue
 		}
-		if c.issued {
+		if m.issuedState(c) {
 			m.squash(c)
 			m.stats.SquashedIssues++
 		}

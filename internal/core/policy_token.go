@@ -106,7 +106,7 @@ func (p *tkselPolicy) onRename(m *Machine, u *uop, wantValue bool) bool {
 // instruction, and the re-insert safety path recovers from the ROB,
 // not the queue.
 func (p *tkselPolicy) onIssue(m *Machine, u *uop) {
-	if u.inIQ && u.depVec.Empty() && u.tokenID < 0 {
+	if m.inIQ(u) && u.depVec.Empty() && u.tokenID < 0 {
 		m.releaseIQ(u)
 	}
 }
@@ -179,7 +179,7 @@ func (p *tkselPolicy) completeToken(m *Machine, u *uop) {
 			continue
 		}
 		w.depVec = w.depVec.Without(id)
-		if w.depVec.Empty() && w.issued && w.inIQ {
+		if w.depVec.Empty() && m.issuedState(w) && m.inIQ(w) {
 			m.releaseIQ(w)
 		}
 	}

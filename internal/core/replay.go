@@ -38,7 +38,7 @@ func (m *Machine) handleKill(ev event) {
 func (m *Machine) replayLoad(u *uop) {
 	dataAt := u.dataReadyAt
 	m.emit(u, EvSquash)
-	u.unissue()
+	m.unissue(u)
 	if m.cfg.ReplayQueue {
 		// Figure 4b: the load waits in the replay queue; its own
 		// latency is known, so the retry aligns with the fill.
@@ -51,15 +51,15 @@ func (m *Machine) replayLoad(u *uop) {
 	}
 	if dataAt == unknown {
 		// Alias on a store whose data producer is unresolved: poll.
-		u.holdUntil = m.cycle + 4
+		m.setHoldUntil(u, m.cycle+4)
 	} else {
 		h := dataAt - int64(m.cfg.SchedToExec)
 		if h <= m.cycle {
 			h = m.cycle + 1
 		}
-		u.holdUntil = h
+		m.setHoldUntil(u, h)
 	}
-	u.rqRetryAt = u.holdUntil
+	m.setRQRetryAt(u, m.holdUntil(u))
 }
 
 // selectiveKill precisely invalidates the transitive dependents of the
@@ -75,20 +75,20 @@ func (m *Machine) selectiveKill(root *uop) {
 		pseq := p.seq()
 		for _, cseq := range p.consumers {
 			c := m.lookup(cseq)
-			if c == nil || c.completed {
+			if c == nil || m.completedState(c) {
 				continue
 			}
 			touched := false
 			for i := 0; i < 2; i++ {
-				if c.src[i].producer == pseq && c.src[i].ready {
-					c.src[i].ready = false
+				if m.producerOf(c, i) == pseq && m.opReady(c, i) {
+					m.clearOperand(c, i)
 					touched = true
 				}
 			}
 			if !touched {
 				continue
 			}
-			if c.issued {
+			if m.issuedState(c) {
 				m.squash(c)
 				m.stats.SquashedIssues++
 			}
@@ -114,7 +114,7 @@ func (m *Machine) shadowKill(load *uop, flushPipeline bool) {
 	if flushPipeline {
 		for i := 0; i < m.robCount; i++ {
 			w := m.rob[(m.robHead+i)%len(m.rob)]
-			if w.issued && !w.completed && w.execStart > m.cycle {
+			if m.issuedState(w) && !m.completedState(w) && w.execStart > m.cycle {
 				m.squash(w)
 				m.stats.SquashedIssues++
 			}
@@ -123,15 +123,14 @@ func (m *Machine) shadowKill(load *uop, flushPipeline bool) {
 
 	for i := 0; i < m.robCount; i++ {
 		w := m.rob[(m.robHead+i)%len(m.rob)]
-		if w.retired || w.completed {
+		if w.retired || m.completedState(w) {
 			continue
 		}
 		for op := 0; op < 2; op++ {
-			o := &w.src[op]
-			if !o.ready || w.srcSeq(op) < 0 {
+			if !m.opReady(w, op) || w.srcSeq(op) < 0 {
 				continue
 			}
-			if m.cycle-o.wokenAt > P {
+			if m.cycle-m.opWokenAt(w, op) > P {
 				// Timer expired: the parent verified long ago.
 				continue
 			}
@@ -145,7 +144,7 @@ func (m *Machine) shadowKill(load *uop, flushPipeline bool) {
 			// re-arm. Issued DSel instructions keep flowing (poison is
 			// handled at their completion); their cleared ready state
 			// only matters for future replays.
-			o.ready = false
+			m.clearOperand(w, op)
 			m.rearmOperand(w, op)
 		}
 	}
@@ -173,23 +172,23 @@ func (m *Machine) handleReinsertStart(ev event) {
 	m.stats.ReinsertEvents++
 	for i := 0; i < m.robCount; i++ {
 		w := m.rob[(m.robHead+i)%len(m.rob)]
-		if w.seq() <= load.seq() || w.retired || w.completed || w.needsReinsert {
+		if w.seq() <= load.seq() || w.retired || m.completedState(w) || m.needsReinsert(w) {
 			continue
 		}
-		if w.issued {
+		if m.issuedState(w) {
 			// A flushed load that already discovered its own miss must
 			// not re-issue into the still-outstanding fill: keep it held
 			// until its data is near, as replayLoad would have.
 			if w.isLoad() && w.dataReadyAt != unknown && w.dataReadyAt > m.cycle {
-				if h := w.dataReadyAt - int64(m.cfg.SchedToExec); h > w.holdUntil {
-					w.holdUntil = h
+				if h := w.dataReadyAt - int64(m.cfg.SchedToExec); h > m.holdUntil(w) {
+					m.setHoldUntil(w, h)
 				}
 			}
-			w.unissue()
+			m.unissue(w)
 			m.stats.SquashedIssues++
 		}
 		m.releaseIQ(w)
-		w.needsReinsert = true
+		m.win.set(m.win.reinsert, w.slot)
 		m.reinsertPending++
 	}
 	m.reinsertActive = m.reinsertPending > 0
@@ -204,28 +203,27 @@ func (m *Machine) reinsertStep() {
 	if !m.reinsertActive {
 		return
 	}
-	n := 0
-	for i := 0; i < m.robCount && n < m.cfg.Width; i++ {
-		w := m.rob[(m.robHead+i)%len(m.rob)]
-		if !w.needsReinsert {
-			continue
+	it := newRingIter(m.win.reinsert, m.robHead, m.robCount, m.win.size)
+	for n := 0; n < m.cfg.Width; n++ {
+		slot, ok := it.next()
+		if !ok {
+			break
 		}
+		w := m.rob[slot]
 		if !m.reacquireIQ(w) {
 			return // queue full; resume next cycle
 		}
-		w.needsReinsert = false
+		m.win.clearBit(m.win.reinsert, slot)
 		m.reinsertPending--
-		n++
 		m.stats.ReinsertedInsts++
 		for op := 0; op < 2; op++ {
 			if w.srcSeq(op) < 0 {
 				continue
 			}
-			if dataValidFor(m.prod(w, op), m.cycle) {
-				w.src[op].ready = true
-				w.src[op].wokenAt = m.cycle
+			if m.dataValidFor(m.prod(w, op), m.cycle) {
+				m.wakeOperand(w, op, m.cycle)
 			} else {
-				w.src[op].ready = false
+				m.clearOperand(w, op)
 				m.rearmOperand(w, op)
 			}
 		}
@@ -251,13 +249,14 @@ func (m *Machine) refetch(load *uop) {
 	for seq := flushFrom; seq < tail; seq++ {
 		w := m.lookup(seq)
 		insts = append(insts, w.inst)
-		if w.issued {
+		if m.issuedState(w) {
 			m.stats.SquashedIssues++
 		}
 		m.releaseIQ(w)
 		m.pol.onFlush(m, w)
 		w.retired = true // dead: events and consumer walks skip it
 		w.gen++
+		m.win.clearSlot(w.slot)
 		m.rob[(m.robHead+int(seq-m.headSeq))%len(m.rob)] = nil
 		m.freeUop(w)
 	}
@@ -303,21 +302,21 @@ func (m *Machine) valueKill(root *uop) {
 			}
 			touched := false
 			for i := 0; i < 2; i++ {
-				if c.src[i].producer == pseq && (c.src[i].ready || c.completed) {
-					c.src[i].ready = false
+				if m.producerOf(c, i) == pseq && (m.opReady(c, i) || m.completedState(c)) {
+					m.clearOperand(c, i)
 					touched = true
 				}
 			}
 			if !touched {
 				continue
 			}
-			if c.issued || c.completed {
+			if m.issuedState(c) || m.completedState(c) {
 				m.squash(c)
 				m.stats.SquashedIssues++
 				m.stats.ValueKilledInsts++
 			}
 			for i := 0; i < 2; i++ {
-				if c.src[i].producer == pseq && !c.src[i].ready {
+				if m.producerOf(c, i) == pseq && !m.opReady(c, i) {
 					m.rearmOperand(c, i)
 				}
 			}

@@ -102,7 +102,7 @@ func TestRQOccupancyInvariant(t *testing.T) {
 		if m.cycle%1024 == 0 {
 			n := 0
 			for i := 0; i < m.robCount; i++ {
-				if m.rob[(m.robHead+i)%len(m.rob)].inRQ {
+				if m.inRQ(m.rob[(m.robHead+i)%len(m.rob)]) {
 					n++
 				}
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/isa"
 )
@@ -55,69 +56,106 @@ func (b *fuBudget) take(c isa.Class) bool {
 // window oldest-first, issue ready instructions up to the machine width
 // and functional-unit limits. Issued instructions stay in the issue
 // queue until verified (the Figure 4a issue-queue-based replay model).
+//
+// The scan is word-parallel over the structure-of-arrays window: each
+// 64-slot word's selection candidates are one boolean expression over
+// the state planes — (inIQ AND ready) OR (inRQ AND NOT inIQ), minus
+// issued and completed — and candidates pop out oldest-first via
+// TrailingZeros64 across the ring's (at most two) ascending segments.
+// Per-candidate conditions that can change mid-scan (replay timers,
+// the replay-queue admission bound, the functional-unit budget) are
+// checked live, exactly as the per-uop scan they replace did.
 func (m *Machine) selectAndIssue() {
 	budget := m.newBudget()
+	w := &m.win
 
 	// Memory-dependence policy (§5.1): a load may not issue while an
-	// older store has not issued.
+	// older store has not issued. The oldest unissued store is the
+	// first pendStore bit in ring order; like the LSQ scan this
+	// replaces, it is computed once per cycle, not refreshed mid-scan.
 	oldestUnissuedStore := unknown
-	for i := 0; i < m.lsqLen; i++ {
-		s := m.lsqAt(i)
-		if s.inst.Class == isa.Store && !s.issued && !s.completed {
-			oldestUnissuedStore = s.seq()
-			break
-		}
+	it := newRingIter(w.pendStore, m.robHead, m.robCount, w.size)
+	if slot, ok := it.next(); ok {
+		oldestUnissuedStore = m.seqAt(slot)
 	}
 
-	for i := 0; i < m.robCount && budget.total > 0; i++ {
-		u := m.rob[(m.robHead+i)%len(m.rob)]
-		if u.issued || u.completed || u.retired {
-			continue
+	n1 := m.robCount
+	if m.robHead+n1 > w.size {
+		n1 = w.size - m.robHead
+	}
+	if m.issueScan(&budget, m.robHead, m.robHead+n1, oldestUnissuedStore) {
+		m.issueScan(&budget, 0, m.robCount-n1, oldestUnissuedStore)
+	}
+}
+
+// issueScan runs the candidate scan over one ascending slot segment
+// [lo, hi), issuing until the width budget is exhausted. Reports
+// whether the scan may continue into the next segment.
+func (m *Machine) issueScan(budget *fuBudget, lo, hi int, oldestStore int64) bool {
+	if lo >= hi {
+		return true
+	}
+	w := &m.win
+	for wi := lo >> 6; wi <= (hi-1)>>6; wi++ {
+		cand := (w.inIQ[wi]&w.ready[wi] | w.inRQ[wi]&^w.inIQ[wi]) &^ w.issued[wi] &^ w.completed[wi]
+		if base := wi << 6; base < lo {
+			cand &= ^uint64(0) << (uint(lo - base))
 		}
-		if u.holdUntil > m.cycle {
-			continue
+		if top := (wi + 1) << 6; top > hi {
+			cand &= ^uint64(0) >> (uint(top - hi))
 		}
-		switch {
-		case u.inIQ:
-			// Normal wakeup/select from the issue queue.
-			if !u.allReady() {
+		for cand != 0 {
+			if budget.total == 0 {
+				return false
+			}
+			b := bits.TrailingZeros64(cand)
+			cand &= cand - 1
+			slot := int32(wi<<6 | b)
+			if w.holdUntil[slot] > m.cycle {
 				continue
 			}
-			if u.isLoad() && u.seq() > oldestUnissuedStore {
+			if w.test(w.inIQ, slot) {
+				// Normal wakeup/select from the issue queue. Under the
+				// replay-queue model, issue admits into the bounded
+				// replay queue — checked live, since each issue grows it.
+				if m.cfg.ReplayQueue && m.rqCount >= m.cfg.rqSize() {
+					continue
+				}
+				if w.test(w.loads, slot) && m.seqAt(slot) > oldestStore {
+					continue
+				}
+				if !budget.take(w.class[slot]) {
+					continue
+				}
+				m.issue(m.rob[slot])
 				continue
 			}
-			// Under the replay-queue model, issue admits into the
-			// bounded replay queue.
-			if m.cfg.ReplayQueue && m.rqCount >= m.cfg.rqSize() {
-				continue
-			}
-		case u.inRQ:
 			// Figure 4b: a squashed replay-queue instruction cannot
 			// observe wakeups; it re-issues blindly after its retry
 			// delay and will squash again at completion if its inputs
 			// are still invalid.
-			if u.rqRetryAt > m.cycle {
+			if w.rqRetryAt[slot] > m.cycle {
 				continue
 			}
-			if u.isLoad() && u.seq() > oldestUnissuedStore {
+			if w.test(w.loads, slot) && m.seqAt(slot) > oldestStore {
 				continue
 			}
-		default:
-			continue
-		}
-		if !budget.take(u.inst.Class) {
-			continue
-		}
-		if u.inRQ {
+			if !budget.take(w.class[slot]) {
+				continue
+			}
 			m.stats.RQReplays++
+			m.issue(m.rob[slot])
 		}
-		m.issue(u)
 	}
+	return budget.total > 0
 }
 
 // issue marks u selected this cycle and schedules its pipeline events.
 func (m *Machine) issue(u *uop) {
-	u.issued = true
+	m.win.set(m.win.issued, u.slot)
+	if m.win.class[u.slot] == isa.Store {
+		m.win.clearBit(m.win.pendStore, u.slot)
+	}
 	u.issues++
 	u.issueCycle = m.cycle
 	u.execStart = m.cycle + int64(m.cfg.SchedToExec)
@@ -153,9 +191,9 @@ func (m *Machine) issue(u *uop) {
 
 	// Replay-queue model: every instruction leaves the issue queue at
 	// issue and waits for verification in the replay queue instead.
-	if m.cfg.ReplayQueue && !u.inRQ {
+	if m.cfg.ReplayQueue && !m.inRQ(u) {
 		m.releaseIQ(u)
-		u.inRQ = true
+		m.win.set(m.win.inRQ, u.slot)
 		m.rqCount++
 		if uint64(m.rqCount) > m.stats.Policy.RQOccupancyMax {
 			m.stats.Policy.RQOccupancyMax = uint64(m.rqCount)
@@ -170,13 +208,13 @@ func (m *Machine) issue(u *uop) {
 // issue-queue slot so it can ever issue again.
 func (m *Machine) squash(u *uop) {
 	m.emit(u, EvSquash)
-	u.unissue()
+	m.unissue(u)
 	m.pol.onSquash(m, u)
-	if u.inRQ {
-		u.rqRetryAt = m.cycle + int64(m.cfg.rqRetryDelay())
+	if m.inRQ(u) {
+		m.setRQRetryAt(u, m.cycle+int64(m.cfg.rqRetryDelay()))
 		return
 	}
-	if !u.inIQ && !u.needsReinsert {
+	if !m.inIQ(u) && !m.needsReinsert(u) {
 		if !m.reacquireIQ(u) {
 			m.forceIQ(u)
 		}
@@ -191,7 +229,7 @@ func (m *Machine) squash(u *uop) {
 // invariant iqCount <= robCount must always hold, and the high-water
 // overshoot is recorded for regression tests.
 func (m *Machine) forceIQ(u *uop) {
-	u.inIQ = true
+	m.win.set(m.win.inIQ, u.slot)
 	m.iqCount++
 	m.stats.IQOverflowSquashes++
 	if over := uint64(m.iqCount - m.cfg.IQSize); over > m.stats.IQOvershootMax {
@@ -205,8 +243,8 @@ func (m *Machine) forceIQ(u *uop) {
 
 // releaseIQ frees u's issue-queue entry.
 func (m *Machine) releaseIQ(u *uop) {
-	if u.inIQ {
-		u.inIQ = false
+	if m.win.test(m.win.inIQ, u.slot) {
+		m.win.clearBit(m.win.inIQ, u.slot)
 		m.iqCount--
 	}
 }
@@ -214,33 +252,48 @@ func (m *Machine) releaseIQ(u *uop) {
 // reacquireIQ puts a previously released instruction back into the
 // queue (re-insert replay). Returns false when the queue is full.
 func (m *Machine) reacquireIQ(u *uop) bool {
-	if u.inIQ {
+	if m.win.test(m.win.inIQ, u.slot) {
 		return true
 	}
 	if m.iqCount >= m.cfg.IQSize {
 		return false
 	}
-	u.inIQ = true
+	m.win.set(m.win.inIQ, u.slot)
 	m.iqCount++
 	return true
 }
 
-// handleBroadcast delivers a producer's wakeup tag to its consumers.
+// handleBroadcast delivers a producer's wakeup tag to its consumers as
+// a broadcast-compare: every waiting operand lane (tagged, not yet
+// ready) in the producer's broadcast row matches its source tag
+// against the producer's sequence number, word-parallel. The row is a
+// sparse superset index (rename sets a bit for every tag write naming
+// a live producer; recycled consumer slots may leave stale bits), so
+// the tag compare is the authority — matching bits wake, stale bits
+// are cleared in passing. Slot-tag equality is exactly consumer-list
+// membership, so this wakes the same set the consumer walk it
+// replaces did.
 func (m *Machine) handleBroadcast(ev event) {
 	p := ev.u
 	if p.gen != ev.gen || p.retired {
 		return
 	}
 	pseq := p.seq()
-	for _, cseq := range p.consumers {
-		c := m.lookup(cseq)
-		if c == nil {
-			continue
-		}
-		for i := 0; i < 2; i++ {
-			if c.src[i].producer == pseq && !c.src[i].ready {
-				c.src[i].ready = true
-				c.src[i].wokenAt = m.cycle
+	w := &m.win
+	for lane := 0; lane < 2; lane++ {
+		tags := w.tag[lane]
+		row := w.consMask[lane][int(p.slot)*w.words : (int(p.slot)+1)*w.words]
+		for wi := 0; wi < w.words; wi++ {
+			pend := row[wi] & w.opTagged[lane][wi] &^ w.opReady[lane][wi]
+			for pend != 0 {
+				b := bits.TrailingZeros64(pend)
+				pend &= pend - 1
+				slot := int32(wi<<6 | b)
+				if tags[slot] == pseq {
+					w.setOp(lane, slot, m.cycle)
+				} else {
+					row[wi] &^= 1 << uint(b)
+				}
 			}
 		}
 	}
@@ -255,21 +308,19 @@ func (m *Machine) handleOpWake(ev event) {
 	if c.retired {
 		return
 	}
-	op := &c.src[ev.op]
-	if op.ready || op.producer < 0 {
+	if m.opReady(c, ev.op) || m.producerOf(c, ev.op) < 0 {
 		return
 	}
-	p := m.lookup(op.producer)
-	if p == nil || (p.completed && p.dataReadyAt <= m.cycle) {
-		op.ready = true
-		op.wokenAt = m.cycle
+	p := m.lookup(m.producerOf(c, ev.op))
+	if p == nil || (m.completedState(p) && p.dataReadyAt <= m.cycle) {
+		m.wakeOperand(c, ev.op, m.cycle)
 		return
 	}
 	// Producer still in flight with a known completion: re-arm; if it
 	// is waiting or replaying, its next broadcast will wake us instead.
-	if p.issued && p.completeCycle != unknown {
+	if m.issuedState(p) && p.completeCycle != unknown {
 		m.schedule(p.completeCycle+1, event{kind: evOpWake, u: c, op: ev.op})
-	} else if p.issued {
+	} else if m.issuedState(p) {
 		m.schedule(p.execStart+1, event{kind: evOpWake, u: c, op: ev.op})
 	}
 }

@@ -130,11 +130,11 @@ func TestTimingKillArrival(t *testing.T) {
 	var loadFirstIssue int64 = -1
 	for m.stats.Retired < m.cfg.MaxInsts {
 		m.step()
-		if load := m.lookup(0); load != nil && loadFirstIssue < 0 && load.issues == 1 && load.issued {
+		if load := m.lookup(0); load != nil && loadFirstIssue < 0 && load.issues == 1 && m.issuedState(load) {
 			loadFirstIssue = load.issueCycle
 		}
 		if dep := m.lookup(1); dep != nil {
-			if depFirstIssue < 0 && dep.issues == 1 && dep.issued {
+			if depFirstIssue < 0 && dep.issues == 1 && m.issuedState(dep) {
 				depFirstIssue = dep.issueCycle
 			}
 			if depSquashCycle < 0 && dep.squashes > 0 {
@@ -193,7 +193,7 @@ func TestTimingMissReplayAlignsWithFill(t *testing.T) {
 		if u := m.lookup(0); u != nil {
 			snap = *u
 			load = &snap
-			if firstExec < 0 && u.issues == 1 && u.execStart <= m.cycle && u.issued {
+			if firstExec < 0 && u.issues == 1 && u.execStart <= m.cycle && m.issuedState(u) {
 				firstExec = u.execStart
 			}
 		}
@@ -225,7 +225,7 @@ func TestTimingIQReleaseAtCompletion(t *testing.T) {
 	m := timedMachine(t, prog, 0)
 	for m.stats.Retired < m.cfg.MaxInsts {
 		m.step()
-		if u := m.lookup(0); u != nil && u.issued && !u.completed && !u.inIQ {
+		if u := m.lookup(0); u != nil && m.issuedState(u) && !m.completedState(u) && !m.inIQ(u) {
 			t.Fatalf("cycle %d: issued instruction released its IQ entry before verification", m.cycle)
 		}
 	}

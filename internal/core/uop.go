@@ -15,16 +15,14 @@ const unknown int64 = math.MaxInt64
 type uop struct {
 	inst isa.Inst
 
-	// inIQ reports whether the instruction currently occupies an issue
-	// queue entry (the issue-queue-based replay model keeps issued
-	// instructions in the queue until verified).
-	inIQ bool
-	// issued reports the instruction is currently issued (selected) and
-	// flowing toward / through execution.
-	issued bool
-	// completed reports the instruction finished execution with valid
-	// data and has been verified.
-	completed bool
+	// slot is the uop's window slot — its index into the scheduler's
+	// structure-of-arrays state (see window.go). Fixed at dispatch
+	// (slot = seq mod ROBSize) and valid until the slot is vacated; the
+	// hot scheduling state (queue membership, issue/completion status,
+	// operand readiness, replay timers) lives in the window arrays
+	// under this index, accessed through the Machine's slot-accessor
+	// API.
+	slot int32
 	// squashes counts how many times the instruction was invalidated
 	// and returned to the waiting state.
 	squashes int
@@ -42,9 +40,6 @@ type uop struct {
 
 	// issueCycle is the cycle of the most recent issue.
 	issueCycle int64
-	// holdUntil blocks re-selection until the given cycle (a replayed
-	// load waits for its miss to resolve before re-issuing).
-	holdUntil int64
 	// execStart is issueCycle + SchedToExec for the current issue.
 	execStart int64
 	// schedLat is the latency the scheduler assumed (loads: agen + DL1
@@ -64,9 +59,6 @@ type uop struct {
 	// dataReadyAt is when the result value is actually available to
 	// consumers; unknown until resolved.
 	dataReadyAt int64
-
-	// Per-operand scheduling state, indexed 0/1 for Src1/Src2.
-	src [2]operand
 
 	// consumers are the sequence numbers of in-window instructions with
 	// an operand fed by this instruction. Sequence numbers, not
@@ -126,16 +118,6 @@ type uop struct {
 	// killMark de-duplicates BFS visits within one kill broadcast.
 	killMark int64
 
-	// needsReinsert flags the instruction as flushed and awaiting
-	// re-insert replay from the ROB.
-	needsReinsert bool
-
-	// inRQ marks an instruction living in the replay queue (Figure 4b
-	// model): it released its issue-queue entry at issue and, once
-	// squashed, re-issues blindly at rqRetryAt.
-	inRQ      bool
-	rqRetryAt int64
-
 	// serialChain/serialDepth place the instruction on an invalid
 	// wavefront under SerialVerify: set when serial invalidation (or a
 	// stale-data execution) reaches it, so chained misses extend the
@@ -145,22 +127,6 @@ type uop struct {
 	// table's backing array is reused across runs.
 	serialChain serialChainID
 	serialDepth int
-}
-
-// operand tracks one source's scheduling state.
-type operand struct {
-	// producer is the sequence number of the in-window producing
-	// instruction, or -1 when the value was ready at dispatch. Resolved
-	// through the window on use (retired producers resolve to nil,
-	// meaning the value is architecturally available).
-	producer int64
-	// ready reports the operand is (speculatively) available for
-	// select.
-	ready bool
-	// wokenAt is the cycle the operand last became ready; drives the
-	// countdown-timer invalidation of §3.3 (an operand is "in the
-	// shadow" while now-wokenAt < propagation distance).
-	wokenAt int64
 }
 
 // missKind classifies a scheduling miss for statistics.
@@ -200,21 +166,6 @@ func (u *uop) srcSeq(i int) int64 {
 	return u.inst.Src2
 }
 
-// allReady reports whether every used operand is (speculatively) ready.
-// Stores wait only on their address operand (Src1); the data operand is
-// tracked separately for forwarding.
-func (u *uop) allReady() bool {
-	if u.inst.Class == isa.Store {
-		return u.inst.Src1 < 0 || u.src[0].ready
-	}
-	for i := 0; i < 2; i++ {
-		if u.srcSeq(i) >= 0 && !u.src[i].ready {
-			return false
-		}
-	}
-	return true
-}
-
 // recycle prepares a pooled uop for reuse by a new dynamic instruction:
 // every field reverts to its zero value except life (bumped so stale
 // events referencing the old occupant are dropped) and the consumers
@@ -225,16 +176,3 @@ func (u *uop) recycle() {
 	*u = uop{consumers: cons, life: life}
 }
 
-// unissue returns an issued (or completed-candidate) uop to the waiting
-// state, invalidating any in-flight events for the old issue.
-func (u *uop) unissue() {
-	u.issued = false
-	u.completed = false
-	u.missed = false
-	u.missKind = missNone
-	u.broadcastCycle = unknown
-	u.completeCycle = unknown
-	u.dataReadyAt = unknown
-	u.squashes++
-	u.gen++
-}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/isa"
+)
+
+// schedWindow is the structure-of-arrays scheduler window: the hot
+// per-uop scheduling state — queue membership, issue/completion status,
+// operand readiness, source tags, latency class and replay timers —
+// lives in parallel arrays indexed by window slot, with the boolean
+// planes packed into uint64 bitmap words. The wakeup/select loop then
+// runs word-parallel: select is a TrailingZeros64 priority scan over a
+// candidate word composed from five planes, and wakeup is a
+// broadcast-compare of the producer tag against the waiting-operand
+// tag arrays. A uop's slot is fixed for its whole window residency
+// (slot = seq mod ROBSize — the ROB ring never compacts), so the slot
+// index stored on the uop at dispatch stays valid until retirement.
+//
+// Everything outside this file goes through the slot-accessor API (the
+// Machine methods below), so the policies, monitors and tests never
+// touch the packed representation directly.
+type schedWindow struct {
+	size  int // slots (== ROBSize)
+	words int // bitmap words, (size+63)/64
+
+	// Scheduling-state planes. A bit may be set only while its slot is
+	// occupied; vacating a slot clears every plane.
+	inIQ      []uint64 // occupies an issue-queue entry
+	inRQ      []uint64 // occupies a replay-queue entry (Figure 4b model)
+	issued    []uint64 // currently issued (selected, in flight)
+	completed []uint64 // finished execution with verified data
+	ready     []uint64 // every needed operand (speculatively) ready
+	loads     []uint64 // latency class == Load (memory-dependence gate)
+	// pendStore marks stores that have neither issued nor completed:
+	// the first set bit in ring order is the oldest unissued store the
+	// §5.1 load gate compares against (replacing the per-select LSQ
+	// scan — the LSQ holds exactly the in-window memory ops in program
+	// order, so the two formulations agree).
+	pendStore []uint64
+	reinsert  []uint64 // flushed, awaiting program-order re-insertion
+
+	// Per-operand wakeup state, one lane per source operand. opTagged
+	// marks operands renamed to a live in-window producer; opReady
+	// marks (speculatively) available operands. The broadcast-compare
+	// scans opTagged &^ opReady and matches tag against the producer's
+	// sequence number.
+	opTagged [2][]uint64
+	opReady  [2][]uint64
+	tag      [2][]int64
+	wokenAt  [2][]int64
+
+	// consMask is the wakeup broadcast's sparse index: one bitmap row
+	// per producer slot and operand lane, marking the slots whose lane
+	// was renamed to that producer. The broadcast then touches only the
+	// producer's own row instead of scanning every waiting operand in
+	// the window. Rows may carry stale bits after a consumer slot is
+	// recycled; the broadcast's tag compare filters (and lazily clears)
+	// them, so the row is a superset index, never ground truth — the
+	// tag arrays stay the authority. A row is zeroed when its producer
+	// slot vacates.
+	consMask [2][]uint64 // lane-major, row = [slot*words, (slot+1)*words)
+
+	// Replay timers and the select scan's per-slot operands.
+	holdUntil []int64
+	rqRetryAt []int64
+	class     []isa.Class
+	// needMask encodes which operand lanes gate readiness: bit i set
+	// when lane i must be ready before select. Stores wait only on the
+	// address operand (lane 0); the data operand is tracked for
+	// forwarding but never gates issue.
+	needMask []uint8
+}
+
+// init (re)shapes the window for size slots, reusing the arrays when
+// the size is unchanged and zeroing all state either way.
+func (w *schedWindow) init(size int) {
+	words := (size + 63) / 64
+	if w.size != size {
+		w.size, w.words = size, words
+		alloc := func() []uint64 { return make([]uint64, words) }
+		w.inIQ, w.inRQ, w.issued, w.completed = alloc(), alloc(), alloc(), alloc()
+		w.ready, w.loads, w.pendStore, w.reinsert = alloc(), alloc(), alloc(), alloc()
+		for lane := 0; lane < 2; lane++ {
+			w.opTagged[lane], w.opReady[lane] = alloc(), alloc()
+			w.tag[lane] = make([]int64, size)
+			w.wokenAt[lane] = make([]int64, size)
+			w.consMask[lane] = make([]uint64, size*words)
+		}
+		w.holdUntil = make([]int64, size)
+		w.rqRetryAt = make([]int64, size)
+		w.class = make([]isa.Class, size)
+		w.needMask = make([]uint8, size)
+	}
+	for _, bm := range [][]uint64{
+		w.inIQ, w.inRQ, w.issued, w.completed, w.ready, w.loads, w.pendStore, w.reinsert,
+		w.opTagged[0], w.opTagged[1], w.opReady[0], w.opReady[1],
+	} {
+		for i := range bm {
+			bm[i] = 0
+		}
+	}
+	for lane := 0; lane < 2; lane++ {
+		for i := 0; i < size; i++ {
+			w.tag[lane][i] = -1
+			w.wokenAt[lane][i] = 0
+		}
+		for i := range w.consMask[lane] {
+			w.consMask[lane][i] = 0
+		}
+	}
+	for i := 0; i < size; i++ {
+		w.holdUntil[i], w.rqRetryAt[i] = 0, 0
+		w.class[i], w.needMask[i] = 0, 0
+	}
+}
+
+// test/set/clear are the single-bit primitives every plane shares.
+func (w *schedWindow) test(bm []uint64, slot int32) bool {
+	return bm[slot>>6]>>(uint(slot)&63)&1 != 0
+}
+
+func (w *schedWindow) set(bm []uint64, slot int32) {
+	bm[slot>>6] |= 1 << (uint(slot) & 63)
+}
+
+func (w *schedWindow) clearBit(bm []uint64, slot int32) {
+	bm[slot>>6] &^= 1 << (uint(slot) & 63)
+}
+
+// refreshReady recomputes the slot's all-operands-ready summary bit
+// from the operand lanes and the need mask. Called on every operand
+// transition so the select scan's ready plane is always current.
+func (w *schedWindow) refreshReady(slot int32) {
+	got := uint8(w.opReady[0][slot>>6] >> (uint(slot) & 63) & 1)
+	got |= uint8(w.opReady[1][slot>>6]>>(uint(slot)&63)&1) << 1
+	if w.needMask[slot]&^got == 0 {
+		w.set(w.ready, slot)
+	} else {
+		w.clearBit(w.ready, slot)
+	}
+}
+
+// setOp marks operand lane of slot (speculatively) ready as of cycle
+// at. Unconditional — callers that must preserve an earlier wokenAt
+// (broadcast, targeted wakes) guard on opReady first, as the
+// pointer-based scheduler did.
+func (w *schedWindow) setOp(lane int, slot int32, at int64) {
+	w.set(w.opReady[lane], slot)
+	w.wokenAt[lane][slot] = at
+	w.refreshReady(slot)
+}
+
+// clearOp invalidates operand lane of slot.
+func (w *schedWindow) clearOp(lane int, slot int32) {
+	w.clearBit(w.opReady[lane], slot)
+	w.refreshReady(slot)
+}
+
+// clearSlot erases every plane and array entry for a slot: called when
+// the slot is vacated (retire, refetch flush) and when a new occupant
+// is installed, so stale bits can never leak into a word scan.
+func (w *schedWindow) clearSlot(slot int32) {
+	w.clearBit(w.inIQ, slot)
+	w.clearBit(w.inRQ, slot)
+	w.clearBit(w.issued, slot)
+	w.clearBit(w.completed, slot)
+	w.clearBit(w.ready, slot)
+	w.clearBit(w.loads, slot)
+	w.clearBit(w.pendStore, slot)
+	w.clearBit(w.reinsert, slot)
+	for lane := 0; lane < 2; lane++ {
+		w.clearBit(w.opTagged[lane], slot)
+		w.clearBit(w.opReady[lane], slot)
+		w.tag[lane][slot] = -1
+		w.wokenAt[lane][slot] = 0
+	}
+	w.holdUntil[slot], w.rqRetryAt[slot] = 0, 0
+	w.class[slot], w.needMask[slot] = 0, 0
+	for lane := 0; lane < 2; lane++ {
+		row := w.consMask[lane][int(slot)*w.words : (int(slot)+1)*w.words]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
+// linkConsumer records in the producer slot's broadcast row that
+// cslot's operand lane was renamed to it. Paired with every tag write
+// that names a live producer, so a producer's row always covers its
+// live tag-matching consumers.
+func (w *schedWindow) linkConsumer(lane int, pslot, cslot int32) {
+	w.consMask[lane][int(pslot)*w.words+int(cslot>>6)] |= 1 << (uint(cslot) & 63)
+}
+
+// ringIter iterates the set bits of one bitmap plane over the occupied
+// window ring [head, head+count), oldest slot first — the ring splits
+// into at most two ascending slot segments, and within a segment the
+// scan is a TrailingZeros64 walk over masked words. The iterator is a
+// plain value; it allocates nothing.
+type ringIter struct {
+	bm    []uint64
+	segLo [2]int
+	segHi [2]int // exclusive; lo >= hi means the segment is empty
+	seg   int
+	wi    int
+	cur   uint64
+}
+
+// newRingIter positions an iterator over bm's bits within the ring
+// [head, head+count) of a size-slot window.
+func newRingIter(bm []uint64, head, count, size int) ringIter {
+	n1 := count
+	if head+n1 > size {
+		n1 = size - head
+	}
+	it := ringIter{bm: bm}
+	it.segLo[0], it.segHi[0] = head, head+n1
+	it.segLo[1], it.segHi[1] = 0, count-n1
+	it.wi = head >> 6
+	it.cur = it.word(0, it.wi)
+	return it
+}
+
+// word returns bm's word wi masked to segment seg's slot bounds.
+func (it *ringIter) word(seg, wi int) uint64 {
+	lo, hi := it.segLo[seg], it.segHi[seg]
+	if lo >= hi {
+		return 0
+	}
+	v := it.bm[wi]
+	if base := wi << 6; base < lo {
+		v &= ^uint64(0) << (uint(lo - base))
+	}
+	if top := (wi + 1) << 6; top > hi {
+		v &= ^uint64(0) >> (uint(top - hi))
+	}
+	return v
+}
+
+// next returns the next set slot in ring order, or ok=false when the
+// ring is exhausted. Clearing the returned slot's bit (or any earlier
+// bit) while iterating is safe: the current word is cached.
+func (it *ringIter) next() (int32, bool) {
+	for {
+		if it.cur != 0 {
+			b := bits.TrailingZeros64(it.cur)
+			it.cur &= it.cur - 1
+			return int32(it.wi<<6 | b), true
+		}
+		it.wi++
+		if it.seg == 0 && it.wi<<6 >= it.segHi[0] {
+			it.seg = 1
+			it.wi = 0
+		}
+		if it.seg == 1 && it.wi<<6 >= it.segHi[1] {
+			return 0, false
+		}
+		it.cur = it.word(it.seg, it.wi)
+	}
+}
+
+// --- Slot-accessor API -------------------------------------------------
+//
+// Everything outside the scheduler core — the nine policies, the
+// invariant monitors, the tests — reads and writes window state through
+// these Machine methods, keyed by the uop. The packed representation
+// stays private to this file.
+
+// seqAt converts a ring slot back to its occupant's sequence number
+// (valid only for occupied slots).
+func (m *Machine) seqAt(slot int32) int64 {
+	d := int(slot) - m.robHead
+	if d < 0 {
+		d += m.win.size
+	}
+	return m.headSeq + int64(d)
+}
+
+// inIQ reports whether u currently holds an issue-queue entry.
+func (m *Machine) inIQ(u *uop) bool { return m.win.test(m.win.inIQ, u.slot) }
+
+// inRQ reports whether u currently holds a replay-queue entry.
+func (m *Machine) inRQ(u *uop) bool { return m.win.test(m.win.inRQ, u.slot) }
+
+// issuedState reports whether u is currently issued (selected, in
+// flight toward / through execution).
+func (m *Machine) issuedState(u *uop) bool { return m.win.test(m.win.issued, u.slot) }
+
+// completedState reports whether u finished execution with valid data.
+func (m *Machine) completedState(u *uop) bool { return m.win.test(m.win.completed, u.slot) }
+
+// allReady reports whether every operand u waits on is (speculatively)
+// ready — the select precondition.
+func (m *Machine) allReady(u *uop) bool { return m.win.test(m.win.ready, u.slot) }
+
+// opReady reports operand i's (speculative) readiness.
+func (m *Machine) opReady(u *uop, i int) bool { return m.win.test(m.win.opReady[i], u.slot) }
+
+// producerOf returns the sequence number of operand i's in-window
+// producer at rename time, or -1.
+func (m *Machine) producerOf(u *uop, i int) int64 { return m.win.tag[i][u.slot] }
+
+// opWokenAt returns the cycle operand i last became ready (drives the
+// §3.3 countdown-timer invalidation).
+func (m *Machine) opWokenAt(u *uop, i int) int64 { return m.win.wokenAt[i][u.slot] }
+
+// wakeOperand marks operand i ready as of cycle at.
+func (m *Machine) wakeOperand(u *uop, i int, at int64) { m.win.setOp(i, u.slot, at) }
+
+// clearOperand invalidates operand i.
+func (m *Machine) clearOperand(u *uop, i int) { m.win.clearOp(i, u.slot) }
+
+// holdUntil returns the cycle before which u may not be re-selected.
+func (m *Machine) holdUntil(u *uop) int64 { return m.win.holdUntil[u.slot] }
+
+// setHoldUntil blocks u's re-selection until cycle cy.
+func (m *Machine) setHoldUntil(u *uop, cy int64) { m.win.holdUntil[u.slot] = cy }
+
+// rqRetryAt returns the replay-queue blind-retry cycle.
+func (m *Machine) rqRetryAt(u *uop) int64 { return m.win.rqRetryAt[u.slot] }
+
+// setRQRetryAt arms the replay-queue blind retry.
+func (m *Machine) setRQRetryAt(u *uop, cy int64) { m.win.rqRetryAt[u.slot] = cy }
+
+// needsReinsert reports whether u awaits program-order re-insertion.
+func (m *Machine) needsReinsert(u *uop) bool { return m.win.test(m.win.reinsert, u.slot) }
+
+// unissue returns an issued (or completed-candidate) uop to the
+// waiting state, invalidating any in-flight events for the old issue.
+func (m *Machine) unissue(u *uop) {
+	m.win.clearBit(m.win.issued, u.slot)
+	m.win.clearBit(m.win.completed, u.slot)
+	if m.win.class[u.slot] == isa.Store {
+		m.win.set(m.win.pendStore, u.slot)
+	}
+	u.missed = false
+	u.missKind = missNone
+	u.broadcastCycle = unknown
+	u.completeCycle = unknown
+	u.dataReadyAt = unknown
+	u.squashes++
+	u.gen++
+}
+
+// dataValidFor reports whether producer p's result was actually valid
+// when consumed at cycle `at` — the simulator's ground truth standing
+// in for poison bits.
+func (m *Machine) dataValidFor(p *uop, at int64) bool {
+	if p == nil || p.retired {
+		return true
+	}
+	if p.valuePredicted && !p.valueWrong {
+		// Consumers ride the predicted value; validity is settled by the
+		// load's own verification (valueKill on a wrong prediction).
+		return true
+	}
+	return m.win.test(m.win.completed, p.slot) && p.dataReadyAt <= at
+}

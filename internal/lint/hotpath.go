@@ -20,9 +20,15 @@ var machineHotMethods = []string{
 	"lsqAt", "lsqPush", "lsqPopFront", "fqAt", "fqPush", "fqPopFront",
 	// Front end.
 	"fetch", "fetchQCap", "dispatch", "insert", "schedLatOf",
-	// Scheduler.
-	"newBudget", "selectAndIssue", "issue", "squash",
+	// Scheduler: the word-parallel select scan and wakeup broadcast,
+	// plus the slot-accessor API every stage reads the SoA window
+	// through.
+	"newBudget", "selectAndIssue", "issueScan", "issue", "squash",
 	"forceIQ", "releaseIQ", "reacquireIQ", "handleBroadcast", "handleOpWake",
+	"seqAt", "inIQ", "inRQ", "issuedState", "completedState",
+	"allReady", "opReady", "producerOf", "opWokenAt",
+	"wakeOperand", "clearOperand", "holdUntil", "setHoldUntil",
+	"rqRetryAt", "setRQRetryAt", "needsReinsert", "unissue", "dataValidFor",
 	// Execute and complete.
 	"handleExec", "execLoad", "aliasingStore", "storeDataReadyAt",
 	"handleComplete", "rearmOperand", "retire",
@@ -37,9 +43,16 @@ var machineHotMethods = []string{
 // hotFreeFuncs and hotAuxMethods extend the manifest beyond Machine:
 // free functions and non-Machine receivers on the cycle path.
 var (
-	hotFreeFuncs  = []string{"dataValidFor"}
+	hotFreeFuncs  = []string{"newRingIter"}
 	hotAuxMethods = map[string][]string{
 		"fuBudget": {"take"},
+		// The structure-of-arrays window primitives and the ring-order
+		// bit iterator run inside the select scan, the wakeup broadcast
+		// and every per-slot state transition — the hottest code in the
+		// simulator.
+		"schedWindow": {"test", "set", "clearBit", "refreshReady",
+			"setOp", "clearOp", "clearSlot", "linkConsumer"},
+		"ringIter": {"word", "next"},
 		// The monitor's per-event and per-cycle taps run on every
 		// emitted pipeline event under cheap/full checking; failf and
 		// traceWindow are the violation path (cold by definition) and

@@ -53,12 +53,31 @@ func TestCoreManifestCoverage(t *testing.T) {
 		}
 	}
 
+	// The structure-of-arrays scheduler: the word-parallel select scan,
+	// the broadcast-compare wakeup, the window bitmap primitives, the
+	// ring-order bit iterator and the slot-accessor API. A rename or
+	// split of any of these must re-enter the manifest or the escape
+	// gate quietly stops watching the hottest code in the simulator.
+	for _, key := range []string{
+		"Machine.issueScan", "Machine.handleBroadcast",
+		"Machine.seqAt", "Machine.unissue", "Machine.dataValidFor",
+		"Machine.opReady", "Machine.wakeOperand", "Machine.clearOperand",
+		"schedWindow.test", "schedWindow.set", "schedWindow.clearBit",
+		"schedWindow.refreshReady", "schedWindow.setOp", "schedWindow.clearSlot",
+		"ringIter.next", "newRingIter",
+	} {
+		if !manifest[key] {
+			t.Errorf("manifest misses scheduler-window function %s", key)
+		}
+	}
+
 	// Both monitor levels: the cheap per-event checkers and the full
 	// per-cycle sweeps, plus the monitor's own taps.
 	for _, key := range []string{
 		"monitor.record", "monitor.cycleEnd",
 		"retireChecker.event", "occupancyChecker.cycleEnd",
 		"closureChecker.event", "memoryChecker.cycleEnd",
+		"soaChecker.cycleEnd",
 	} {
 		if !manifest[key] {
 			t.Errorf("manifest misses monitor function %s", key)
