@@ -4,15 +4,23 @@
 //
 //	trace record -bench gcc -n 200000 -o gcc.trace
 //	trace stats gcc.trace
+//	trace stats run.evs     # pipeline event streams are recognized too
 //	trace run -scheme TkSel -wide8 gcc.trace
+//
+// `stats` inspects both artifact formats: instruction traces
+// (internal/trace) and recorded pipeline event streams
+// (internal/evstream, as written by pipeview -record or
+// validate -streams).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/evstream"
 	"repro/internal/isa"
 	"repro/internal/simflag"
 	"repro/internal/stats"
@@ -94,6 +102,9 @@ func traceStats(args []string) {
 	if len(args) != 1 {
 		fatal(fmt.Errorf("stats: need exactly one trace file"))
 	}
+	if evsStats(args[0]) {
+		return
+	}
 	insts := load(args[0])
 
 	classCounts := map[isa.Class]int{}
@@ -136,6 +147,73 @@ func traceStats(args []string) {
 	if branches > 0 {
 		fmt.Printf("branches taken: %.1f%%\n", 100*float64(taken)/float64(branches))
 	}
+}
+
+// evsStats prints statistics for a recorded pipeline event stream and
+// reports whether the file was one; any other format returns false so
+// the caller falls through to the instruction-trace path.
+func evsStats(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	d, err := evstream.NewReader(f)
+	if err != nil {
+		return false // not an .evs stream
+	}
+
+	var (
+		events, ckpts, ckptBytes int64
+		firstCycle               int64 = -1
+		lastCycle                int64
+		perKind                  [8]int64
+	)
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(fmt.Errorf("stats: %s: %w", path, err))
+		}
+		switch rec.Kind {
+		case evstream.RecEvent:
+			if firstCycle < 0 {
+				firstCycle = rec.Event.Cycle
+			}
+			lastCycle = rec.Event.Cycle
+			events++
+			perKind[rec.Event.Kind]++
+		case evstream.RecCheckpoint:
+			ckpts++
+			ckptBytes += int64(len(rec.Checkpoint))
+		}
+	}
+
+	hdr := d.Header()
+	info, _ := f.Stat()
+	fmt.Printf("%s: event stream of %q (seed %d)\n", path, hdr.Spec, hdr.Seed)
+	if hdr.Note != "" {
+		fmt.Printf("note: %s\n", hdr.Note)
+	}
+	if events > 0 {
+		fmt.Printf("%d events over cycles %d..%d (%d bytes, %.2f B/event)\n",
+			events, firstCycle, lastCycle, info.Size(),
+			float64(info.Size()-ckptBytes)/float64(events))
+	}
+	if ckpts > 0 {
+		fmt.Printf("%d machine checkpoint(s), %d bytes\n", ckpts, ckptBytes)
+	}
+	tb := stats.NewTable("event", "count", "fraction")
+	for k := core.PipeEventKind(0); k < core.PipeEventKind(len(perKind)); k++ {
+		if perKind[k] > 0 {
+			tb.AddRow(k.String(), fmt.Sprintf("%d", perKind[k]),
+				fmt.Sprintf("%.3f", float64(perKind[k])/float64(events)))
+		}
+	}
+	fmt.Print(tb.String())
+	return true
 }
 
 func run(args []string) {

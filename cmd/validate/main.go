@@ -40,6 +40,8 @@ func main() {
 	warmup := flag.Int64("warmup", 10_000, "warmup instructions per run")
 	par := flag.Int("par", 0, "max concurrent simulations (0 = NumCPU)")
 	progress := flag.Bool("progress", true, "render a live status line on stderr")
+	streams := flag.String("streams", "",
+		"directory for replayable .evs streams of failing runs (pipeview -replay renders them)")
 	flag.Parse()
 
 	opts, err := parseMatrix(*schemesFlag, *benchFlag, *levelsFlag, *seeds)
@@ -55,6 +57,13 @@ func main() {
 	opts.Insts = *insts
 	opts.Warmup = *warmup
 	opts.Parallelism = *par
+	if *streams != "" {
+		if err := os.MkdirAll(*streams, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.StreamDir = *streams
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -70,8 +79,11 @@ func main() {
 
 	for _, f := range report.Findings {
 		fmt.Printf("FAIL %s\n", f)
+		if f.Stream != "" {
+			fmt.Printf("  stream: %s (replay with: pipeview -replay %s -seek <cycle>)\n", f.Stream, f.Stream)
+		}
 		for _, viol := range f.Violations {
-			fmt.Printf("  violation: %s\n", viol)
+			fmt.Printf("  violation: %s (stream cursor %d)\n", viol, viol.Cursor)
 			if len(viol.Trace) > 0 {
 				fmt.Printf("  trace window (%d events):\n", len(viol.Trace))
 				for _, ev := range viol.Trace {

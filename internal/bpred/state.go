@@ -1,0 +1,112 @@
+package bpred
+
+import "fmt"
+
+// BTBEntryState is one branch-target-buffer entry's serialized form.
+type BTBEntryState struct {
+	PC      uint64 `json:"pc"`
+	Target  uint64 `json:"target"`
+	Valid   bool   `json:"valid,omitempty"`
+	LastUse uint64 `json:"use,omitempty"`
+}
+
+// State is a Predictor's serializable contents. The 2-bit counter
+// tables travel as byte slices (base64 in JSON); the BTB is set-major
+// like cache.State. Geometry is not part of the state — a checkpoint
+// pairs it with the Config that rebuilds the same shape.
+type State struct {
+	Bimodal  []byte `json:"bimodal"`
+	Gshare   []byte `json:"gshare"`
+	Selector []byte `json:"selector"`
+	History  uint64 `json:"history"`
+
+	BTB      []BTBEntryState `json:"btb"`
+	BTBClock uint64          `json:"btb_clock"`
+
+	RAS      []uint64 `json:"ras"`
+	RASTop   int      `json:"ras_top"`
+	RASDepth int      `json:"ras_depth"`
+
+	Lookups     uint64 `json:"lookups"`
+	Mispredicts uint64 `json:"mispredicts"`
+}
+
+// State snapshots the predictor for a checkpoint.
+func (p *Predictor) State() State {
+	st := State{
+		Bimodal:  countersToBytes(p.bimodal),
+		Gshare:   countersToBytes(p.gshare),
+		Selector: countersToBytes(p.selector),
+		History:  p.history,
+		BTBClock: p.btb.clock,
+		RAS:      append([]uint64(nil), p.ras.buf...),
+		RASTop:   p.ras.top,
+		RASDepth: p.ras.depth,
+
+		Lookups:     p.lookups,
+		Mispredicts: p.mispredicts,
+	}
+	for _, set := range p.btb.sets {
+		for _, e := range set {
+			st.BTB = append(st.BTB, BTBEntryState{
+				PC: e.pc, Target: e.target, Valid: e.valid, LastUse: e.lastUse,
+			})
+		}
+	}
+	return st
+}
+
+// RestoreState loads a snapshot taken from a predictor of identical
+// configuration; a shape mismatch is an error.
+func (p *Predictor) RestoreState(st State) error {
+	btbWant := p.cfg.BTBEntries
+	switch {
+	case len(st.Bimodal) != len(p.bimodal) ||
+		len(st.Gshare) != len(p.gshare) ||
+		len(st.Selector) != len(p.selector):
+		return fmt.Errorf("bpred: state tables %d/%d/%d do not match configuration %d/%d/%d",
+			len(st.Bimodal), len(st.Gshare), len(st.Selector),
+			len(p.bimodal), len(p.gshare), len(p.selector))
+	case len(st.BTB) != btbWant:
+		return fmt.Errorf("bpred: state BTB holds %d entries, configuration wants %d",
+			len(st.BTB), btbWant)
+	case len(st.RAS) != len(p.ras.buf):
+		return fmt.Errorf("bpred: state RAS holds %d entries, configuration wants %d",
+			len(st.RAS), len(p.ras.buf))
+	case st.RASTop < 0 || st.RASTop >= len(p.ras.buf) ||
+		st.RASDepth < 0 || st.RASDepth > len(p.ras.buf):
+		return fmt.Errorf("bpred: state RAS cursor %d/%d out of range for %d entries",
+			st.RASTop, st.RASDepth, len(p.ras.buf))
+	}
+	bytesToCounters(p.bimodal, st.Bimodal)
+	bytesToCounters(p.gshare, st.Gshare)
+	bytesToCounters(p.selector, st.Selector)
+	p.history = st.History
+	i := 0
+	for _, set := range p.btb.sets {
+		for w := range set {
+			e := st.BTB[i]
+			set[w] = btbEntry{pc: e.PC, target: e.Target, valid: e.Valid, lastUse: e.LastUse}
+			i++
+		}
+	}
+	p.btb.clock = st.BTBClock
+	copy(p.ras.buf, st.RAS)
+	p.ras.top, p.ras.depth = st.RASTop, st.RASDepth
+	p.lookups, p.mispredicts = st.Lookups, st.Mispredicts
+	return nil
+}
+
+func countersToBytes(cs []counter) []byte {
+	out := make([]byte, len(cs))
+	for i, c := range cs {
+		out[i] = byte(c)
+	}
+	return out
+}
+
+func bytesToCounters(dst []counter, src []byte) {
+	for i, b := range src {
+		dst[i] = counter(b)
+	}
+}

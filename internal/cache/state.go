@@ -1,0 +1,123 @@
+package cache
+
+import "fmt"
+
+// LineState is one cache line's serialized form.
+type LineState struct {
+	Tag     uint64 `json:"tag"`
+	Valid   bool   `json:"valid,omitempty"`
+	LastUse uint64 `json:"use,omitempty"`
+}
+
+// State is a Cache's serializable contents — tags and LRU state only,
+// since the cache never holds data. Lines are set-major: way w of set s
+// sits at index s*Assoc+w. The geometry itself is not part of the
+// state; a checkpoint pairs it with the machine Config that rebuilds
+// the same shape.
+type State struct {
+	Lines    []LineState `json:"lines"`
+	UseClock uint64      `json:"use_clock"`
+	Accesses uint64      `json:"accesses"`
+	Misses   uint64      `json:"misses"`
+}
+
+// State snapshots the cache contents for a checkpoint.
+func (c *Cache) State() State {
+	st := State{
+		Lines:    make([]LineState, 0, len(c.sets)*c.cfg.Assoc),
+		UseClock: c.useClock,
+		Accesses: c.accesses,
+		Misses:   c.misses,
+	}
+	for _, set := range c.sets {
+		for _, ln := range set {
+			st.Lines = append(st.Lines, LineState{Tag: ln.tag, Valid: ln.valid, LastUse: ln.lastUse})
+		}
+	}
+	return st
+}
+
+// RestoreState loads a snapshot taken from a cache of identical
+// geometry; a shape mismatch is an error and leaves the cache
+// unchanged.
+func (c *Cache) RestoreState(st State) error {
+	want := len(c.sets) * c.cfg.Assoc
+	if len(st.Lines) != want {
+		return fmt.Errorf("cache %s: state holds %d lines, geometry wants %d",
+			c.cfg.Name, len(st.Lines), want)
+	}
+	i := 0
+	for _, set := range c.sets {
+		for w := range set {
+			ls := st.Lines[i]
+			set[w] = line{tag: ls.Tag, valid: ls.Valid, lastUse: ls.LastUse}
+			i++
+		}
+	}
+	c.useClock, c.accesses, c.misses = st.UseClock, st.Accesses, st.Misses
+	return nil
+}
+
+// HierarchyState is a Hierarchy's serializable contents: the three
+// levels plus the epoch-rotated in-flight fill maps. epochLen is
+// derived from the configuration, so only nextSwap needs saving.
+type HierarchyState struct {
+	IL1 State `json:"il1"`
+	DL1 State `json:"dl1"`
+	L2  State `json:"l2"`
+
+	Fills         map[uint64]int64 `json:"fills,omitempty"`
+	FillsPrev     map[uint64]int64 `json:"fills_prev,omitempty"`
+	InstFills     map[uint64]int64 `json:"inst_fills,omitempty"`
+	InstFillsPrev map[uint64]int64 `json:"inst_fills_prev,omitempty"`
+	NextSwap      int64            `json:"next_swap"`
+}
+
+// State snapshots the hierarchy for a checkpoint.
+func (h *Hierarchy) State() HierarchyState {
+	return HierarchyState{
+		IL1:           h.il1.State(),
+		DL1:           h.dl1.State(),
+		L2:            h.l2.State(),
+		Fills:         cloneFills(h.fills),
+		FillsPrev:     cloneFills(h.fillsPrev),
+		InstFills:     cloneFills(h.instFills),
+		InstFillsPrev: cloneFills(h.instFillsPrev),
+		NextSwap:      h.nextSwap,
+	}
+}
+
+// RestoreState loads a snapshot taken from a hierarchy of identical
+// configuration.
+func (h *Hierarchy) RestoreState(st HierarchyState) error {
+	if err := h.il1.RestoreState(st.IL1); err != nil {
+		return err
+	}
+	if err := h.dl1.RestoreState(st.DL1); err != nil {
+		return err
+	}
+	if err := h.l2.RestoreState(st.L2); err != nil {
+		return err
+	}
+	copyFills(h.fills, st.Fills)
+	copyFills(h.fillsPrev, st.FillsPrev)
+	copyFills(h.instFills, st.InstFills)
+	copyFills(h.instFillsPrev, st.InstFillsPrev)
+	h.nextSwap = st.NextSwap
+	return nil
+}
+
+func cloneFills(m map[uint64]int64) map[uint64]int64 {
+	out := make(map[uint64]int64, len(m))
+	for la, ready := range m {
+		out[la] = ready
+	}
+	return out
+}
+
+func copyFills(dst, src map[uint64]int64) {
+	clear(dst)
+	for la, ready := range src {
+		dst[la] = ready
+	}
+}

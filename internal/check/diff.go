@@ -33,6 +33,12 @@ type Options struct {
 	Insts, Warmup int64
 	// Parallelism bounds concurrent simulations (0 = NumCPU).
 	Parallelism int
+	// StreamDir, when set, attaches a replayable event stream to every
+	// monitor finding: the failing spec is re-simulated with a recorder
+	// and the full .evs stream lands in this directory. The violations'
+	// Cursor fields index into that stream (pipeview -replay renders
+	// it). The directory must exist.
+	StreamDir string
 	// OnProgress receives engine progress snapshots.
 	OnProgress func(sim.Snapshot)
 }
@@ -74,8 +80,13 @@ type Finding struct {
 	// Msg is the human-readable explanation.
 	Msg string
 	// Violations carries the monitor violations (with their
-	// cycle-stamped trace windows) when Kind is "monitor".
+	// cycle-stamped trace windows and stream cursors) when Kind is
+	// "monitor".
 	Violations []core.Violation
+	// Stream is the path of the recorded .evs event stream for the
+	// failing run, when Options.StreamDir requested one. Each
+	// violation's Cursor indexes into this stream.
+	Stream string
 }
 
 func (f Finding) String() string {
@@ -213,11 +224,19 @@ func (v *validator) runSeed(ctx context.Context, seed int64, results map[runKey]
 		}
 		var ce *core.CheckError
 		if errors.As(err, &ce) {
-			v.add(Finding{
+			f := Finding{
 				Spec: spec, Seed: seed, Kind: "monitor",
 				Msg:        fmt.Sprintf("%d violation(s), first: %s", len(ce.Violations), ce.Violations[0]),
 				Violations: ce.Violations,
-			})
+			}
+			if opts.StreamDir != "" {
+				if path, rerr := v.recordStream(spec, seed); rerr == nil {
+					f.Stream = path
+				} else {
+					f.Msg += fmt.Sprintf(" (stream recording failed: %v)", rerr)
+				}
+			}
+			v.add(f)
 		} else if ctx.Err() == nil {
 			v.add(Finding{Spec: spec, Seed: seed, Kind: "run-error", Msg: err.Error()})
 		}

@@ -1,0 +1,82 @@
+package check
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/evstream"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// recordStream re-simulates one finding's spec on a bare machine with
+// an event recorder attached and writes the full pipeline event stream
+// to <StreamDir>/<spec>-seed<N>.evs. The machine is deterministic, so
+// the recording run retraces the failing run event for event; the
+// violations' Cursor fields index directly into the written stream.
+// The run's own error (normally the same CheckError that produced the
+// finding) is irrelevant here — the stream up to the stopping cycle is
+// the artifact.
+func (v *validator) recordStream(spec sim.Spec, seed int64) (string, error) {
+	prof, err := workload.ByName(spec.Bench)
+	if err != nil {
+		return "", err
+	}
+	gen, err := workload.NewGenerator(prof, seed)
+	if err != nil {
+		return "", err
+	}
+	cfg := spec.Config(sim.Options{Insts: v.opts.Insts, Warmup: v.opts.Warmup})
+	m, err := core.New(cfg, gen)
+	if err != nil {
+		return "", err
+	}
+
+	path := streamPath(v.opts.StreamDir, spec, seed)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	rec, err := evstream.NewRecorder(f, evstream.Header{
+		Spec: spec.String(),
+		Seed: seed,
+		Note: "validate finding",
+	})
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return "", err
+	}
+	m.SetSink(rec)
+	_, _ = m.Run() // a monitored run stops itself at the violation
+	err = rec.Flush()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return "", fmt.Errorf("check: recording %s: %w", spec, err)
+	}
+	return path, nil
+}
+
+// streamPath names a finding's stream artifact inside dir.
+func streamPath(dir string, spec sim.Spec, seed int64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-seed%d.evs", sanitizeName(spec.String()), seed))
+}
+
+// sanitizeName maps a spec label to a filesystem-safe slug.
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-', r == '=':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}

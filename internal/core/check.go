@@ -75,8 +75,14 @@ type Violation struct {
 	Seq   int64
 	// Msg describes the broken invariant.
 	Msg string
+	// Cursor is the machine's event count when the violation fired: the
+	// number of pipeline events emitted up to and including the
+	// offending one (see Machine.EventCount). A recorded event stream
+	// for the same run replays deterministically to this index, so the
+	// cursor locates the violation in an .evs stream without rerunning.
+	Cursor int64
 	// Trace is the cycle-stamped window of pipeline events leading up to
-	// the violation (oldest first).
+	// the violation (oldest first); its depth is Config.TraceDepth.
 	Trace []PipeEvent
 }
 
@@ -170,9 +176,9 @@ func CheckerNames() []string {
 	return out
 }
 
-// traceWindowSize is how many recent pipeline events the monitor keeps
-// for violation reports. Power of two for the ring index mask.
-const traceWindowSize = 64
+// defaultTraceDepth is the monitor's trace-window depth when
+// Config.TraceDepth is zero. Power of two for the ring index mask.
+const defaultTraceDepth = 64
 
 // maxViolations bounds how many violations one run collects before the
 // monitor stops recording (the first is almost always the story; the
@@ -186,8 +192,10 @@ type monitor struct {
 	level    CheckLevel
 	checkers []checker
 
-	// trace is a ring of the last traceWindowSize pipeline events.
-	trace    [traceWindowSize]PipeEvent
+	// trace is a ring of the last Config.traceDepth() pipeline events;
+	// its length is a power of two (reset sizes it) so the ring index is
+	// a mask.
+	trace    []PipeEvent
 	traceLen int
 	tracePos int
 
@@ -195,7 +203,7 @@ type monitor struct {
 }
 
 func newMonitor(level CheckLevel) *monitor {
-	mon := &monitor{level: level}
+	mon := &monitor{level: level, trace: make([]PipeEvent, defaultTraceDepth)}
 	for _, e := range checkerRegistry {
 		c := e.build()
 		if c.minLevel() <= level {
@@ -206,6 +214,9 @@ func newMonitor(level CheckLevel) *monitor {
 }
 
 func (mon *monitor) reset(m *Machine) {
+	if depth := m.cfg.traceDepth(); len(mon.trace) != depth {
+		mon.trace = make([]PipeEvent, depth)
+	}
 	mon.traceLen, mon.tracePos = 0, 0
 	mon.violations = mon.violations[:0]
 	for _, c := range mon.checkers {
@@ -219,8 +230,8 @@ func (mon *monitor) record(m *Machine, u *uop, kind PipeEventKind) {
 	mon.trace[mon.tracePos] = PipeEvent{
 		Cycle: m.cycle, Seq: u.seq(), PC: u.inst.PC, Class: u.inst.Class, Kind: kind,
 	}
-	mon.tracePos = (mon.tracePos + 1) & (traceWindowSize - 1)
-	if mon.traceLen < traceWindowSize {
+	mon.tracePos = (mon.tracePos + 1) & (len(mon.trace) - 1)
+	if mon.traceLen < len(mon.trace) {
 		mon.traceLen++
 	}
 	for _, c := range mon.checkers {
@@ -252,6 +263,7 @@ func (mon *monitor) failf(m *Machine, checkerName string, seq int64, format stri
 		Cycle:   m.cycle,
 		Seq:     seq,
 		Msg:     fmt.Sprintf(format, args...),
+		Cursor:  m.evCount,
 		Trace:   mon.traceWindow(),
 	})
 }
@@ -259,9 +271,10 @@ func (mon *monitor) failf(m *Machine, checkerName string, seq int64, format stri
 // traceWindow copies the ring out oldest-first.
 func (mon *monitor) traceWindow() []PipeEvent {
 	out := make([]PipeEvent, mon.traceLen)
-	start := (mon.tracePos - mon.traceLen + traceWindowSize) & (traceWindowSize - 1)
+	size := len(mon.trace)
+	start := (mon.tracePos - mon.traceLen + size) & (size - 1)
 	for i := 0; i < mon.traceLen; i++ {
-		out[i] = mon.trace[(start+i)&(traceWindowSize-1)]
+		out[i] = mon.trace[(start+i)&(size-1)]
 	}
 	return out
 }

@@ -152,6 +152,10 @@ type Config struct {
 	// Monitoring observes through the emit hooks and never perturbs
 	// architectural state; off costs one nil test per event.
 	Check CheckLevel
+	// TraceDepth is the monitor's replay-back horizon: how many recent
+	// pipeline events each Violation carries for diagnosis. Must be a
+	// power of two (the ring index is a mask); 0 means the default 64.
+	TraceDepth int
 
 	// Hierarchy, Bpred and SMPred configure the substrates.
 	Hierarchy cache.HierarchyConfig
@@ -222,6 +226,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: invalid scheme %d", uint8(c.Scheme))
 	case !c.Check.Valid():
 		return fmt.Errorf("core: invalid check level %d", uint8(c.Check))
+	case c.TraceDepth < 0 || c.TraceDepth&(c.TraceDepth-1) != 0:
+		return fmt.Errorf("core: trace depth %d must be a power of two (or 0 for the default)",
+			c.TraceDepth)
 	case policyRegistry[c.Scheme].tokens && c.Tokens <= 0:
 		return fmt.Errorf("core: %v needs a positive token count", c.Scheme)
 	case c.MaxInsts <= 0:
@@ -241,6 +248,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: value prediction with the replay-queue model is not supported")
 	}
 	return nil
+}
+
+// traceDepth returns the effective monitor trace-window depth.
+func (c Config) traceDepth() int {
+	if c.TraceDepth > 0 {
+		return c.TraceDepth
+	}
+	return defaultTraceDepth
 }
 
 // rqSize returns the effective replay-queue capacity.

@@ -26,6 +26,7 @@ func (m *Machine) fetch() {
 		}
 		if !m.haveNext {
 			m.nextInst = m.src.Next()
+			m.srcPos++
 			m.haveNext = true
 		}
 		in := m.nextInst
@@ -58,6 +59,7 @@ func (m *Machine) fetch() {
 			inst:    in,
 			readyAt: m.cycle + int64(m.cfg.FrontEndDepth),
 		})
+		m.emitFetch(in)
 		if mispred {
 			// Block fetch until the branch resolves at execute.
 			m.blockedOnSeq = in.Seq

@@ -101,8 +101,29 @@ type Machine struct {
 	// meter feeds Figure 9 (predictor coverage); recorded on each
 	// load's first execution.
 	meter smpred.CoverageMeter
-	// observer receives pipeline lifecycle events (tooling only).
-	observer func(PipeEvent)
+	// sink receives pipeline lifecycle events (tooling only: stream
+	// recording, visualization); nil when nothing is attached.
+	sink EventSink
+	// evCount counts every emitted pipeline event, advancing identically
+	// with or without a sink or monitor attached; it is the
+	// deterministic cursor recorded streams and Violation.Cursor index
+	// with.
+	evCount int64
+	// srcPos counts instructions drawn from the workload stream — the
+	// cursor a checkpoint needs to rebuild the stream position by
+	// fast-forwarding a fresh generator.
+	srcPos int64
+	// Warm-up bookkeeping, promoted from RunContext locals so
+	// checkpoints capture it: warmed flips once Warmup instructions have
+	// retired, and warmBase is the statistics snapshot at that boundary
+	// (subtracted from the final numbers).
+	warmed   bool
+	warmBase Stats
+	// Checkpointing: when ckptFn is set, RunContext hands it a fresh
+	// machine snapshot every ckptEvery cycles (see SetCheckpoints).
+	ckptEvery int64
+	nextCkpt  int64
+	ckptFn    func(*MachineState)
 	// mon drives the invariant monitors; nil when cfg.Check is off, so
 	// the disabled path costs one nil test per emitted event.
 	mon *monitor
@@ -319,8 +340,28 @@ func (m *Machine) init(cfg Config, src workload.Stream) {
 
 	m.stats = Stats{}
 	m.meter = smpred.CoverageMeter{}
-	m.observer = nil
+	m.sink = nil
+	m.evCount = 0
+	m.srcPos = 0
+	m.warmed = cfg.Warmup == 0
+	m.warmBase = Stats{}
+	m.ckptEvery, m.nextCkpt, m.ckptFn = 0, 0, nil
 	m.ran = false
+}
+
+// SetCheckpoints asks RunContext to hand fn a freshly allocated
+// machine snapshot every `every` cycles (the first at or after cycle
+// `every`). Snapshots are taken at cycle boundaries, outside the hot
+// loop's allocation budget; pass every <= 0 or a nil fn to disable.
+// Must be set after New/Reset and before Run.
+func (m *Machine) SetCheckpoints(every int64, fn func(*MachineState)) {
+	if every <= 0 || fn == nil {
+		m.ckptEvery, m.nextCkpt, m.ckptFn = 0, 0, nil
+		return
+	}
+	m.ckptEvery = every
+	m.nextCkpt = m.cycle + every
+	m.ckptFn = fn
 }
 
 // Config returns the machine configuration.
@@ -382,11 +423,9 @@ func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 	}
 	m.ran = true
 	done := ctx.Done()
-	lastRetire := int64(0)
-	lastCount := int64(0)
+	lastRetire := m.cycle
+	lastCount := m.stats.Retired
 	target := m.cfg.Warmup + m.cfg.MaxInsts
-	var base Stats
-	warm := m.cfg.Warmup == 0
 	for m.stats.Retired < target {
 		m.step()
 		if m.mon != nil && len(m.mon.violations) > 0 {
@@ -396,10 +435,10 @@ func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 		if m.canceled(done) {
 			return nil, fmt.Errorf("core: run canceled at cycle %d: %w", m.cycle, ctx.Err())
 		}
-		if !warm && m.stats.Retired >= m.cfg.Warmup {
-			warm = true
-			base = m.stats
-			base.Cycles = m.cycle
+		if !m.warmed && m.stats.Retired >= m.cfg.Warmup {
+			m.warmed = true
+			m.warmBase = m.stats
+			m.warmBase.Cycles = m.cycle
 		}
 		if m.stats.Retired != lastCount {
 			lastCount = m.stats.Retired
@@ -408,10 +447,14 @@ func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 			return nil, fmt.Errorf("core: no retirement for %d cycles at cycle %d (scheme %v, head %s)",
 				deadlockWindow, m.cycle, m.cfg.Scheme, m.describeHead())
 		}
+		if m.ckptFn != nil && m.cycle >= m.nextCkpt {
+			m.ckptFn(m.snapshot())
+			m.nextCkpt = m.cycle + m.ckptEvery
+		}
 	}
 	m.stats.Cycles = m.cycle
 	if m.cfg.Warmup > 0 {
-		m.stats.subtract(&base)
+		m.stats.subtract(&m.warmBase)
 	}
 	m.stats.RetireHash = m.retireHash
 	m.pol.finish(m)

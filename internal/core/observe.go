@@ -14,10 +14,17 @@ const (
 	EvExecute
 	// EvComplete: completed with valid data (verified).
 	EvComplete
-	// EvSquash: invalidated by a replay event; will re-issue.
+	// EvSquash: invalidated as a dependent of a replay event; will
+	// re-issue.
 	EvSquash
 	// EvRetire: committed.
 	EvRetire
+	// EvFetch: the instruction entered the front end from the trace.
+	EvFetch
+	// EvReplay: a mis-scheduled load returned to the waiting state (the
+	// replay root; its invalidated dependents get EvSquash).
+	EvReplay
+	numPipeEventKinds
 )
 
 // String returns a one-letter mnemonic used by timeline renderers.
@@ -33,13 +40,18 @@ func (k PipeEventKind) String() string {
 		return "C"
 	case EvSquash:
 		return "!"
-	default:
+	case EvRetire:
 		return "R"
+	case EvFetch:
+		return "F"
+	case EvReplay:
+		return "r"
 	}
+	return "?"
 }
 
 // PipeEvent is one observed lifecycle event, delivered to the machine's
-// observer as it happens.
+// event sink as it happens.
 type PipeEvent struct {
 	Cycle int64
 	Seq   int64
@@ -48,20 +60,66 @@ type PipeEvent struct {
 	Kind  PipeEventKind
 }
 
-// SetObserver installs a callback receiving every pipeline lifecycle
-// event. Observation is for tooling (pipeline visualization, debugging)
+// EventSink receives every pipeline lifecycle event as it is emitted.
+// Sinks are tooling (stream recording, pipeline visualization,
+// debugging) and must not perturb the simulation; implementations on
+// the hot path (internal/evstream's Recorder) must not allocate per
+// event.
+type EventSink interface {
+	Event(PipeEvent)
+}
+
+// funcSink adapts a bare callback to the EventSink interface so
+// SetObserver keeps working on top of the unified sink path.
+type funcSink struct{ f func(PipeEvent) }
+
+func (s funcSink) Event(ev PipeEvent) { s.f(ev) }
+
+// SetSink installs the machine's event sink, receiving every pipeline
+// lifecycle event (fetch through retire). Observation is for tooling
 // and has no effect on simulation; pass nil to disable. Must be set
-// before Run.
-func (m *Machine) SetObserver(f func(PipeEvent)) { m.observer = f }
+// after New/Reset and before Run.
+func (m *Machine) SetSink(s EventSink) { m.sink = s }
+
+// SetObserver installs a callback receiving every pipeline lifecycle
+// event; it is SetSink with a function adapter. Pass nil to disable.
+func (m *Machine) SetObserver(f func(PipeEvent)) {
+	if f == nil {
+		m.sink = nil
+		return
+	}
+	m.sink = funcSink{f: f}
+}
+
+// EventCount returns how many pipeline events the machine has emitted
+// so far. The count advances identically whether or not a sink or
+// monitor is attached, so it is a deterministic cursor into the
+// machine's event stream (Violation.Cursor indexes with it).
+func (m *Machine) EventCount() int64 { return m.evCount }
 
 func (m *Machine) emit(u *uop, kind PipeEventKind) {
+	m.evCount++
 	if m.mon != nil {
 		m.mon.record(m, u, kind)
 	}
-	if m.observer == nil {
+	if m.sink == nil {
 		return
 	}
-	m.observer(PipeEvent{
+	m.sink.Event(PipeEvent{
 		Cycle: m.cycle, Seq: u.seq(), PC: u.inst.PC, Class: u.inst.Class, Kind: kind,
+	})
+}
+
+// emitFetch emits the front-end fetch event. Fetch happens before a
+// uop exists, so it bypasses the monitor (whose checkers observe
+// in-window instructions) and feeds only the sink; the event count
+// still advances so stream cursors cover the full lifecycle.
+func (m *Machine) emitFetch(in isa.Inst) {
+	m.evCount++
+	if m.sink == nil {
+		return
+	}
+	m.sink.Event(PipeEvent{
+		Cycle: m.cycle, Seq: in.Seq, PC: in.PC, Class: in.Class, Kind: EvFetch,
 	})
 }

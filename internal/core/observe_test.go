@@ -22,15 +22,15 @@ func TestObserverLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sawSquash := false
+	sawReplay := false
 	for seq := int64(0); seq < 400; seq++ {
 		evs := events[seq]
 		if len(evs) == 0 {
 			t.Fatalf("no events for seq %d", seq)
 		}
-		// Lifecycle sanity: starts with dispatch, ends with retire,
-		// cycles non-decreasing.
-		if evs[0].Kind != EvDispatch {
+		// Lifecycle sanity: starts with fetch then dispatch, ends with
+		// retire, cycles non-decreasing.
+		if evs[0].Kind != EvFetch {
 			t.Fatalf("seq %d: first event %v", seq, evs[0].Kind)
 		}
 		if last := evs[len(evs)-1]; last.Kind != EvRetire {
@@ -42,20 +42,23 @@ func TestObserverLifecycle(t *testing.T) {
 				t.Fatalf("seq %d: time went backward", seq)
 			}
 			counts[ev.Kind]++
-			if ev.Kind == EvSquash {
-				sawSquash = true
+			if ev.Kind == EvReplay {
+				sawReplay = true
 			}
 		}
-		if counts[EvDispatch] != 1 || counts[EvRetire] != 1 || counts[EvComplete] != 1 {
-			t.Fatalf("seq %d: dispatch/complete/retire counts %v", seq, counts)
+		if counts[EvFetch] != 1 || counts[EvDispatch] != 1 ||
+			counts[EvRetire] != 1 || counts[EvComplete] != 1 {
+			t.Fatalf("seq %d: fetch/dispatch/complete/retire counts %v", seq, counts)
 		}
-		// Every squash is followed by a re-issue: issues = squashes + 1.
-		if counts[EvIssue] != counts[EvSquash]+1 {
-			t.Fatalf("seq %d: %d issues for %d squashes", seq, counts[EvIssue], counts[EvSquash])
+		// Every replay root and squashed dependent re-issues:
+		// issues = replays + squashes + 1.
+		if counts[EvIssue] != counts[EvReplay]+counts[EvSquash]+1 {
+			t.Fatalf("seq %d: %d issues for %d replays + %d squashes",
+				seq, counts[EvIssue], counts[EvReplay], counts[EvSquash])
 		}
 	}
-	if !sawSquash {
-		t.Fatal("missing-load pattern produced no squash events")
+	if !sawReplay {
+		t.Fatal("missing-load pattern produced no replay events")
 	}
 }
 
@@ -63,11 +66,15 @@ func TestObserverKindStrings(t *testing.T) {
 	want := map[PipeEventKind]string{
 		EvDispatch: "D", EvIssue: "I", EvExecute: "X",
 		EvComplete: "C", EvSquash: "!", EvRetire: "R",
+		EvFetch: "F", EvReplay: "r",
 	}
 	for k, s := range want {
 		if k.String() != s {
 			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
 		}
+	}
+	if numPipeEventKinds != 8 {
+		t.Fatalf("numPipeEventKinds = %d; the .evs codec packs the kind in 3 bits", numPipeEventKinds)
 	}
 }
 

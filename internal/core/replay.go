@@ -37,7 +37,7 @@ func (m *Machine) handleKill(ev event) {
 // (cache fill arrived / store data forwardable).
 func (m *Machine) replayLoad(u *uop) {
 	dataAt := u.dataReadyAt
-	m.emit(u, EvSquash)
+	m.emit(u, EvReplay)
 	m.unissue(u)
 	if m.cfg.ReplayQueue {
 		// Figure 4b: the load waits in the replay queue; its own

@@ -1,0 +1,661 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/smpred"
+	"repro/internal/token"
+	"repro/internal/vpred"
+	"repro/internal/workload"
+)
+
+// MachineState is a complete serializable snapshot of a running
+// machine at a cycle boundary: the window, queues, event wheel, every
+// substrate's tables, the policy's private state, the statistics and
+// the stream cursors. A machine restored from it (Restore) continues
+// the run bit-identically to one that simulated from cycle zero — the
+// warm-start equivalence tests prove RetireHash and final Stats match
+// across all nine schemes.
+//
+// Everything is stored verbatim (ring heads included) so restore is a
+// field-for-field copy rather than a reconstruction; uop references
+// (ROB, LSQ, free list, wheel events) travel as pool indices. The
+// encoding is plain JSON — encoding/json sorts map keys, so a
+// snapshot's bytes are deterministic for a given machine state.
+type MachineState struct {
+	Config Config `json:"config"`
+	Cycle  int64  `json:"cycle"`
+
+	// Window and uop storage: Rob/Lsq/Free hold pool indices (-1 for an
+	// empty ROB slot), Pool holds every pool entry whether live or free.
+	Rob      []int32     `json:"rob"`
+	RobHead  int         `json:"rob_head"`
+	RobCount int         `json:"rob_count"`
+	HeadSeq  int64       `json:"head_seq"`
+	Pool     []UopState  `json:"pool"`
+	Free     []int32     `json:"free"`
+	Window   WindowState `json:"window"`
+
+	IQCount int `json:"iq_count"`
+	RQCount int `json:"rq_count"`
+
+	Lsq     []int32 `json:"lsq"`
+	LsqHead int     `json:"lsq_head"`
+	LsqLen  int     `json:"lsq_len"`
+
+	FetchQ       []FetchEntryState `json:"fetch_q"`
+	FqHead       int               `json:"fq_head"`
+	FqLen        int               `json:"fq_len"`
+	NextInst     isa.Inst          `json:"next_inst"`
+	HaveNext     bool              `json:"have_next"`
+	FetchStall   int64             `json:"fetch_stall"`
+	BlockedOnSeq int64             `json:"blocked_on_seq"`
+	LastLine     uint64            `json:"last_line"`
+	HaveLastLine bool              `json:"have_last_line"`
+
+	// Wheel holds the pending future events, sparse by wheel slot. The
+	// restoring machine derives the same wheel length from the config,
+	// so slot indices line up.
+	Wheel []WheelSlotState `json:"wheel,omitempty"`
+
+	ReinsertActive  bool `json:"reinsert_active"`
+	ReinsertPending int  `json:"reinsert_pending"`
+
+	Stats      Stats                `json:"stats"`
+	Meter      smpred.CoverageMeter `json:"meter"`
+	RetireHash uint64               `json:"retire_hash"`
+	EvCount    int64                `json:"ev_count"`
+	// SrcPos is how many instructions the workload stream has produced;
+	// Restore rebuilds the stream position by fast-forwarding a fresh
+	// stream this many instructions.
+	SrcPos   int64 `json:"src_pos"`
+	Warmed   bool  `json:"warmed"`
+	WarmBase Stats `json:"warm_base"`
+
+	// Substrates.
+	Hier   cache.HierarchyState `json:"hier"`
+	Bpred  bpred.State          `json:"bpred"`
+	SMPred smpred.State         `json:"smpred"`
+	VPred  *vpred.State         `json:"vpred,omitempty"`
+
+	// Policy is the replay policy's private state; nil for the schemes
+	// that keep none (everything but TkSel and SerialVerify).
+	Policy *PolicyState `json:"policy,omitempty"`
+}
+
+// UopState is one uop-pool entry's serialized form, mirroring the uop
+// struct field for field.
+type UopState struct {
+	Inst isa.Inst `json:"inst"`
+	Slot int32    `json:"slot"`
+
+	Squashes int `json:"squashes,omitempty"`
+	Issues   int `json:"issues,omitempty"`
+	Gen      int `json:"gen,omitempty"`
+	Life     int `json:"life,omitempty"`
+
+	IssueCycle     int64 `json:"issue_cycle,omitempty"`
+	ExecStart      int64 `json:"exec_start,omitempty"`
+	SchedLat       int   `json:"sched_lat,omitempty"`
+	ActualLat      int   `json:"actual_lat,omitempty"`
+	BroadcastCycle int64 `json:"broadcast_cycle,omitempty"`
+	CompleteCycle  int64 `json:"complete_cycle,omitempty"`
+	DataReadyAt    int64 `json:"data_ready_at,omitempty"`
+
+	Consumers []int64 `json:"consumers,omitempty"`
+
+	Missed     bool  `json:"missed,omitempty"`
+	MissKind   uint8 `json:"miss_kind,omitempty"`
+	EverMissed bool  `json:"ever_missed,omitempty"`
+	Poisoned   bool  `json:"poisoned,omitempty"`
+
+	Conf         uint8 `json:"conf,omitempty"`
+	Conservative bool  `json:"conservative,omitempty"`
+
+	ValuePredicted bool `json:"value_predicted,omitempty"`
+	ValueWrong     bool `json:"value_wrong,omitempty"`
+
+	TokenID     int    `json:"token_id"`
+	TokenStolen bool   `json:"token_stolen,omitempty"`
+	DepVec      uint64 `json:"dep_vec,omitempty"`
+
+	PredTaken  bool   `json:"pred_taken,omitempty"`
+	PredTarget uint64 `json:"pred_target,omitempty"`
+	Mispred    bool   `json:"mispred,omitempty"`
+
+	StoreDataSeq int64 `json:"store_data_seq"`
+	Retired      bool  `json:"retired,omitempty"`
+	KillMark     int64 `json:"kill_mark,omitempty"`
+
+	SerialChain int32 `json:"serial_chain,omitempty"`
+	SerialDepth int   `json:"serial_depth,omitempty"`
+}
+
+// WindowState is the structure-of-arrays scheduler window, copied
+// wholesale: bitmap planes as uint64 words, per-lane arrays, timers
+// and per-slot classes.
+type WindowState struct {
+	InIQ      []uint64 `json:"in_iq"`
+	InRQ      []uint64 `json:"in_rq"`
+	Issued    []uint64 `json:"issued"`
+	Completed []uint64 `json:"completed"`
+	Ready     []uint64 `json:"ready"`
+	Loads     []uint64 `json:"loads"`
+	PendStore []uint64 `json:"pend_store"`
+	Reinsert  []uint64 `json:"reinsert"`
+
+	OpTagged [2][]uint64 `json:"op_tagged"`
+	OpReady  [2][]uint64 `json:"op_ready"`
+	Tag      [2][]int64  `json:"tag"`
+	WokenAt  [2][]int64  `json:"woken_at"`
+	ConsMask [2][]uint64 `json:"cons_mask"`
+
+	HoldUntil []int64     `json:"hold_until"`
+	RQRetryAt []int64     `json:"rq_retry_at"`
+	Class     []isa.Class `json:"class"`
+	NeedMask  []uint8     `json:"need_mask"`
+}
+
+// FetchEntryState is one fetch-ring entry.
+type FetchEntryState struct {
+	Inst    isa.Inst `json:"inst"`
+	ReadyAt int64    `json:"ready_at"`
+}
+
+// WheelSlotState holds one wheel slot's pending events.
+type WheelSlotState struct {
+	Slot   int64        `json:"slot"`
+	Events []EventState `json:"events"`
+}
+
+// EventState is one scheduled event; U is the target uop's pool index.
+type EventState struct {
+	Kind  uint8 `json:"kind"`
+	U     int32 `json:"u"`
+	Gen   int   `json:"gen,omitempty"`
+	Life  int   `json:"life,omitempty"`
+	Op    int   `json:"op,omitempty"`
+	Depth int   `json:"depth,omitempty"`
+	Chain int32 `json:"chain,omitempty"`
+}
+
+// RenameVecState is one rename-table dependence-vector ring entry
+// (TkSel).
+type RenameVecState struct {
+	Seq int64  `json:"seq"`
+	Vec uint64 `json:"vec,omitempty"`
+}
+
+// PolicyState carries the replay policy's private state. Only the
+// fields for the snapshotted scheme are populated: Tokens/RenameVec
+// for TkSel, SerialChains (per-chain max depths) for SerialVerify.
+type PolicyState struct {
+	Tokens       *token.State     `json:"tokens,omitempty"`
+	RenameVec    []RenameVecState `json:"rename_vec,omitempty"`
+	SerialChains []int            `json:"serial_chains,omitempty"`
+}
+
+// policySnapshotter is the optional capability a policy with private
+// run state implements so checkpoints can carry it (mirroring the
+// tokenPoolUser probe). Policies built purely from noopPolicy hooks
+// need no state beyond what reset rebuilds.
+type policySnapshotter interface {
+	snapshotState() *PolicyState
+	restoreState(st *PolicyState) error
+}
+
+// snapshot captures the complete machine state. It allocates freely —
+// checkpointing is a cold path driven from RunContext, outside the
+// cycle loop's allocation budget.
+func (m *Machine) snapshot() *MachineState {
+	poolIdx := make(map[*uop]int32, len(m.pool))
+	for i := range m.pool {
+		poolIdx[&m.pool[i]] = int32(i)
+	}
+	uref := func(u *uop) int32 {
+		if u == nil {
+			return -1
+		}
+		return poolIdx[u]
+	}
+
+	st := &MachineState{
+		Config:   m.cfg,
+		Cycle:    m.cycle,
+		Rob:      make([]int32, len(m.rob)),
+		RobHead:  m.robHead,
+		RobCount: m.robCount,
+		HeadSeq:  m.headSeq,
+		Pool:     make([]UopState, len(m.pool)),
+		Free:     make([]int32, len(m.free)),
+		IQCount:  m.iqCount,
+		RQCount:  m.rqCount,
+		Lsq:      make([]int32, len(m.lsq)),
+		LsqHead:  m.lsqHead,
+		LsqLen:   m.lsqLen,
+
+		FetchQ:       make([]FetchEntryState, len(m.fetchQ)),
+		FqHead:       m.fqHead,
+		FqLen:        m.fqLen,
+		NextInst:     m.nextInst,
+		HaveNext:     m.haveNext,
+		FetchStall:   m.fetchStall,
+		BlockedOnSeq: m.blockedOnSeq,
+		LastLine:     m.lastLine,
+		HaveLastLine: m.haveLastLine,
+
+		ReinsertActive:  m.reinsertActive,
+		ReinsertPending: m.reinsertPending,
+
+		Stats:      m.stats,
+		Meter:      m.meter,
+		RetireHash: m.retireHash,
+		EvCount:    m.evCount,
+		SrcPos:     m.srcPos,
+		Warmed:     m.warmed,
+		WarmBase:   m.warmBase,
+
+		Hier:   m.hier.State(),
+		Bpred:  m.bp.State(),
+		SMPred: m.sp.State(),
+	}
+	for i, u := range m.rob {
+		st.Rob[i] = uref(u)
+	}
+	for i := range m.pool {
+		st.Pool[i] = snapshotUop(&m.pool[i])
+	}
+	for i, u := range m.free {
+		st.Free[i] = uref(u)
+	}
+	for i, u := range m.lsq {
+		st.Lsq[i] = uref(u)
+	}
+	for i, fe := range m.fetchQ {
+		st.FetchQ[i] = FetchEntryState{Inst: fe.inst, ReadyAt: fe.readyAt}
+	}
+	st.Window = snapshotWindow(&m.win)
+	for slot := range m.wheel {
+		evs := m.wheel[slot]
+		if len(evs) == 0 {
+			continue
+		}
+		ws := WheelSlotState{Slot: int64(slot), Events: make([]EventState, len(evs))}
+		for i, ev := range evs {
+			ws.Events[i] = EventState{
+				Kind: uint8(ev.kind), U: uref(ev.u), Gen: ev.gen, Life: ev.life,
+				Op: ev.op, Depth: ev.depth, Chain: int32(ev.chain),
+			}
+		}
+		st.Wheel = append(st.Wheel, ws)
+	}
+	if m.vp != nil {
+		vs := m.vp.State()
+		st.VPred = &vs
+	}
+	if ps, ok := m.pol.(policySnapshotter); ok {
+		st.Policy = ps.snapshotState()
+	}
+	return st
+}
+
+func snapshotUop(u *uop) UopState {
+	return UopState{
+		Inst: u.inst, Slot: u.slot,
+		Squashes: u.squashes, Issues: u.issues, Gen: u.gen, Life: u.life,
+		IssueCycle: u.issueCycle, ExecStart: u.execStart,
+		SchedLat: u.schedLat, ActualLat: u.actualLat,
+		BroadcastCycle: u.broadcastCycle, CompleteCycle: u.completeCycle,
+		DataReadyAt: u.dataReadyAt,
+		Consumers:   append([]int64(nil), u.consumers...),
+		Missed:      u.missed, MissKind: uint8(u.missKind),
+		EverMissed: u.everMissed, Poisoned: u.poisoned,
+		Conf: uint8(u.conf), Conservative: u.conservative,
+		ValuePredicted: u.valuePredicted, ValueWrong: u.valueWrong,
+		TokenID: u.tokenID, TokenStolen: u.tokenStolen, DepVec: uint64(u.depVec),
+		PredTaken: u.predTaken, PredTarget: u.predTarget, Mispred: u.mispred,
+		StoreDataSeq: u.storeDataSeq, Retired: u.retired, KillMark: u.killMark,
+		SerialChain: int32(u.serialChain), SerialDepth: u.serialDepth,
+	}
+}
+
+func restoreUop(u *uop, st *UopState) {
+	cons := append(u.consumers[:0], st.Consumers...)
+	*u = uop{
+		inst: st.Inst, slot: st.Slot,
+		squashes: st.Squashes, issues: st.Issues, gen: st.Gen, life: st.Life,
+		issueCycle: st.IssueCycle, execStart: st.ExecStart,
+		schedLat: st.SchedLat, actualLat: st.ActualLat,
+		broadcastCycle: st.BroadcastCycle, completeCycle: st.CompleteCycle,
+		dataReadyAt: st.DataReadyAt,
+		consumers:   cons,
+		missed:      st.Missed, missKind: missKind(st.MissKind),
+		everMissed: st.EverMissed, poisoned: st.Poisoned,
+		conf: smpred.Confidence(st.Conf), conservative: st.Conservative,
+		valuePredicted: st.ValuePredicted, valueWrong: st.ValueWrong,
+		tokenID: st.TokenID, tokenStolen: st.TokenStolen, depVec: token.Vector(st.DepVec),
+		predTaken: st.PredTaken, predTarget: st.PredTarget, mispred: st.Mispred,
+		storeDataSeq: st.StoreDataSeq, retired: st.Retired, killMark: st.KillMark,
+		serialChain: serialChainID(st.SerialChain), serialDepth: st.SerialDepth,
+	}
+}
+
+func snapshotWindow(w *schedWindow) WindowState {
+	cp64 := func(s []uint64) []uint64 { return append([]uint64(nil), s...) }
+	cpi := func(s []int64) []int64 { return append([]int64(nil), s...) }
+	st := WindowState{
+		InIQ: cp64(w.inIQ), InRQ: cp64(w.inRQ), Issued: cp64(w.issued),
+		Completed: cp64(w.completed), Ready: cp64(w.ready), Loads: cp64(w.loads),
+		PendStore: cp64(w.pendStore), Reinsert: cp64(w.reinsert),
+		HoldUntil: cpi(w.holdUntil), RQRetryAt: cpi(w.rqRetryAt),
+		Class:    append([]isa.Class(nil), w.class...),
+		NeedMask: append([]uint8(nil), w.needMask...),
+	}
+	for lane := 0; lane < 2; lane++ {
+		st.OpTagged[lane] = cp64(w.opTagged[lane])
+		st.OpReady[lane] = cp64(w.opReady[lane])
+		st.Tag[lane] = cpi(w.tag[lane])
+		st.WokenAt[lane] = cpi(w.wokenAt[lane])
+		st.ConsMask[lane] = cp64(w.consMask[lane])
+	}
+	return st
+}
+
+func restoreWindow(w *schedWindow, st *WindowState) error {
+	check64 := func(name string, dst, src []uint64) error {
+		if len(src) != len(dst) {
+			return fmt.Errorf("core: snapshot window plane %s has %d words, want %d",
+				name, len(src), len(dst))
+		}
+		copy(dst, src)
+		return nil
+	}
+	checkI := func(name string, dst, src []int64) error {
+		if len(src) != len(dst) {
+			return fmt.Errorf("core: snapshot window array %s has %d slots, want %d",
+				name, len(src), len(dst))
+		}
+		copy(dst, src)
+		return nil
+	}
+	for _, p := range []struct {
+		name string
+		dst  []uint64
+		src  []uint64
+	}{
+		{"in_iq", w.inIQ, st.InIQ}, {"in_rq", w.inRQ, st.InRQ},
+		{"issued", w.issued, st.Issued}, {"completed", w.completed, st.Completed},
+		{"ready", w.ready, st.Ready}, {"loads", w.loads, st.Loads},
+		{"pend_store", w.pendStore, st.PendStore}, {"reinsert", w.reinsert, st.Reinsert},
+		{"op_tagged0", w.opTagged[0], st.OpTagged[0]}, {"op_tagged1", w.opTagged[1], st.OpTagged[1]},
+		{"op_ready0", w.opReady[0], st.OpReady[0]}, {"op_ready1", w.opReady[1], st.OpReady[1]},
+		{"cons_mask0", w.consMask[0], st.ConsMask[0]}, {"cons_mask1", w.consMask[1], st.ConsMask[1]},
+	} {
+		if err := check64(p.name, p.dst, p.src); err != nil {
+			return err
+		}
+	}
+	for _, p := range []struct {
+		name string
+		dst  []int64
+		src  []int64
+	}{
+		{"tag0", w.tag[0], st.Tag[0]}, {"tag1", w.tag[1], st.Tag[1]},
+		{"woken_at0", w.wokenAt[0], st.WokenAt[0]}, {"woken_at1", w.wokenAt[1], st.WokenAt[1]},
+		{"hold_until", w.holdUntil, st.HoldUntil}, {"rq_retry_at", w.rqRetryAt, st.RQRetryAt},
+	} {
+		if err := checkI(p.name, p.dst, p.src); err != nil {
+			return err
+		}
+	}
+	if len(st.Class) != len(w.class) || len(st.NeedMask) != len(w.needMask) {
+		return fmt.Errorf("core: snapshot window class/need arrays %d/%d, want %d/%d",
+			len(st.Class), len(st.NeedMask), len(w.class), len(w.needMask))
+	}
+	copy(w.class, st.Class)
+	copy(w.needMask, st.NeedMask)
+	return nil
+}
+
+// Restore rebuilds the machine mid-run from a checkpoint. cfg must
+// match the snapshot's configuration in every field except MaxInsts —
+// the warm-start use case is extending or shortening the measured tail
+// of an otherwise identical run — and monitoring must be off on both
+// sides (checker state is not checkpointed). src must be a fresh
+// stream of the same workload and seed; Restore fast-forwards it to
+// the snapshot's cursor. After Restore the machine runs exactly as if
+// it had simulated from cycle zero under cfg.
+func (m *Machine) Restore(cfg Config, src workload.Stream, st *MachineState) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	a, b := cfg, st.Config
+	a.MaxInsts, b.MaxInsts = 0, 0
+	if a != b {
+		return fmt.Errorf("core: restore configuration differs from the checkpoint's (only MaxInsts may change)")
+	}
+	if cfg.Check != CheckOff {
+		return fmt.Errorf("core: cannot restore a checkpoint into a monitored run (checker state is not checkpointed)")
+	}
+	if st.Stats.Retired >= cfg.Warmup+cfg.MaxInsts {
+		return fmt.Errorf("core: checkpoint already retired %d instructions, past the run's %d target",
+			st.Stats.Retired, cfg.Warmup+cfg.MaxInsts)
+	}
+	if err := validateShape(cfg, st); err != nil {
+		return err
+	}
+
+	// Rebuild all storage shapes for cfg, then overwrite contents.
+	m.init(cfg, src)
+
+	if st.SrcPos < 0 {
+		return fmt.Errorf("core: negative stream cursor %d", st.SrcPos)
+	}
+	for i := int64(0); i < st.SrcPos; i++ {
+		m.src.Next()
+	}
+	m.srcPos = st.SrcPos
+
+	m.cycle = st.Cycle
+	for i := range m.pool {
+		restoreUop(&m.pool[i], &st.Pool[i])
+	}
+	for i, ref := range st.Rob {
+		if ref < 0 {
+			m.rob[i] = nil
+		} else {
+			m.rob[i] = &m.pool[ref]
+		}
+	}
+	m.robHead, m.robCount, m.headSeq = st.RobHead, st.RobCount, st.HeadSeq
+	m.free = m.free[:0]
+	for _, ref := range st.Free {
+		m.free = append(m.free, &m.pool[ref])
+	}
+	if err := restoreWindow(&m.win, &st.Window); err != nil {
+		return err
+	}
+	m.iqCount, m.rqCount = st.IQCount, st.RQCount
+	for i, ref := range st.Lsq {
+		if ref < 0 {
+			m.lsq[i] = nil
+		} else {
+			m.lsq[i] = &m.pool[ref]
+		}
+	}
+	m.lsqHead, m.lsqLen = st.LsqHead, st.LsqLen
+	for i, fe := range st.FetchQ {
+		m.fetchQ[i] = fetchEntry{inst: fe.Inst, readyAt: fe.ReadyAt}
+	}
+	m.fqHead, m.fqLen = st.FqHead, st.FqLen
+	m.nextInst, m.haveNext = st.NextInst, st.HaveNext
+	m.fetchStall = st.FetchStall
+	m.blockedOnSeq = st.BlockedOnSeq
+	m.lastLine, m.haveLastLine = st.LastLine, st.HaveLastLine
+
+	for i := range m.wheel {
+		m.wheel[i] = m.wheel[i][:0]
+	}
+	for _, ws := range st.Wheel {
+		list := m.wheel[ws.Slot][:0]
+		for _, es := range ws.Events {
+			list = append(list, event{
+				kind: evKind(es.Kind), u: &m.pool[es.U], gen: es.Gen, life: es.Life,
+				op: es.Op, depth: es.Depth, chain: serialChainID(es.Chain),
+			})
+		}
+		m.wheel[ws.Slot] = list
+	}
+
+	m.reinsertActive, m.reinsertPending = st.ReinsertActive, st.ReinsertPending
+
+	m.stats = st.Stats
+	m.meter = st.Meter
+	m.retireHash = st.RetireHash
+	m.evCount = st.EvCount
+	m.warmed = st.Warmed
+	m.warmBase = st.WarmBase
+
+	if err := m.hier.RestoreState(st.Hier); err != nil {
+		return err
+	}
+	if err := m.bp.RestoreState(st.Bpred); err != nil {
+		return err
+	}
+	if err := m.sp.RestoreState(st.SMPred); err != nil {
+		return err
+	}
+	switch {
+	case m.vp != nil && st.VPred != nil:
+		if err := m.vp.RestoreState(*st.VPred); err != nil {
+			return err
+		}
+	case m.vp != nil || st.VPred != nil:
+		return fmt.Errorf("core: snapshot and configuration disagree about value prediction")
+	}
+
+	ps, needs := m.pol.(policySnapshotter)
+	switch {
+	case needs && st.Policy == nil:
+		return fmt.Errorf("core: snapshot is missing %v policy state", cfg.Scheme)
+	case !needs && st.Policy != nil:
+		return fmt.Errorf("core: snapshot carries policy state %v does not use", cfg.Scheme)
+	case needs:
+		if err := ps.restoreState(st.Policy); err != nil {
+			return err
+		}
+	}
+
+	m.ran = false
+	return nil
+}
+
+// validateShape rejects snapshots whose array shapes or references do
+// not fit the configuration, before any machine state is touched.
+func validateShape(cfg Config, st *MachineState) error {
+	n := cfg.ROBSize
+	switch {
+	case len(st.Rob) != n || len(st.Pool) != n || len(st.Free) > n:
+		return fmt.Errorf("core: snapshot rob/pool/free %d/%d/%d do not fit ROB size %d",
+			len(st.Rob), len(st.Pool), len(st.Free), n)
+	case len(st.Lsq) != cfg.LSQSize:
+		return fmt.Errorf("core: snapshot LSQ %d does not fit size %d", len(st.Lsq), cfg.LSQSize)
+	case st.RobHead < 0 || st.RobHead >= n || st.RobCount < 0 || st.RobCount > n:
+		return fmt.Errorf("core: snapshot ROB cursor %d/%d out of range", st.RobHead, st.RobCount)
+	case st.LsqHead < 0 || st.LsqHead >= cfg.LSQSize || st.LsqLen < 0 || st.LsqLen > cfg.LSQSize:
+		return fmt.Errorf("core: snapshot LSQ cursor %d/%d out of range", st.LsqHead, st.LsqLen)
+	}
+	fqCap := cfg.ROBSize + cfg.Width*(cfg.FrontEndDepth+2)
+	if len(st.FetchQ) != fqCap || st.FqHead < 0 || st.FqHead >= fqCap ||
+		st.FqLen < 0 || st.FqLen > fqCap {
+		return fmt.Errorf("core: snapshot fetch ring %d (cursor %d/%d) does not fit capacity %d",
+			len(st.FetchQ), st.FqHead, st.FqLen, fqCap)
+	}
+	ref := func(r int32) bool { return r >= -1 && int(r) < n }
+	for _, r := range st.Rob {
+		if !ref(r) {
+			return fmt.Errorf("core: snapshot ROB entry references pool index %d", r)
+		}
+	}
+	for _, r := range st.Free {
+		if r < 0 || !ref(r) {
+			return fmt.Errorf("core: snapshot free list references pool index %d", r)
+		}
+	}
+	for _, r := range st.Lsq {
+		if !ref(r) {
+			return fmt.Errorf("core: snapshot LSQ entry references pool index %d", r)
+		}
+	}
+	hz := horizonFor(cfg)
+	for _, ws := range st.Wheel {
+		if ws.Slot < 0 || ws.Slot >= hz {
+			return fmt.Errorf("core: snapshot wheel slot %d outside the %d-cycle horizon", ws.Slot, hz)
+		}
+		for _, es := range ws.Events {
+			if es.U < 0 || !ref(es.U) {
+				return fmt.Errorf("core: snapshot event references pool index %d", es.U)
+			}
+			if evKind(es.Kind) > evSerialStep {
+				return fmt.Errorf("core: snapshot event kind %d unknown", es.Kind)
+			}
+		}
+	}
+	for i := range st.Pool {
+		if s := st.Pool[i].Slot; s < 0 || int(s) >= n {
+			return fmt.Errorf("core: snapshot pool entry %d has window slot %d outside 0..%d",
+				i, s, n-1)
+		}
+	}
+	return nil
+}
+
+// snapshotState captures the token pool and the rename-vector ring
+// verbatim (empty slots included — the ring is positional).
+func (p *tkselPolicy) snapshotState() *PolicyState {
+	st := &PolicyState{RenameVec: make([]RenameVecState, len(p.renameVec))}
+	tok := p.alloc.State()
+	st.Tokens = &tok
+	for i, e := range p.renameVec {
+		st.RenameVec[i] = RenameVecState{Seq: e.seq, Vec: uint64(e.vec)}
+	}
+	return st
+}
+
+func (p *tkselPolicy) restoreState(st *PolicyState) error {
+	if st.Tokens == nil {
+		return fmt.Errorf("core: TkSel snapshot is missing the token pool")
+	}
+	if len(st.RenameVec) != len(p.renameVec) {
+		return fmt.Errorf("core: TkSel snapshot rename ring holds %d slots, want %d",
+			len(st.RenameVec), len(p.renameVec))
+	}
+	if err := p.alloc.RestoreState(*st.Tokens); err != nil {
+		return err
+	}
+	for i, e := range st.RenameVec {
+		p.renameVec[i] = renameEntry{seq: e.Seq, vec: token.Vector(e.Vec)}
+	}
+	return nil
+}
+
+// snapshotState captures every wavefront's running maximum depth; the
+// chain table is append-only, so the depths are the whole state.
+func (p *serialPolicy) snapshotState() *PolicyState {
+	st := &PolicyState{SerialChains: make([]int, len(p.chains))}
+	for i := range p.chains {
+		st.SerialChains[i] = p.chains[i].maxDepth
+	}
+	return st
+}
+
+func (p *serialPolicy) restoreState(st *PolicyState) error {
+	p.chains = p.chains[:0]
+	for _, d := range st.SerialChains {
+		p.chains = append(p.chains, serialChain{maxDepth: d})
+	}
+	return nil
+}

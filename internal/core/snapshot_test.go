@@ -1,0 +1,228 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// coldRun executes one run of cfg from cycle zero, optionally
+// collecting a JSON-serialized checkpoint every `every` cycles, and
+// returns the final stats plus the checkpoint blobs.
+func coldRun(t *testing.T, cfg Config, seed int64, every int64) (*Stats, [][]byte) {
+	t.Helper()
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blobs [][]byte
+	if every > 0 {
+		m.SetCheckpoints(every, func(st *MachineState) {
+			blob, err := json.Marshal(st)
+			if err != nil {
+				t.Errorf("checkpoint marshal: %v", err)
+				return
+			}
+			blobs = append(blobs, blob)
+		})
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, blobs
+}
+
+// resumeRun restores a serialized checkpoint into a fresh machine under
+// cfg and runs it to completion.
+func resumeRun(t *testing.T, cfg Config, seed int64, blob []byte) *Stats {
+	t.Helper()
+	var ms MachineState
+	if err := json.Unmarshal(blob, &ms); err != nil {
+		t.Fatalf("checkpoint unmarshal: %v", err)
+	}
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen2, err := workload.NewGenerator(prof, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(cfg, gen2, &ms); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func statsJSON(t *testing.T, st *Stats) string {
+	t.Helper()
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestWarmStartEquivalence is the contract the checkpoint layer exists
+// to honour: for every scheme, resuming from EVERY checkpoint of a run
+// reproduces the cold run's RetireHash and full final Stats exactly —
+// and taking checkpoints does not perturb the run that takes them.
+func TestWarmStartEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warm-start battery is slow under -short")
+	}
+	for _, s := range Schemes() {
+		s := s
+		t.Run(fmt.Sprint(s), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config4Wide()
+			cfg.Scheme = s
+			cfg.Warmup = 1_000
+			cfg.MaxInsts = 4_000
+			if s == TkSel {
+				// Exercise the value-prediction state too on the scheme
+				// with the richest policy snapshot.
+				cfg.ValuePrediction = true
+			}
+
+			plain, _ := coldRun(t, cfg, 1, 0)
+			cold, blobs := coldRun(t, cfg, 1, 1_000)
+			if statsJSON(t, plain) != statsJSON(t, cold) {
+				t.Fatalf("taking checkpoints perturbed the run:\n  plain %s\n  ckpt  %s",
+					statsJSON(t, plain), statsJSON(t, cold))
+			}
+			if len(blobs) == 0 {
+				t.Fatal("run produced no checkpoints")
+			}
+			want := statsJSON(t, cold)
+			for i, blob := range blobs {
+				warm := resumeRun(t, cfg, 1, blob)
+				if warm.RetireHash != cold.RetireHash {
+					t.Errorf("checkpoint %d: retire hash %016x, cold run %016x",
+						i, warm.RetireHash, cold.RetireHash)
+				}
+				if got := statsJSON(t, warm); got != want {
+					t.Errorf("checkpoint %d: stats diverged\n  cold %s\n  warm %s", i, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestWarmStartExtendedTail is the sim-layer use case: a checkpoint
+// taken under a short measured tail seeds a longer run of the same
+// configuration, and the result matches simulating the long run cold.
+func TestWarmStartExtendedTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warm-start battery is slow under -short")
+	}
+	short := Config4Wide()
+	short.Scheme = TkSel
+	short.Warmup = 1_000
+	short.MaxInsts = 2_000
+	long := short
+	long.MaxInsts = 6_000
+
+	_, blobs := coldRun(t, short, 1, 1_500)
+	if len(blobs) == 0 {
+		t.Fatal("short run produced no checkpoints")
+	}
+	cold, _ := coldRun(t, long, 1, 0)
+	warm := resumeRun(t, long, 1, blobs[0])
+	if warm.RetireHash != cold.RetireHash {
+		t.Errorf("retire hash %016x, cold long run %016x", warm.RetireHash, cold.RetireHash)
+	}
+	if got, want := statsJSON(t, warm), statsJSON(t, cold); got != want {
+		t.Errorf("stats diverged\n  cold %s\n  warm %s", want, got)
+	}
+}
+
+// TestRestoreRejects pins the guard rails: configuration drift beyond
+// MaxInsts, monitored runs, and exhausted checkpoints are errors, not
+// silent corruption.
+func TestRestoreRejects(t *testing.T) {
+	cfg := Config4Wide()
+	cfg.Scheme = PosSel
+	cfg.Warmup = 500
+	cfg.MaxInsts = 1_500
+	_, blobs := coldRun(t, cfg, 1, 400)
+	if len(blobs) == 0 {
+		t.Fatal("run produced no checkpoints")
+	}
+	var ms MachineState
+	if err := json.Unmarshal(blobs[0], &ms); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() (*Machine, workload.Stream) {
+		gen, err := workload.NewGenerator(prof, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(cfg, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen2, err := workload.NewGenerator(prof, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, gen2
+	}
+
+	m, gen := fresh()
+	drift := cfg
+	drift.ROBSize *= 2
+	if err := m.Restore(drift, gen, &ms); err == nil {
+		t.Error("restore accepted a configuration with a different ROB size")
+	}
+
+	m, gen = fresh()
+	checked := cfg
+	checked.Check = CheckCheap
+	if err := m.Restore(checked, gen, &ms); err == nil {
+		t.Error("restore accepted a monitored run")
+	}
+
+	m, gen = fresh()
+	done := cfg
+	done.MaxInsts = 1
+	done.Warmup = 0
+	if err := m.Restore(done, gen, &ms); err == nil {
+		t.Error("restore accepted a checkpoint past the run's retirement target")
+	}
+
+	m, gen = fresh()
+	bad := ms
+	bad.Rob = append([]int32(nil), ms.Rob...)
+	bad.Rob[0] = int32(cfg.ROBSize) + 7
+	if err := m.Restore(cfg, gen, &bad); err == nil {
+		t.Error("restore accepted an out-of-range pool reference")
+	}
+}

@@ -36,8 +36,8 @@ var machineHotMethods = []string{
 	"handleKill", "replayLoad", "selectiveKill", "shadowKill",
 	"startReinsert", "handleReinsertStart", "reinsertStep",
 	"refetch", "valueKill", "handleSerialStep",
-	// Observation tap (the monitors hang off it).
-	"emit",
+	// Observation taps (the monitors and the event sink hang off them).
+	"emit", "emitFetch",
 }
 
 // hotFreeFuncs and hotAuxMethods extend the manifest beyond Machine:
@@ -61,8 +61,12 @@ var (
 	}
 	// coldHookMethods are the sanctioned allocation points of the
 	// policy and checker interfaces: reset sizes state before the run,
-	// finish folds results after it.
-	coldHookMethods = map[string]bool{"reset": true, "finish": true}
+	// finish folds results after it, and the snapshot/restore pair runs
+	// only from the checkpoint trigger outside the cycle loop.
+	coldHookMethods = map[string]bool{
+		"reset": true, "finish": true,
+		"snapshotState": true, "restoreState": true,
+	}
 	// coldIfaceMethods are interface-conformance trivia excluded along
 	// with the cold hooks when a policy/checker type's methods are
 	// swept into the manifest.
@@ -138,6 +142,46 @@ func coreManifest(u *Unit, p *Package) map[string]bool {
 		}
 	}
 	return manifest
+}
+
+// evstreamHotFuncs are the event-stream recorder's per-event path: the
+// sink tap the machine calls once per pipeline event, and the page
+// flush it leans on. Recording must preserve the simulator's
+// zero-allocation cycle loop, so these face the same escape gate as
+// the core. Setup, checkpointing and the whole decode side are cold.
+var evstreamHotFuncs = []string{"Recorder.Event", "Recorder.flushPage"}
+
+// evstreamManifest computes the hot function set for the evstream
+// package, with the same drift guard as the core manifest: a stale
+// entry is reported, never silently dropped.
+func evstreamManifest(u *Unit, p *Package) map[string]bool {
+	manifest := make(map[string]bool)
+	for _, f := range evstreamHotFuncs {
+		manifest[f] = true
+	}
+	declared := make(map[string]bool)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				declared[funcKey(fd)] = true
+			}
+		}
+	}
+	for key := range manifest {
+		if !declared[key] {
+			u.Report("escape", p.Files[0].Pos(),
+				"hot-path manifest entry %q matches no declared function in %s; update internal/lint/hotpath.go", key, p.Path)
+		}
+	}
+	return manifest
+}
+
+// EvstreamEscape gates the event-stream recorder.
+func EvstreamEscape(module string) *Escape {
+	return &Escape{
+		PkgPath:  module + "/internal/evstream",
+		Manifest: evstreamManifest,
+	}
 }
 
 // ifaceType resolves a package-scope interface by name.

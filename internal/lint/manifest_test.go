@@ -29,6 +29,7 @@ func TestCoreManifestCoverage(t *testing.T) {
 		"Machine.step", "Machine.runEvents", "Machine.fetch",
 		"Machine.dispatch", "Machine.selectAndIssue", "Machine.handleExec",
 		"Machine.handleComplete", "Machine.retire", "Machine.emit",
+		"Machine.emitFetch",
 	} {
 		if !manifest[key] {
 			t.Errorf("manifest misses cycle-loop function %s", key)
@@ -85,10 +86,44 @@ func TestCoreManifestCoverage(t *testing.T) {
 	}
 
 	// Sanctioned cold paths stay out: reset/finish may allocate, failf
-	// and traceWindow run only on violations.
+	// and traceWindow run only on violations, and the checkpoint
+	// snapshot/restore pair runs outside the cycle loop.
 	for _, key := range []string{
 		"tkselPolicy.reset", "serialPolicy.finish",
 		"monitor.failf", "monitor.traceWindow", "Machine.init",
+		"tkselPolicy.snapshotState", "tkselPolicy.restoreState",
+		"serialPolicy.snapshotState", "serialPolicy.restoreState",
+	} {
+		if manifest[key] {
+			t.Errorf("manifest wrongly includes cold function %s", key)
+		}
+	}
+}
+
+// TestEvstreamManifestCoverage pins the event-stream recorder's escape
+// gate: the per-event sink tap and its page flush are watched, while
+// setup, checkpointing and the decoder stay cold.
+func TestEvstreamManifestCoverage(t *testing.T) {
+	u, err := Load(".", []string{"./internal/evstream"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := u.Pkg(u.Module + "/internal/evstream")
+	if p == nil {
+		t.Fatal("evstream package not loaded")
+	}
+	manifest := evstreamManifest(u, p)
+	if f := u.Findings(); len(f) != 0 {
+		t.Fatalf("manifest has stale entries: %v", f[0])
+	}
+	for _, key := range []string{"Recorder.Event", "Recorder.flushPage"} {
+		if !manifest[key] {
+			t.Errorf("manifest misses recording function %s", key)
+		}
+	}
+	for _, key := range []string{
+		"NewRecorder", "Recorder.Checkpoint", "Recorder.Flush",
+		"Reader.Next", "Reader.decode", "Reader.SeekCycle",
 	} {
 		if manifest[key] {
 			t.Errorf("manifest wrongly includes cold function %s", key)

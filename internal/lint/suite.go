@@ -8,6 +8,7 @@ func Default(module string) []Analyzer {
 	return []Analyzer{
 		DefaultDeterminism(module),
 		DefaultEscape(module),
+		EvstreamEscape(module),
 		DefaultRegistry(module),
 		DefaultStatsComplete(module),
 		DefaultContextHygiene(module),

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/evstream"
+)
+
+// defaultCheckpointEvery is the checkpoint cadence in cycles when
+// Options.CheckpointDir is set but no cadence is given: frequent
+// enough that a warm start skips most of a 200k-instruction run,
+// sparse enough that serialization stays invisible next to
+// simulation.
+const defaultCheckpointEvery = 50_000
+
+// checkpointKey names a spec's checkpoint artifact. The key excludes
+// the measured instruction count on purpose: a checkpoint taken under
+// a short tail seeds a longer run of the same machine (the warm-start
+// use case), so only the fields that change the pre-tail trajectory —
+// spec, warmup, and seed — participate.
+func checkpointKey(spec Spec, opts Options) string {
+	return fmt.Sprintf("%s-w%d-s%d", sanitizeKey(spec.String()), opts.Warmup, opts.Seed)
+}
+
+// checkpointPath places a spec's artifact in the checkpoint directory.
+func checkpointPath(dir string, spec Spec, opts Options) string {
+	return filepath.Join(dir, checkpointKey(spec, opts)+".evs")
+}
+
+// sanitizeKey maps a spec label to a filesystem-safe slug.
+func sanitizeKey(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-', r == '=':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+// ckptLocks serializes writers per artifact path, so engines sharing a
+// checkpoint directory in one process never interleave rewrites.
+var ckptLocks sync.Map // path -> *sync.Mutex
+
+func ckptLock(path string) *sync.Mutex {
+	mu, _ := ckptLocks.LoadOrStore(path, &sync.Mutex{})
+	return mu.(*sync.Mutex)
+}
+
+// saveCheckpoint atomically rewrites a spec's artifact with one
+// checkpoint: a minimal .evs stream (magic, header, a single
+// checkpoint record). Write-to-temp-then-rename keeps a concurrent
+// loader from ever seeing a torn file, and each rewrite supersedes the
+// previous checkpoint so the artifact always holds the furthest point
+// reached.
+func saveCheckpoint(path string, hdr evstream.Header, st *core.MachineState) error {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("sim: encoding checkpoint: %w", err)
+	}
+	mu := ckptLock(path)
+	mu.Lock()
+	defer mu.Unlock()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	rec, err := evstream.NewRecorder(f, hdr)
+	if err == nil {
+		err = rec.Checkpoint(st.Cycle, payload)
+	}
+	if err == nil {
+		err = rec.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sim: checkpoint %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sim: checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads a spec's artifact back into a machine state.
+// A missing file is (nil, nil) — cold start, not an error; a corrupt
+// file is an error the caller treats the same way.
+func loadCheckpoint(path string) (*core.MachineState, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := evstream.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			return nil, fmt.Errorf("sim: checkpoint %s holds no checkpoint record", path)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Kind != evstream.RecCheckpoint {
+			continue
+		}
+		var st core.MachineState
+		if err := json.Unmarshal(rec.Checkpoint, &st); err != nil {
+			return nil, fmt.Errorf("sim: checkpoint %s: %w", path, err)
+		}
+		return &st, nil
+	}
+}

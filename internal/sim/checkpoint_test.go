@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestEngineWarmStart: an engine with a checkpoint directory writes
+// one artifact per spec, and a second engine over the same directory
+// warm-starts from it — including with a longer measured tail — and
+// reproduces the cold result bit for bit.
+func TestEngineWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Bench: "gcc", Scheme: core.TkSel}
+	short := Options{Insts: 6_000, Warmup: 2_000, Seed: 1, Parallelism: 1,
+		CheckpointDir: dir, CheckpointEvery: 1_000}
+
+	cold, err := Run(context.Background(), spec, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := checkpointPath(dir, spec.Normalize(), short.withDefaults())
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("run left no checkpoint artifact: %v", err)
+	}
+
+	// Same options again: the warm run must match the cold one exactly.
+	e := NewEngine(short)
+	warm, err := e.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := e.Snapshot(); snap.Warmed != 1 {
+		t.Errorf("engine warm-started %d runs, want 1", snap.Warmed)
+	}
+	assertSameRun(t, cold, warm)
+
+	// Longer tail, same spec/warmup/seed: warm-start from the short
+	// run's artifact must equal the cold long run.
+	long := short
+	long.Insts = 12_000
+	long.CheckpointDir = ""
+	coldLong, err := Run(context.Background(), spec, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long.CheckpointDir = dir
+	e2 := NewEngine(long)
+	warmLong, err := e2.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := e2.Snapshot(); snap.Warmed != 1 {
+		t.Errorf("long-tail engine warm-started %d runs, want 1", snap.Warmed)
+	}
+	assertSameRun(t, coldLong, warmLong)
+}
+
+// TestEngineWarmStartFallbacks: corrupt artifacts, differing seeds and
+// monitored runs all simulate cold instead of failing or (worse)
+// silently diverging.
+func TestEngineWarmStartFallbacks(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Bench: "mcf", Scheme: core.PosSel}
+	opts := Options{Insts: 4_000, Warmup: 1_000, Seed: 1, Parallelism: 1,
+		CheckpointDir: dir, CheckpointEvery: 1_000}
+
+	cold, err := Run(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := checkpointPath(dir, spec.Normalize(), opts.withDefaults())
+
+	// Corrupt artifact: cold start, same result, artifact rewritten.
+	if err := os.WriteFile(path, []byte("SREVENT1 garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(opts)
+	out, err := e.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := e.Snapshot(); snap.Warmed != 0 {
+		t.Errorf("engine warm-started from a corrupt artifact")
+	}
+	assertSameRun(t, cold, out)
+
+	// A different seed keys a different artifact: no false warm start.
+	seeded := opts
+	seeded.Seed = 2
+	if p2 := checkpointPath(dir, spec.Normalize(), seeded.withDefaults()); p2 == path {
+		t.Error("different seeds share a checkpoint artifact path")
+	}
+
+	// Monitored runs never touch checkpoints.
+	checked := spec
+	checked.Over.Check = core.CheckCheap
+	e3 := NewEngine(opts)
+	if _, err := e3.Run(context.Background(), checked); err != nil {
+		t.Fatal(err)
+	}
+	if p := checkpointPath(dir, checked.Normalize(), opts.withDefaults()); fileExists(p) {
+		t.Error("monitored run wrote a checkpoint artifact")
+	}
+	if snap := e3.Snapshot(); snap.Warmed != 0 {
+		t.Error("monitored run warm-started")
+	}
+}
+
+// TestCheckpointArtifactShape: the artifact is a well-formed
+// single-checkpoint .evs stream whose payload decodes into a machine
+// state for the right configuration.
+func TestCheckpointArtifactShape(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Bench: "gcc", Scheme: core.SerialVerify}
+	opts := Options{Insts: 4_000, Warmup: 1_000, Seed: 1, Parallelism: 1,
+		CheckpointDir: dir, CheckpointEvery: 1_000}
+	if _, err := Run(context.Background(), spec, opts); err != nil {
+		t.Fatal(err)
+	}
+	path := checkpointPath(dir, spec.Normalize(), opts.withDefaults())
+	ms, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms == nil {
+		t.Fatal("artifact holds no checkpoint")
+	}
+	if ms.Config.Scheme != core.SerialVerify || ms.Cycle <= 0 {
+		t.Errorf("checkpoint state: scheme %v at cycle %d", ms.Config.Scheme, ms.Cycle)
+	}
+	if ms.Policy == nil || len(ms.Policy.SerialChains) == 0 {
+		t.Error("SerialVerify checkpoint carries no wavefront state")
+	}
+	// No temp file left behind.
+	if fileExists(path + ".tmp") {
+		t.Error("atomic rewrite left its temp file")
+	}
+	leftover, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftover) != 0 {
+		t.Errorf("temp files left behind: %v", leftover)
+	}
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+func assertSameRun(t *testing.T, a, b *RunOut) {
+	t.Helper()
+	if a.Stats.RetireHash != b.Stats.RetireHash {
+		t.Errorf("retire hash %016x vs %016x", a.Stats.RetireHash, b.Stats.RetireHash)
+	}
+	aj, err := json.Marshal(a.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Errorf("stats diverged\n  a %s\n  b %s", aj, bj)
+	}
+}

@@ -125,6 +125,12 @@ func (s Spec) baseConfig() core.Config {
 	return core.Config4Wide()
 }
 
+// Config materializes the spec (plus the engine's run-length options)
+// into a machine configuration — the exact configuration Engine.Run
+// would simulate. The validation layer uses it to re-run a finding's
+// spec on a bare machine with an event recorder attached.
+func (s Spec) Config(opts Options) core.Config { return s.config(opts) }
+
 // config materializes the spec (plus the engine's run-length options)
 // into a machine configuration.
 func (s Spec) config(opts Options) core.Config {

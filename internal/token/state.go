@@ -1,0 +1,57 @@
+package token
+
+import (
+	"fmt"
+
+	"repro/internal/smpred"
+)
+
+// State is an Allocator's serializable contents: per-token holders and
+// confidences, the LIFO free list in order, and the statistics. The
+// pool size is not part of the state (a checkpoint pairs it with the
+// machine Config that rebuilds the same pool).
+type State struct {
+	Holder  []int64 `json:"holder"`
+	Conf    []uint8 `json:"conf"`
+	Free    []int   `json:"free"`
+	Allocs  uint64  `json:"allocs"`
+	Steals  uint64  `json:"steals"`
+	Refused uint64  `json:"refused"`
+}
+
+// State snapshots the allocator for a checkpoint.
+func (a *Allocator) State() State {
+	st := State{
+		Holder:  append([]int64(nil), a.holder...),
+		Conf:    make([]uint8, len(a.conf)),
+		Free:    append([]int(nil), a.free...),
+		Allocs:  a.allocs,
+		Steals:  a.steals,
+		Refused: a.refused,
+	}
+	for i, c := range a.conf {
+		st.Conf[i] = uint8(c)
+	}
+	return st
+}
+
+// RestoreState loads a snapshot taken from an allocator of identical
+// pool size; a shape mismatch is an error.
+func (a *Allocator) RestoreState(st State) error {
+	if len(st.Holder) != a.n || len(st.Conf) != a.n || len(st.Free) > a.n {
+		return fmt.Errorf("token: state shape %d/%d/%d does not match pool size %d",
+			len(st.Holder), len(st.Conf), len(st.Free), a.n)
+	}
+	for _, id := range st.Free {
+		if id < 0 || id >= a.n {
+			return fmt.Errorf("token: state frees token %d, outside pool 0..%d", id, a.n-1)
+		}
+	}
+	copy(a.holder, st.Holder)
+	for i, c := range st.Conf {
+		a.conf[i] = smpred.Confidence(c)
+	}
+	a.free = append(a.free[:0], st.Free...)
+	a.allocs, a.steals, a.refused = st.Allocs, st.Steals, st.Refused
+	return nil
+}

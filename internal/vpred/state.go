@@ -1,0 +1,48 @@
+package vpred
+
+import "fmt"
+
+// EntryState is one last-value-table entry's serialized form.
+type EntryState struct {
+	Tag   uint64 `json:"tag"`
+	Valid bool   `json:"valid,omitempty"`
+	Conf  uint8  `json:"conf,omitempty"`
+}
+
+// State is a Predictor's serializable contents; geometry is not part
+// of the state (a checkpoint pairs it with the Config that rebuilds
+// the same shape).
+type State struct {
+	Table       []EntryState `json:"table"`
+	Lookups     uint64       `json:"lookups"`
+	Predictions uint64       `json:"predictions"`
+	Correct     uint64       `json:"correct"`
+}
+
+// State snapshots the predictor for a checkpoint.
+func (p *Predictor) State() State {
+	st := State{
+		Table:       make([]EntryState, len(p.table)),
+		Lookups:     p.lookups,
+		Predictions: p.predictions,
+		Correct:     p.correct,
+	}
+	for i, e := range p.table {
+		st.Table[i] = EntryState{Tag: e.tag, Valid: e.valid, Conf: e.conf}
+	}
+	return st
+}
+
+// RestoreState loads a snapshot taken from a predictor of identical
+// configuration; a shape mismatch is an error.
+func (p *Predictor) RestoreState(st State) error {
+	if len(st.Table) != len(p.table) {
+		return fmt.Errorf("vpred: state holds %d entries, configuration wants %d",
+			len(st.Table), len(p.table))
+	}
+	for i, e := range st.Table {
+		p.table[i] = entry{tag: e.Tag, valid: e.Valid, conf: e.Conf}
+	}
+	p.lookups, p.predictions, p.correct = st.Lookups, st.Predictions, st.Correct
+	return nil
+}
