@@ -1,19 +1,24 @@
 // Command replaysim runs one simulation of the speculative-scheduling
-// machine and prints its scheduler statistics.
+// machine and prints its scheduler statistics — locally, or on a simd
+// server with -remote.
 //
 // Usage:
 //
 //	replaysim -bench gcc -scheme TkSel -wide8 -insts 200000
+//	replaysim -bench mcf -scheme TkSel -json
+//	replaysim -remote http://localhost:8080 -bench mcf -scheme TkSel
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/simflag"
@@ -27,7 +32,9 @@ func main() {
 	f.RegisterLength(flag.CommandLine)
 	f.RegisterSeed(flag.CommandLine)
 	f.RegisterCheck(flag.CommandLine)
+	f.RegisterRemote(flag.CommandLine)
 	tokens := flag.Int("tokens", 0, "token pool override for TkSel (0 = Table 3 default)")
+	jsonOut := flag.Bool("json", false, "emit the result as v1 wire JSON (api.Result) instead of text")
 	flag.Parse()
 
 	if f.HandleListSchemes(os.Stdout) {
@@ -45,13 +52,25 @@ func main() {
 
 	opts := f.Options()
 	opts.Parallelism = 1
-	out, err := sim.Run(ctx, sim.Spec{
+	runner, stopRunner := f.Runner(ctx, opts)
+	out, err := runner.Run(ctx, sim.Spec{
 		Bench: f.Bench, Wide8: f.Wide8, Scheme: scheme,
 		Over: sim.Overrides{Tokens: *tokens, Check: check},
-	}, opts)
+	})
+	stopRunner()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(api.FromRunOut(out, opts.Insts, opts.Warmup, opts.Seed)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	st := out.Stats

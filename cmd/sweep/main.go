@@ -14,10 +14,12 @@
 //	sweep -what tokens -bench mcf
 //	sweep -what depth,window -bench gcc -scheme NonSel
 //	sweep -what rq -journal rq.jsonl
+//	sweep -what tokens -remote http://localhost:8080 -json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/signal"
@@ -26,6 +28,7 @@ import (
 
 	"flag"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/simflag"
@@ -196,6 +199,7 @@ var sweeps = []sweep{
 
 func main() {
 	what := flag.String("what", "tokens", "sweeps to run (comma-separated): tokens, depth, predictor, window, rq, vp")
+	jsonOut := flag.Bool("json", false, "emit the results as v1 wire JSON (api.SweepResponse) instead of tables")
 	f := simflag.New()
 	f.Bench = "mcf"
 	f.SchemeName = "TkSel"
@@ -207,6 +211,7 @@ func main() {
 	f.RegisterSeed(flag.CommandLine)
 	f.RegisterBatch(flag.CommandLine)
 	f.RegisterCheck(flag.CommandLine)
+	f.RegisterRemote(flag.CommandLine)
 	flag.Parse()
 
 	if f.HandleListSchemes(os.Stdout) {
@@ -240,23 +245,38 @@ func main() {
 	status := simflag.NewStatus(os.Stderr, f.Progress)
 	opts := f.Options()
 	opts.OnProgress = status.Update
-	eng := sim.NewEngine(opts)
-	defer eng.Close()
+	runner, stopRunner := f.Runner(ctx, opts)
 
 	// One RunAll over every sweep's specs: points run in parallel and
-	// duplicates across sweeps simulate once.
+	// duplicates across sweeps simulate once (locally in the engine's
+	// memoization, remotely in the server's store and singleflight).
 	var all []sim.Spec
 	for _, sw := range todo {
 		all = append(all, sw.specs(f, scheme)...)
 	}
-	outs, err := eng.RunAll(ctx, all)
+	outs, err := runner.RunAll(ctx, all)
+	stopRunner()
 	status.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		if ctx.Err() != nil && f.Journal != "" {
+		if ctx.Err() != nil && f.Journal != "" && f.Remote == "" {
 			fmt.Fprintf(os.Stderr, "interrupted; rerun with -journal %s to resume\n", f.Journal)
 		}
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		resp := api.SweepResponse{API: api.Version, Results: make([]*api.Result, len(outs))}
+		for i, out := range outs {
+			resp.Results[i] = api.FromRunOut(out, opts.Insts, opts.Warmup, opts.Seed)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	i := 0
@@ -266,7 +286,9 @@ func main() {
 		i += n
 	}
 
-	snap := eng.Snapshot()
-	fmt.Fprintf(os.Stderr, "%d spec requests, %d distinct simulations cached, %d resumed from journal\n",
-		snap.Queued, eng.Cached(), snap.Resumed)
+	if eng, ok := runner.(*sim.Engine); ok {
+		snap := eng.Snapshot()
+		fmt.Fprintf(os.Stderr, "%d spec requests, %d distinct simulations cached, %d resumed from journal\n",
+			snap.Queued, eng.Cached(), snap.Resumed)
+	}
 }

@@ -10,10 +10,12 @@
 //
 //	validate -schemes all -bench all -seeds 3
 //	validate -schemes TkSel,DSel -bench gcc,mcf -levels off,full -insts 20000
+//	validate -schemes TkSel -bench gcc -json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/api"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/simflag"
@@ -42,6 +45,7 @@ func main() {
 	progress := flag.Bool("progress", true, "render a live status line on stderr")
 	streams := flag.String("streams", "",
 		"directory for replayable .evs streams of failing runs (pipeview -replay renders them)")
+	jsonOut := flag.Bool("json", false, "emit the report as v1 wire JSON (api.ValidateReport) instead of text")
 	flag.Parse()
 
 	opts, err := parseMatrix(*schemesFlag, *benchFlag, *levelsFlag, *seeds)
@@ -75,6 +79,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(api.FromReport(report)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !report.OK() {
+			os.Exit(1)
+		}
+		return
 	}
 
 	for _, f := range report.Findings {

@@ -1,0 +1,242 @@
+package api
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/smpred"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire fixtures")
+
+// sampleMeter builds a tiny deterministic coverage meter.
+func sampleMeter() *smpred.CoverageMeter {
+	var m smpred.CoverageMeter
+	m.Record(smpred.Confidence(3), true)
+	m.Record(smpred.Confidence(0), false)
+	return &m
+}
+
+// sampleStats is a fixed, fully-populated-enough Stats for the wire
+// fixtures; the stats schema itself is owned by core and its JSON
+// round-trip is pinned by the stats-completeness lint rule.
+func sampleStats() *core.Stats {
+	return &core.Stats{
+		Cycles: 12345, Retired: 8000,
+		TotalIssues: 9000, FirstIssues: 8500, LoadIssues: 2200,
+		LoadSchedMisses: 140, CacheMisses: 90, AliasMisses: 50,
+		BranchLookups: 700, BranchMispredicts: 31,
+		RetireHash: 0x1badd00d,
+	}
+}
+
+// wireSamples pins one representative value per wire type. Changing
+// any marshaled byte of these is a v1 schema break and must instead go
+// into a v2.
+func wireSamples() map[string]any {
+	spec := Spec{
+		Bench:  "mcf",
+		Wide8:  true,
+		Scheme: "TkSel",
+		Over:   &Overrides{Tokens: 8, ReplayQueue: true, Check: "cheap"},
+	}
+	plain := Spec{Bench: "gcc", Scheme: "PosSel"}
+	result := &Result{
+		API:    Version,
+		Key:    "0ed325899b1c12f45ea4a37d3e1c2b6a3cf5a7d88c5e3d1a9b2c4e6f80123456",
+		Spec:   spec,
+		Insts:  200000,
+		Warmup: 60000,
+		Seed:   1,
+		Stats:  sampleStats(),
+		Meter:  sampleMeter(),
+	}
+	progress := Progress{
+		Queued: 42, Running: 3, Done: 38, Failed: 1,
+		CacheHits: 30, Collapsed: 6, EngineRuns: 8,
+		Resumed: 2, Retried: 1, Warmed: 4,
+		Insts: 1600000, ElapsedMS: 2500,
+	}
+	return map[string]any{
+		"run_request": RunRequest{Spec: spec, Insts: 200000, Warmup: 60000, Seed: 1},
+		"sweep_request": SweepRequest{
+			Specs: []Spec{plain, spec},
+			Insts: 100000, Warmup: 60000, Seed: 1,
+		},
+		"result": result,
+		"sweep_response": SweepResponse{
+			API:     Version,
+			Results: []*Result{result, nil},
+			Errors: []SweepError{{
+				Index: 1,
+				Spec:  Spec{Bench: "nope", Scheme: "PosSel"},
+				Error: "unknown benchmark \"nope\"",
+			}},
+		},
+		"progress": progress,
+		"info": Info{
+			API: Version, Insts: 200000, Warmup: 60000, Seed: 1, Shards: 4,
+			Schemes:      []string{"PosSel", "TkSel"},
+			Benches:      []string{"gcc", "mcf"},
+			StoreEntries: 17,
+			Progress:     progress,
+		},
+		"error": Error{Error: "unknown scheme \"Bogus\""},
+		"validate_report": &ValidateReport{
+			API:  Version,
+			Runs: 972,
+			Findings: []Finding{{
+				Spec: plain, Seed: 2, Kind: "oracle-hash",
+				Msg:        "retire-stream digest diverges from the magic-scheduler oracle",
+				Violations: []string{"retire density 5 > width 4 at cycle 812 (stream cursor 4096)"},
+				Stream:     "streams/gcc-possel-seed2.evs",
+			}},
+		},
+	}
+}
+
+// TestWireGolden pins the v1 wire format byte for byte. Run with
+// -update to regenerate after an intentional (additive) change.
+func TestWireGolden(t *testing.T) {
+	for name, v := range wireSamples() {
+		t.Run(name, func(t *testing.T) {
+			got, err := json.MarshalIndent(v, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden", name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to write the fixture)", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("wire format drifted from the v1 golden fixture %s:\n got: %s\nwant: %s",
+					path, got, want)
+			}
+			// Round trip: the fixture decodes back to the same value.
+			back := reflect.New(reflect.TypeOf(v)).Interface()
+			if err := json.Unmarshal(want, back); err != nil {
+				t.Fatalf("golden %s does not unmarshal: %v", name, err)
+			}
+			rt, err := json.MarshalIndent(reflect.ValueOf(back).Elem().Interface(), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(append(rt, '\n')) != string(want) {
+				t.Errorf("%s does not round-trip through its own wire form", name)
+			}
+		})
+	}
+}
+
+func TestSpecConversionRoundTrip(t *testing.T) {
+	specs := []sim.Spec{
+		{Bench: "gcc", Scheme: core.PosSel},
+		{Bench: "mcf", Wide8: true, Scheme: core.TkSel,
+			Over: sim.Overrides{Tokens: 8, ReplayQueue: true, Check: core.CheckFull}},
+		{Bench: "gzip", Scheme: core.SerialVerify,
+			Over: sim.Overrides{IQSize: 48, ValuePrediction: true}},
+	}
+	for _, s := range specs {
+		w := FromSimSpec(s)
+		back, err := w.ToSim()
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if back != s {
+			t.Errorf("spec round trip: got %+v, want %+v", back, s)
+		}
+	}
+	// Zero overrides collapse to an absent object.
+	if w := FromSimSpec(sim.Spec{Bench: "gcc", Scheme: core.PosSel}); w.Over != nil {
+		t.Error("zero overrides should marshal as an absent over object")
+	}
+}
+
+func TestSpecConversionErrors(t *testing.T) {
+	if _, err := (Spec{Bench: "gcc", Scheme: "Bogus"}).ToSim(); err == nil {
+		t.Error("unknown scheme should fail conversion")
+	}
+	bad := Spec{Bench: "gcc", Scheme: "PosSel", Over: &Overrides{Check: "paranoid"}}
+	if _, err := bad.ToSim(); err == nil {
+		t.Error("unknown check level should fail conversion")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	spec := sim.Spec{Bench: "mcf", Scheme: core.TkSel, Over: sim.Overrides{Tokens: 8}}
+	out := &sim.RunOut{Spec: spec.Normalize(), Stats: sampleStats(), Meter: sampleMeter()}
+	r := FromRunOut(out, 200000, 60000, 1)
+	if r.Key != Key(spec, 200000, 60000, 1) {
+		t.Error("result key disagrees with Key()")
+	}
+	back, err := r.ToRunOut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec != out.Spec {
+		t.Errorf("spec: got %+v want %+v", back.Spec, out.Spec)
+	}
+	if !reflect.DeepEqual(back.Stats, out.Stats) || !reflect.DeepEqual(back.Meter, out.Meter) {
+		t.Error("stats or meter diverge across the wire")
+	}
+	if _, err := (&Result{Spec: r.Spec}).ToRunOut(); err == nil {
+		t.Error("result without stats should fail conversion")
+	}
+}
+
+// TestKeyGolden pins v1 content addressing: if this hash ever changes,
+// every deployed store and cache silently invalidates — that is a new
+// wire version, not an edit.
+func TestKeyGolden(t *testing.T) {
+	spec := sim.Spec{Bench: "mcf", Wide8: true, Scheme: core.TkSel, Over: sim.Overrides{Tokens: 8}}
+	got := Key(spec, 200000, 60000, 1)
+	const want = "4e6eda907a7c76b446cc31f371fdcf9234ff12d57d207ae9c25b3daf0c80c5e8"
+	if got != want {
+		t.Errorf("v1 key drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestKeyNormalizationEquivalence(t *testing.T) {
+	// Tokens=32 is the 8-wide Table 3 default, so these are the same
+	// machine and must share an address.
+	base := sim.Spec{Bench: "gcc", Wide8: true, Scheme: core.TkSel}
+	same := sim.Spec{Bench: "gcc", Wide8: true, Scheme: core.TkSel}
+	same.Over.Tokens = base.Normalize().Config(sim.Options{}).Tokens
+	if Key(base, 1000, 100, 1) != Key(same, 1000, 100, 1) {
+		t.Error("normalization-equal specs should share a content address")
+	}
+	if Key(base, 1000, 100, 1) == Key(base, 2000, 100, 1) {
+		t.Error("different run lengths must not share a content address")
+	}
+	if Key(base, 1000, 100, 1) == Key(base, 1000, 100, 2) {
+		t.Error("different seeds must not share a content address")
+	}
+}
+
+func TestValidKey(t *testing.T) {
+	good := Key(sim.Spec{Bench: "gcc", Scheme: core.PosSel}, 1, 1, 1)
+	if !ValidKey(good) {
+		t.Error("real key rejected")
+	}
+	for _, bad := range []string{"", "abc", good[:KeyLen-1] + "G", good + "0", "../../etc/passwd"} {
+		if ValidKey(bad) {
+			t.Errorf("ValidKey(%q) = true, want false", bad)
+		}
+	}
+}

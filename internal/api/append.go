@@ -1,0 +1,40 @@
+package api
+
+import "strconv"
+
+// AppendProgress appends the canonical JSON encoding of p to dst and
+// returns the extended slice. It produces byte-identical output to
+// encoding/json on the Progress struct (pinned by
+// TestAppendProgressMatchesJSON) while allocating nothing beyond dst's
+// own growth — the SSE progress loop serializes into one reusable
+// buffer per subscriber at up to 100 events/second/client, and that
+// path is under the repolint escape gate like the simulator's own hot
+// loops.
+func AppendProgress(dst []byte, p Progress) []byte {
+	dst = append(dst, `{"queued":`...)
+	dst = strconv.AppendInt(dst, p.Queued, 10)
+	dst = append(dst, `,"running":`...)
+	dst = strconv.AppendInt(dst, p.Running, 10)
+	dst = append(dst, `,"done":`...)
+	dst = strconv.AppendInt(dst, p.Done, 10)
+	dst = append(dst, `,"failed":`...)
+	dst = strconv.AppendInt(dst, p.Failed, 10)
+	dst = append(dst, `,"cacheHits":`...)
+	dst = strconv.AppendInt(dst, p.CacheHits, 10)
+	dst = append(dst, `,"collapsed":`...)
+	dst = strconv.AppendInt(dst, p.Collapsed, 10)
+	dst = append(dst, `,"engineRuns":`...)
+	dst = strconv.AppendInt(dst, p.EngineRuns, 10)
+	dst = append(dst, `,"resumed":`...)
+	dst = strconv.AppendInt(dst, p.Resumed, 10)
+	dst = append(dst, `,"retried":`...)
+	dst = strconv.AppendInt(dst, p.Retried, 10)
+	dst = append(dst, `,"warmed":`...)
+	dst = strconv.AppendInt(dst, p.Warmed, 10)
+	dst = append(dst, `,"insts":`...)
+	dst = strconv.AppendInt(dst, p.Insts, 10)
+	dst = append(dst, `,"elapsedMs":`...)
+	dst = strconv.AppendInt(dst, p.ElapsedMS, 10)
+	dst = append(dst, '}')
+	return dst
+}

@@ -1,0 +1,57 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func progressCases() []Progress {
+	return []Progress{
+		{},
+		{Queued: 1, Done: 1, CacheHits: 1, ElapsedMS: 9},
+		{
+			Queued: 1 << 40, Running: 16, Done: 123456789, Failed: 7,
+			CacheHits: 99999999, Collapsed: 1024, EngineRuns: 168,
+			Resumed: 3, Retried: 2, Warmed: 42,
+			Insts: 3_200_000_000, ElapsedMS: 86_400_000,
+		},
+	}
+}
+
+// AppendProgress must produce exactly encoding/json's bytes for the
+// Progress struct: the SSE stream and the plain JSON endpoints are the
+// same wire format, serialized two ways.
+func TestAppendProgressMatchesJSON(t *testing.T) {
+	for _, p := range progressCases() {
+		want, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := AppendProgress(nil, p)
+		if string(got) != string(want) {
+			t.Errorf("AppendProgress diverges from encoding/json:\n got %s\nwant %s", got, want)
+		}
+	}
+}
+
+// The per-event serialization on the SSE hot path must not allocate
+// once the subscriber's buffer has grown to size.
+func TestAppendProgressZeroAlloc(t *testing.T) {
+	p := progressCases()[2]
+	buf := make([]byte, 0, 512)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = AppendProgress(buf[:0], p)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendProgress allocates %.1f times per event, want 0", allocs)
+	}
+}
+
+func BenchmarkAppendProgress(b *testing.B) {
+	p := progressCases()[2]
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendProgress(buf[:0], p)
+	}
+}

@@ -1,0 +1,231 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Client is the HTTP side of the v1 wire API: a sim.Runner whose specs
+// execute on a simd server. The zero run-length options inherit the
+// server's; non-zero ones are sent with every request so a mismatch
+// against the server's pinned lengths fails loudly (400) instead of
+// silently answering with a different run.
+//
+// A Client is safe for concurrent use; the load test drives thousands
+// of goroutines through one.
+type Client struct {
+	base   string
+	hc     *http.Client
+	insts  int64
+	warmup int64
+	seed   int64
+}
+
+var _ sim.Runner = (*Client)(nil)
+
+// NewClient builds a client for the server at base (e.g.
+// "http://localhost:8080"). The options' run-length fields ride along
+// on every submission; everything else in opts is local-engine
+// configuration and is ignored.
+func NewClient(base string, opts sim.Options) *Client {
+	return &Client{
+		base:   strings.TrimRight(base, "/"),
+		hc:     &http.Client{},
+		insts:  opts.Insts,
+		warmup: opts.Warmup,
+		seed:   opts.Seed,
+	}
+}
+
+// SetHTTPClient swaps the underlying http.Client (custom transports
+// for load tests, timeouts for batch jobs).
+func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
+
+// Run executes one spec on the server and returns its result.
+func (c *Client) Run(ctx context.Context, spec sim.Spec) (*sim.RunOut, error) {
+	req := RunRequest{Spec: FromSimSpec(spec), Insts: c.insts, Warmup: c.warmup, Seed: c.seed}
+	var res Result
+	if err := c.post(ctx, "/run", req, &res); err != nil {
+		return nil, err
+	}
+	return res.ToRunOut()
+}
+
+// RunAll executes a matrix on the server. Like the engine's RunAll it
+// never fails fast: outputs come back in spec order with failed
+// positions nil, and the per-spec errors are joined into the error
+// value.
+func (c *Client) RunAll(ctx context.Context, specs []sim.Spec) ([]*sim.RunOut, error) {
+	req := SweepRequest{Specs: make([]Spec, len(specs)), Insts: c.insts, Warmup: c.warmup, Seed: c.seed}
+	for i, s := range specs {
+		req.Specs[i] = FromSimSpec(s)
+	}
+	var res SweepResponse
+	if err := c.post(ctx, "/sweep", req, &res); err != nil {
+		return nil, err
+	}
+	if len(res.Results) != len(specs) {
+		return nil, fmt.Errorf("api: sweep returned %d results for %d specs", len(res.Results), len(specs))
+	}
+	outs := make([]*sim.RunOut, len(specs))
+	errs := make([]error, 0, len(res.Errors))
+	for i, r := range res.Results {
+		if r == nil {
+			continue
+		}
+		out, err := r.ToRunOut()
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		outs[i] = out
+	}
+	for _, e := range res.Errors {
+		errs = append(errs, fmt.Errorf("api: spec %d (%s %s): %s", e.Index, e.Spec.Bench, e.Spec.Scheme, e.Error))
+	}
+	return outs, errors.Join(errs...)
+}
+
+// Info fetches the server's description and live counters.
+func (c *Client) Info(ctx context.Context) (*Info, error) {
+	var info Info
+	if err := c.get(ctx, "/info", &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// ResultBytes fetches a stored result by content-address key, raw. A
+// missing key is an error (the store answers 404); the server never
+// simulates on this path.
+func (c *Client) ResultBytes(ctx context.Context, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathPrefix+"/result/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// StreamProgress subscribes to the server's SSE progress stream and
+// calls fn for every event until fn returns false, the stream ends, or
+// ctx is canceled (which returns ctx's error).
+func (c *Client) StreamProgress(ctx context.Context, fn func(Progress) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathPrefix+"/progress", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return apiError(resp.StatusCode, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case len(line) == 0: // event boundary
+			if len(data) == 0 {
+				continue
+			}
+			var p Progress
+			if err := json.Unmarshal(data, &p); err != nil {
+				return fmt.Errorf("api: progress event: %w", err)
+			}
+			data = data[:0]
+			if !fn(p) {
+				return nil
+			}
+		case bytes.HasPrefix(line, []byte("data: ")):
+			data = append(data, line[len("data: "):]...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Cancellation surfaces as a read error on the streaming body;
+		// report it as the context's error, which is what it means.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return nil
+}
+
+// post sends a JSON request body and decodes a JSON response into out.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+PathPrefix+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+// get fetches a JSON response into out.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathPrefix+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp.StatusCode, body)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// apiError decodes the server's error envelope, falling back to the
+// raw body when the response is not the expected JSON.
+func apiError(status int, body []byte) error {
+	var e Error
+	if err := json.Unmarshal(body, &e); err == nil && e.Error != "" {
+		return fmt.Errorf("api: server: %s (HTTP %d)", e.Error, status)
+	}
+	return fmt.Errorf("api: server: HTTP %d: %s", status, strings.TrimSpace(string(body)))
+}

@@ -1,0 +1,65 @@
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"repro/internal/sim"
+)
+
+// keyEnvelope is the canonical byte form a content address is computed
+// over: the wire version, the normalized wire spec, and the run
+// lengths. JSON struct marshaling is deterministic (field order is
+// declaration order, redundant overrides are normalized away before
+// encoding), so equal runs hash equal and the golden key test pins the
+// v1 addressing for good.
+type keyEnvelope struct {
+	API    string `json:"api"`
+	Spec   Spec   `json:"spec"`
+	Insts  int64  `json:"insts"`
+	Warmup int64  `json:"warmup"`
+	Seed   int64  `json:"seed"`
+}
+
+// KeyLen is the length of a content-address key in hex characters.
+const KeyLen = sha256.Size * 2
+
+// Key returns the v1 content address of one run: the hex SHA-256 of
+// the canonical key envelope. Two specs that normalize equal — the
+// engine's memoization equivalence — produce the same key, so the
+// store, the engine cache and the journal all agree on what "the same
+// run" means. The run lengths are part of the address: a longer run of
+// the same spec is a different result.
+func Key(spec sim.Spec, insts, warmup, seed int64) string {
+	env := keyEnvelope{
+		API:    Version,
+		Spec:   FromSimSpec(spec.Normalize()),
+		Insts:  insts,
+		Warmup: warmup,
+		Seed:   seed,
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		// Marshaling a struct of strings, bools and ints cannot fail.
+		panic("api: key envelope: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// ValidKey reports whether s has the shape of a content-address key
+// (lower-case hex of the right length). The server uses it to reject
+// malformed result lookups before touching the filesystem.
+func ValidKey(s string) bool {
+	if len(s) != KeyLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

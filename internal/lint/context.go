@@ -17,9 +17,16 @@ type ContextHygiene struct {
 	Paths []string
 }
 
-// DefaultContextHygiene covers the batch simulation engine.
+// DefaultContextHygiene covers the batch simulation engine and the
+// service layer on top of it (the wire client and the HTTP server),
+// where a detached context would quietly sever a request from its
+// client's disconnect or the server's shutdown.
 func DefaultContextHygiene(module string) *ContextHygiene {
-	return &ContextHygiene{Paths: []string{module + "/internal/sim"}}
+	return &ContextHygiene{Paths: []string{
+		module + "/internal/sim",
+		module + "/internal/api",
+		module + "/internal/serve",
+	}}
 }
 
 func (*ContextHygiene) Name() string { return "context" }

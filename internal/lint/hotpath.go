@@ -155,8 +155,61 @@ var evstreamHotFuncs = []string{"Recorder.Event", "Recorder.flushPage"}
 // package, with the same drift guard as the core manifest: a stale
 // entry is reported, never silently dropped.
 func evstreamManifest(u *Unit, p *Package) map[string]bool {
-	manifest := make(map[string]bool)
-	for _, f := range evstreamHotFuncs {
+	return listManifest(u, p, evstreamHotFuncs)
+}
+
+// EvstreamEscape gates the event-stream recorder.
+func EvstreamEscape(module string) *Escape {
+	return &Escape{
+		PkgPath:  module + "/internal/evstream",
+		Manifest: evstreamManifest,
+	}
+}
+
+// apiHotFuncs is the wire package's per-event serialization path: the
+// allocation-free Progress encoder the SSE loop calls once per event
+// per subscriber. TestAppendProgressZeroAlloc proves the property
+// empirically; the gate proves it from escape analysis and names the
+// function when an edit breaks it.
+var apiHotFuncs = []string{"AppendProgress"}
+
+func apiManifest(u *Unit, p *Package) map[string]bool {
+	return listManifest(u, p, apiHotFuncs)
+}
+
+// ApiEscape gates the wire package's SSE serializer.
+func ApiEscape(module string) *Escape {
+	return &Escape{
+		PkgPath:  module + "/internal/api",
+		Manifest: apiManifest,
+	}
+}
+
+// serveHotFuncs is the service's per-event path: the counter snapshot
+// every SSE event and every /v1/info response is assembled from. The
+// SSE loop reuses one buffer per subscriber, so this snapshot is the
+// only code between ticks that could silently start allocating.
+var serveHotFuncs = []string{"Server.progress"}
+
+func serveManifest(u *Unit, p *Package) map[string]bool {
+	return listManifest(u, p, serveHotFuncs)
+}
+
+// ServeEscape gates the service's progress snapshot path.
+func ServeEscape(module string) *Escape {
+	return &Escape{
+		PkgPath:  module + "/internal/serve",
+		Manifest: serveManifest,
+	}
+}
+
+// listManifest turns an explicit function list into a manifest with
+// the standard drift guard: an entry naming no declared function is
+// reported through u, never silently dropped — the gate must not
+// quietly narrow to nothing after a rename.
+func listManifest(u *Unit, p *Package, funcs []string) map[string]bool {
+	manifest := make(map[string]bool, len(funcs))
+	for _, f := range funcs {
 		manifest[f] = true
 	}
 	declared := make(map[string]bool)
@@ -174,14 +227,6 @@ func evstreamManifest(u *Unit, p *Package) map[string]bool {
 		}
 	}
 	return manifest
-}
-
-// EvstreamEscape gates the event-stream recorder.
-func EvstreamEscape(module string) *Escape {
-	return &Escape{
-		PkgPath:  module + "/internal/evstream",
-		Manifest: evstreamManifest,
-	}
 }
 
 // ifaceType resolves a package-scope interface by name.

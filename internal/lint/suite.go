@@ -2,13 +2,16 @@ package lint
 
 // Default is repolint's production analyzer suite for the module:
 // determinism over the simulator packages, the hot-path escape gate on
-// the core, registry conformance, stats completeness, and context
-// hygiene on the batch engine.
+// the core (and the per-event paths of the event stream, the wire API
+// and the service), registry conformance, stats completeness, and
+// context hygiene on the batch engine and the service layer.
 func Default(module string) []Analyzer {
 	return []Analyzer{
 		DefaultDeterminism(module),
 		DefaultEscape(module),
 		EvstreamEscape(module),
+		ApiEscape(module),
+		ServeEscape(module),
 		DefaultRegistry(module),
 		DefaultStatsComplete(module),
 		DefaultContextHygiene(module),

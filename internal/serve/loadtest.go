@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/sim"
+)
+
+// LoadConfig describes one load-test run against a live simd server:
+// Clients concurrent clients each issuing PerClient /v1/run requests,
+// round-robining over Specs. It exists to prove the service's cache
+// claims under pressure — a warm cache must answer every client
+// without a single simulation re-run, and with byte-identical bodies
+// per spec.
+type LoadConfig struct {
+	Base      string
+	Clients   int
+	PerClient int
+	Specs     []api.Spec
+	// Run lengths ride on every request; zero inherits the server's.
+	Insts  int64
+	Warmup int64
+	Seed   int64
+}
+
+// LoadReport is the outcome of a LoadTest.
+type LoadReport struct {
+	Requests int
+	Failures int
+	// X-Cache tally over successful responses: answered by the store,
+	// folded into another request's computation, or computed.
+	Hits      int
+	Collapsed int
+	Misses    int
+	// EngineRunsDelta is the server's engineRuns counter movement over
+	// the test — the authoritative "did anything actually simulate".
+	EngineRunsDelta int64
+	// IdenticalBytes reports whether every response for the same spec
+	// was byte-identical.
+	IdenticalBytes bool
+	P50, P99, Max  time.Duration
+	Elapsed        time.Duration
+}
+
+// Ok reports whether the run was failure-free with coherent bytes.
+func (r *LoadReport) Ok() bool { return r.Failures == 0 && r.IdenticalBytes }
+
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"loadtest: %d requests, %d failed | X-Cache %d hit / %d collapsed / %d miss | engine runs +%d | identical bytes %v | p50 %v p99 %v max %v | %v",
+		r.Requests, r.Failures, r.Hits, r.Collapsed, r.Misses,
+		r.EngineRunsDelta, r.IdenticalBytes, r.P50, r.P99, r.Max, r.Elapsed.Round(time.Millisecond))
+}
+
+// LoadTest runs cfg against a live server and reports what the cache
+// tiers did. It is deliberately client-side-only — it exercises the
+// server through the same wire surface any client uses.
+func LoadTest(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Clients <= 0 || cfg.PerClient <= 0 || len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("serve: loadtest needs clients, requests and specs")
+	}
+	bodies := make([][]byte, len(cfg.Specs))
+	for i, s := range cfg.Specs {
+		b, err := json.Marshal(api.RunRequest{Spec: s, Insts: cfg.Insts, Warmup: cfg.Warmup, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Clients,
+		MaxIdleConnsPerHost: cfg.Clients,
+	}}
+	defer hc.CloseIdleConnections()
+	info := api.NewClient(cfg.Base, sim.Options{})
+	info.SetHTTPClient(hc)
+	before, err := info.Info(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loadtest: %w", err)
+	}
+
+	total := cfg.Clients * cfg.PerClient
+	lat := make([]time.Duration, total)
+	type tally struct{ failures, hits, collapsed, misses int }
+	tallies := make([]tally, cfg.Clients)
+	// first response bytes per spec, for the byte-identity check.
+	var refMu sync.Mutex
+	refs := make([][]byte, len(cfg.Specs))
+	identical := true
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			t := &tallies[c]
+			for i := 0; i < cfg.PerClient; i++ {
+				si := (c*cfg.PerClient + i) % len(cfg.Specs)
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					cfg.Base+api.PathPrefix+"/run", bytes.NewReader(bodies[si]))
+				if err != nil {
+					t.failures++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := hc.Do(req)
+				if err != nil {
+					t.failures++
+					continue
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				lat[c*cfg.PerClient+i] = time.Since(t0)
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.failures++
+					continue
+				}
+				switch resp.Header.Get("X-Cache") {
+				case "hit":
+					t.hits++
+				case "collapsed":
+					t.collapsed++
+				default:
+					t.misses++
+				}
+				refMu.Lock()
+				if refs[si] == nil {
+					refs[si] = body
+				} else if !bytes.Equal(refs[si], body) {
+					identical = false
+				}
+				refMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := info.Info(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loadtest: %w", err)
+	}
+	rep := &LoadReport{
+		Requests:        total,
+		EngineRunsDelta: after.Progress.EngineRuns - before.Progress.EngineRuns,
+		IdenticalBytes:  identical,
+		Elapsed:         elapsed,
+	}
+	for _, t := range tallies {
+		rep.Failures += t.failures
+		rep.Hits += t.hits
+		rep.Collapsed += t.collapsed
+		rep.Misses += t.misses
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	rep.P50 = lat[total/2]
+	rep.P99 = lat[total*99/100]
+	rep.Max = lat[total-1]
+	return rep, nil
+}

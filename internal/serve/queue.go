@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/api"
+)
+
+// Queue is the filesystem work queue of shard mode: the coordinator
+// enqueues one request file per content-address key under pending/,
+// and each worker process claims work by atomically renaming a file
+// into claimed/ — rename is the mutual exclusion, so no locks, no
+// sockets, and no shared memory cross the process boundary. Results
+// travel back through the content-addressed store the processes
+// already share.
+//
+// Layout under the queue directory:
+//
+//	pending/<key>.json        — requests no worker has claimed
+//	claimed/<shard>-<key>.json — requests a worker is executing
+type Queue struct {
+	dir string
+}
+
+// OpenQueue opens (creating if needed) a queue rooted at dir.
+func OpenQueue(dir string) (*Queue, error) {
+	for _, d := range []string{filepath.Join(dir, "pending"), filepath.Join(dir, "claimed")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: queue: %w", err)
+		}
+	}
+	return &Queue{dir: dir}, nil
+}
+
+// Enqueue publishes one request under its key. Idempotent: a pending
+// entry for the key is left alone (the coordinator's singleflight
+// already collapses concurrent submissions, so a duplicate here means
+// a retry after a worker claimed — the worker's result will satisfy
+// both). The write is tmp+rename atomic so a worker never claims a
+// half-written request.
+func (q *Queue) Enqueue(key string, req api.RunRequest) error {
+	dst := q.pendingPath(key)
+	if _, err := os.Stat(dst); err == nil {
+		return nil
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("serve: queue: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Join(q.dir, "pending"), ".enq-*")
+	if err != nil {
+		return fmt.Errorf("serve: queue: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: queue: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: queue: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: queue: %w", err)
+	}
+	return nil
+}
+
+// Claim atomically takes the oldest pending request for shard. A lost
+// rename race (another shard claimed first) just moves on to the next
+// entry; ok is false when nothing is pending.
+func (q *Queue) Claim(shard int) (key string, req api.RunRequest, ok bool, err error) {
+	pending := filepath.Join(q.dir, "pending")
+	entries, err := os.ReadDir(pending)
+	if err != nil {
+		return "", api.RunRequest{}, false, fmt.Errorf("serve: queue: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		k, isReq := strings.CutSuffix(name, ".json")
+		if !isReq || !api.ValidKey(k) {
+			continue
+		}
+		dst := q.claimPath(shard, k)
+		if os.Rename(filepath.Join(pending, name), dst) != nil {
+			continue // another shard won this entry
+		}
+		b, rerr := os.ReadFile(dst)
+		if rerr != nil {
+			os.Remove(dst)
+			continue
+		}
+		var r api.RunRequest
+		if json.Unmarshal(b, &r) != nil {
+			os.Remove(dst)
+			continue
+		}
+		return k, r, true, nil
+	}
+	return "", api.RunRequest{}, false, nil
+}
+
+// Done releases shard's claim on key after its result (or failure
+// marker) is in the store.
+func (q *Queue) Done(shard int, key string) error {
+	return os.Remove(q.claimPath(shard, key))
+}
+
+// Requeue returns shard's claim on key to pending — a worker shutting
+// down mid-run hands the work to whoever is still alive.
+func (q *Queue) Requeue(shard int, key string) error {
+	return os.Rename(q.claimPath(shard, key), q.pendingPath(key))
+}
+
+// Recover moves every claim (from any shard) back to pending. The
+// coordinator calls it at startup so work claimed by workers that
+// crashed is not stranded.
+func (q *Queue) Recover() (int, error) {
+	claimed := filepath.Join(q.dir, "claimed")
+	entries, err := os.ReadDir(claimed)
+	if err != nil {
+		return 0, fmt.Errorf("serve: queue: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		name := e.Name()
+		_, key, found := strings.Cut(name, "-")
+		key, isReq := strings.CutSuffix(key, ".json")
+		if !found || !isReq || !api.ValidKey(key) {
+			continue
+		}
+		if err := os.Rename(filepath.Join(claimed, name), q.pendingPath(key)); err != nil {
+			return n, fmt.Errorf("serve: queue: %w", err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (q *Queue) pendingPath(key string) string {
+	return filepath.Join(q.dir, "pending", key+".json")
+}
+
+func (q *Queue) claimPath(shard int, key string) string {
+	return filepath.Join(q.dir, "claimed", fmt.Sprintf("%d-%s.json", shard, key))
+}

@@ -1,0 +1,676 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// testOpts are run lengths small enough that a cold simulation takes
+// milliseconds, so the cache tiers — not the simulator — dominate
+// every test here.
+func testOpts() sim.Options {
+	return sim.Options{Insts: 2000, Warmup: 500, Seed: 1, Parallelism: 2}
+}
+
+// newEngineServer builds an in-process-engine server over a fresh
+// store and hangs an httptest server in front of it.
+func newEngineServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	store, err := OpenStore(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(testOpts())
+	srv, err := New(Config{Store: store, Engine: eng, SSEInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		eng.Close()
+	})
+	return srv, ts
+}
+
+func postRun(t *testing.T, base string, req api.RunRequest) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+api.PathPrefix+"/run", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestRunColdThenWarm(t *testing.T) {
+	_, ts := newEngineServer(t)
+	req := api.RunRequest{Spec: api.Spec{Bench: "gcc", Scheme: "PosSel"}}
+
+	resp, cold := postRun(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: HTTP %d: %s", resp.StatusCode, cold)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("cold run X-Cache = %q, want miss", got)
+	}
+	var res api.Result
+	if err := json.Unmarshal(cold, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.API != api.Version || !api.ValidKey(res.Key) || res.Stats == nil {
+		t.Fatalf("malformed result: %+v", res)
+	}
+
+	resp, warm := postRun(t, ts.URL, req)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("warm run X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("warm response bytes differ from cold response")
+	}
+
+	// The result is addressable directly, byte-identically.
+	get, err := http.Get(ts.URL + api.PathPrefix + "/result/" + res.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey, _ := io.ReadAll(get.Body)
+	get.Body.Close()
+	if !bytes.Equal(cold, byKey) {
+		t.Error("GET /result/{key} bytes differ from the run response")
+	}
+
+	// An equivalent spec — the Table 3 default written out explicitly —
+	// normalizes to the same address and must hit.
+	explicit := req
+	explicit.Spec.Over = &api.Overrides{Check: "off"}
+	resp, expBody := postRun(t, ts.URL, explicit)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("normalization-equal spec X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(cold, expBody) {
+		t.Error("normalization-equal spec got different bytes")
+	}
+}
+
+func TestRunRejectsBadSubmissions(t *testing.T) {
+	_, ts := newEngineServer(t)
+	cases := []struct {
+		name string
+		req  api.RunRequest
+	}{
+		{"unknown bench", api.RunRequest{Spec: api.Spec{Bench: "nope", Scheme: "PosSel"}}},
+		{"unknown scheme", api.RunRequest{Spec: api.Spec{Bench: "gcc", Scheme: "Bogus"}}},
+		{"unknown check", api.RunRequest{Spec: api.Spec{Bench: "gcc", Scheme: "PosSel",
+			Over: &api.Overrides{Check: "paranoid"}}}},
+		{"mismatched insts", api.RunRequest{Spec: api.Spec{Bench: "gcc", Scheme: "PosSel"}, Insts: 999}},
+		{"mismatched seed", api.RunRequest{Spec: api.Spec{Bench: "gcc", Scheme: "PosSel"}, Seed: 7}},
+	}
+	for _, tc := range cases {
+		resp, body := postRun(t, ts.URL, tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+			continue
+		}
+		var e api.Error
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error envelope missing: %s", tc.name, body)
+		}
+	}
+
+	// Matching explicit lengths are accepted.
+	o := testOpts()
+	resp, body := postRun(t, ts.URL, api.RunRequest{
+		Spec: api.Spec{Bench: "gcc", Scheme: "PosSel"},
+		Insts: o.Insts, Warmup: o.Warmup, Seed: o.Seed,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("matching lengths: HTTP %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestResultEndpoint(t *testing.T) {
+	_, ts := newEngineServer(t)
+	get := func(key string) int {
+		resp, err := http.Get(ts.URL + api.PathPrefix + "/result/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	missing := api.Key(sim.Spec{Bench: "mcf", Scheme: core.TkSel}, 1, 1, 1)
+	if got := get(missing); got != http.StatusNotFound {
+		t.Errorf("missing key: HTTP %d, want 404", got)
+	}
+	if got := get("not-a-key"); got != http.StatusBadRequest {
+		t.Errorf("malformed key: HTTP %d, want 400", got)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	_, ts := newEngineServer(t)
+	req := api.SweepRequest{Specs: []api.Spec{
+		{Bench: "gcc", Scheme: "PosSel"},
+		{Bench: "nope", Scheme: "PosSel"},
+		{Bench: "gcc", Scheme: "TkSel"},
+		{Bench: "gcc", Scheme: "PosSel"}, // duplicate of index 0
+	}}
+	b, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+api.PathPrefix+"/sweep", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var sw api.SweepResponse
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Results) != 4 {
+		t.Fatalf("got %d results, want 4 (aligned with the request)", len(sw.Results))
+	}
+	if sw.Results[1] != nil {
+		t.Error("failed spec should hold a null result slot")
+	}
+	if sw.Results[0] == nil || sw.Results[2] == nil || sw.Results[3] == nil {
+		t.Fatal("valid specs missing results")
+	}
+	if !reflect.DeepEqual(sw.Results[0], sw.Results[3]) {
+		t.Error("duplicate specs in one sweep should produce equal results")
+	}
+	if len(sw.Errors) != 1 || sw.Errors[0].Index != 1 {
+		t.Errorf("errors = %+v, want exactly index 1", sw.Errors)
+	}
+}
+
+func TestInfoAndHealthz(t *testing.T) {
+	_, ts := newEngineServer(t)
+	postRun(t, ts.URL, api.RunRequest{Spec: api.Spec{Bench: "gcc", Scheme: "PosSel"}})
+
+	cl := api.NewClient(ts.URL, sim.Options{})
+	info, err := cl.Info(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := testOpts()
+	if info.API != api.Version || info.Insts != o.Insts || info.Warmup != o.Warmup || info.Seed != o.Seed {
+		t.Errorf("info lengths: %+v", info)
+	}
+	if len(info.Schemes) == 0 || len(info.Benches) == 0 {
+		t.Error("info registries empty")
+	}
+	if info.StoreEntries != 1 {
+		t.Errorf("storeEntries = %d, want 1", info.StoreEntries)
+	}
+	if info.Progress.Done != 1 || info.Progress.EngineRuns != 1 {
+		t.Errorf("progress = %+v", info.Progress)
+	}
+
+	resp, err := http.Get(ts.URL + api.PathPrefix + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestClientIsARunner drives the remote client as a sim.Runner and
+// checks it agrees bit-for-bit with a local engine over the same
+// specs — the interchangeability the command migration relies on.
+func TestClientIsARunner(t *testing.T) {
+	_, ts := newEngineServer(t)
+	specs := []sim.Spec{
+		{Bench: "gcc", Scheme: core.PosSel},
+		{Bench: "gcc", Scheme: core.TkSel, Over: sim.Overrides{Tokens: 8}},
+		{Bench: "gcc", Scheme: core.PosSel}, // duplicate
+	}
+	var remote sim.Runner = api.NewClient(ts.URL, sim.Options{})
+	got, err := remote.RunAll(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := sim.NewEngine(testOpts())
+	want, err := local.RunAll(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if got[i].Spec != want[i].Spec || !reflect.DeepEqual(got[i].Stats, want[i].Stats) {
+			t.Errorf("spec %d: remote and local runs disagree", i)
+		}
+	}
+	if !reflect.DeepEqual(got[0], got[2]) {
+		t.Error("duplicate specs should return equal results")
+	}
+
+	// Per-spec failure shape matches the engine contract: nil slot plus
+	// a joined error, not fail-fast.
+	outs, err := remote.RunAll(context.Background(),
+		[]sim.Spec{{Bench: "gcc", Scheme: core.PosSel}, {Bench: "nope", Scheme: core.PosSel}})
+	if err == nil {
+		t.Fatal("sweep with an unknown bench should surface a joined error")
+	}
+	if outs[0] == nil || outs[1] != nil {
+		t.Errorf("outs = [%v, %v], want [result, nil]", outs[0], outs[1])
+	}
+}
+
+// TestSingleflightCollapse proves the acceptance property directly: N
+// concurrent submissions of one cold spec reach the engine exactly
+// once. Queue mode makes it deterministic — the leader blocks polling
+// for a worker that is not started until every follower has piled up.
+func TestSingleflightCollapse(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queue, err := OpenQueue(filepath.Join(dir, "queue"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOpts()
+	srv, err := New(Config{Store: store, Queue: queue, Opts: opts, Shards: 1,
+		PollInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	const followers = 15
+	type reply struct {
+		status int
+		tier   string
+		body   []byte
+	}
+	replies := make(chan reply, followers+1)
+	reqBody, _ := json.Marshal(api.RunRequest{Spec: api.Spec{Bench: "mcf", Scheme: "TkSel"}})
+	for i := 0; i < followers+1; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+api.PathPrefix+"/run", "application/json", bytes.NewReader(reqBody))
+			if err != nil {
+				replies <- reply{status: -1}
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			replies <- reply{resp.StatusCode, resp.Header.Get("X-Cache"), body}
+		}()
+	}
+
+	// Wait until every submission is inside the server: one leader
+	// (engineRuns), the rest collapsed onto it.
+	cl := api.NewClient(ts.URL, sim.Options{})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		info, err := cl.Info(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Progress.Collapsed == followers && info.Progress.EngineRuns == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submissions never collapsed: %+v", info.Progress)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Only now give the queue a worker.
+	wctx, stopWorker := context.WithCancel(context.Background())
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- RunWorker(wctx, dir, 0, opts) }()
+
+	var miss, collapsed int
+	var first []byte
+	for i := 0; i < followers+1; i++ {
+		r := <-replies
+		if r.status != http.StatusOK {
+			t.Fatalf("reply %d: HTTP %d: %s", i, r.status, r.body)
+		}
+		switch r.tier {
+		case "miss":
+			miss++
+		case "collapsed":
+			collapsed++
+		}
+		if first == nil {
+			first = r.body
+		} else if !bytes.Equal(first, r.body) {
+			t.Error("collapsed submissions received different bytes")
+		}
+	}
+	if miss != 1 || collapsed != followers {
+		t.Errorf("tiers: %d miss, %d collapsed; want 1 and %d", miss, collapsed, followers)
+	}
+	stopWorker()
+	if err := <-workerDone; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+}
+
+// TestShardWorkerEndToEnd runs the real multi-process protocol
+// in-process: coordinator in queue mode, a worker draining it, shard
+// journals merged back into a wiped store.
+func TestShardWorkerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queue, err := OpenQueue(filepath.Join(dir, "queue"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOpts()
+	srv, err := New(Config{Store: store, Queue: queue, Opts: opts, Shards: 2,
+		PollInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	wctx, stopWorkers := context.WithCancel(context.Background())
+	done := make(chan error, 2)
+	for k := 0; k < 2; k++ {
+		go func(k int) { done <- RunWorker(wctx, dir, k, opts) }(k)
+	}
+
+	resp, body := postRun(t, ts.URL, api.RunRequest{Spec: api.Spec{Bench: "gzip", Scheme: "IDSel"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("queue-mode run: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var res api.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	// A second submission is a pure store hit — no queue round-trip.
+	resp, warm := postRun(t, ts.URL, api.RunRequest{Spec: api.Spec{Bench: "gzip", Scheme: "IDSel"}})
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("second submission X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body, warm) {
+		t.Error("store hit returned different bytes than the worker's result")
+	}
+	stopWorkers()
+	for k := 0; k < 2; k++ {
+		if err := <-done; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+
+	// The run is journaled by whichever shard took it. Wipe the store
+	// and rebuild it from the journals alone.
+	if err := os.RemoveAll(filepath.Join(dir, "store")); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := OpenStore(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := MergeShardJournals(dir, fresh, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 {
+		t.Fatalf("merged %d results from shard journals, want 1", added)
+	}
+	merged, ok := fresh.Get(res.Key)
+	if !ok {
+		t.Fatal("merged store is missing the run")
+	}
+	if !bytes.Equal(merged, body) {
+		t.Error("journal-merged result bytes differ from the worker's served bytes")
+	}
+	// Merging again is a no-op.
+	if added, err := MergeShardJournals(dir, fresh, opts); err != nil || added != 0 {
+		t.Errorf("re-merge: added %d, err %v; want 0, nil", added, err)
+	}
+}
+
+// TestWorkerFailureMarker feeds the queue a request the worker cannot
+// execute and checks the failure comes back through the store as an
+// HTTP error, not a hang.
+func TestWorkerFailureMarker(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queue, err := OpenQueue(filepath.Join(dir, "queue"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOpts()
+	// Bypass the server's front-door validation: enqueue a bench the
+	// worker's registry does not know under a syntactically valid key.
+	key := api.Key(sim.Spec{Bench: "ghost", Scheme: core.PosSel}, opts.Insts, opts.Warmup, opts.Seed)
+	if err := queue.Enqueue(key, api.RunRequest{Spec: api.Spec{Bench: "ghost", Scheme: "PosSel"}}); err != nil {
+		t.Fatal(err)
+	}
+	wctx, stopWorker := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- RunWorker(wctx, dir, 0, opts) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if msg, ok := store.TakeFailure(key); ok {
+			if msg == "" {
+				t.Error("failure marker is empty")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never published a failure marker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stopWorker()
+	if err := <-done; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+}
+
+func TestQueueClaimRecover(t *testing.T) {
+	q, err := OpenQueue(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := api.Key(sim.Spec{Bench: "gcc", Scheme: core.PosSel}, 1, 1, 1)
+	req := api.RunRequest{Spec: api.Spec{Bench: "gcc", Scheme: "PosSel"}}
+	if err := q.Enqueue(key, req); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent while pending.
+	if err := q.Enqueue(key, req); err != nil {
+		t.Fatal(err)
+	}
+	k, got, ok, err := q.Claim(3)
+	if err != nil || !ok || k != key || got.Spec != req.Spec {
+		t.Fatalf("claim: %q %v %v %v", k, got, ok, err)
+	}
+	// Nothing left to claim.
+	if _, _, ok, _ := q.Claim(4); ok {
+		t.Fatal("second claim should find nothing")
+	}
+	// Recover strands the claim back to pending, for any shard.
+	n, err := q.Recover()
+	if err != nil || n != 1 {
+		t.Fatalf("recover: %d, %v", n, err)
+	}
+	k, _, ok, err = q.Claim(4)
+	if err != nil || !ok || k != key {
+		t.Fatalf("claim after recover: %q %v %v", k, ok, err)
+	}
+	if err := q.Done(4, key); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := q.Recover(); err != nil || n != 0 {
+		t.Fatalf("recover after done: %d, %v", n, err)
+	}
+}
+
+func TestStoreReopenAndFailures(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := api.Key(sim.Spec{Bench: "gcc", Scheme: core.PosSel}, 1, 1, 1)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store claims a hit")
+	}
+	if err := s.Put(key, []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("short", nil); err == nil {
+		t.Error("malformed key accepted")
+	}
+	if got, ok := s.Get(key); !ok || string(got) != `{"x":1}` {
+		t.Fatalf("get: %q %v", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d, want 1", s.Len())
+	}
+	// A fresh open over the same directory sees the entry.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get(key); !ok || string(got) != `{"x":1}` {
+		t.Fatalf("reopened get: %q %v", got, ok)
+	}
+	if s2.Len() != 1 {
+		t.Errorf("reopened len = %d, want 1", s2.Len())
+	}
+	// Failure markers are take-once.
+	if err := s2.PutFailure(key, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if msg, ok := s2.TakeFailure(key); !ok || msg != "boom" {
+		t.Fatalf("take failure: %q %v", msg, ok)
+	}
+	if _, ok := s2.TakeFailure(key); ok {
+		t.Error("failure marker should clear on take")
+	}
+}
+
+// TestLoadWarmCache is the ISSUE's load criterion: 1000 concurrent
+// clients against a warm cache see zero simulation re-runs — cache
+// hits only — and byte-identical responses.
+func TestLoadWarmCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-client load test skipped in -short mode")
+	}
+	_, ts := newEngineServer(t)
+	spec := api.Spec{Bench: "mcf", Wide8: true, Scheme: "TkSel", Over: &api.Overrides{Tokens: 8}}
+	// Warm the one key.
+	resp, _ := postRun(t, ts.URL, api.RunRequest{Spec: spec})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming run failed: HTTP %d", resp.StatusCode)
+	}
+
+	rep, err := LoadTest(context.Background(), LoadConfig{
+		Base:    ts.URL,
+		Clients: 1000, PerClient: 2,
+		Specs: []api.Spec{spec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Failures != 0 {
+		t.Errorf("%d of %d requests failed", rep.Failures, rep.Requests)
+	}
+	if rep.EngineRunsDelta != 0 {
+		t.Errorf("warm cache re-ran the engine %d times, want 0", rep.EngineRunsDelta)
+	}
+	if rep.Hits != rep.Requests {
+		t.Errorf("%d hits over %d requests, want all hits", rep.Hits, rep.Requests)
+	}
+	if !rep.IdenticalBytes {
+		t.Error("identical specs received non-identical bytes")
+	}
+}
+
+// BenchmarkCacheHitRequest measures the full warm-path round-trip —
+// HTTP in, store lookup, bytes out — which is what the service adds on
+// top of the simulator. Tracked by cmd/benchguard.
+func BenchmarkCacheHitRequest(b *testing.B) {
+	store, err := OpenStore(filepath.Join(b.TempDir(), "store"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.NewEngine(testOpts())
+	srv, err := New(Config{Store: store, Engine: eng})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	defer eng.Close()
+
+	reqBody, _ := json.Marshal(api.RunRequest{Spec: api.Spec{Bench: "gcc", Scheme: "PosSel"}})
+	warm, err := http.Post(ts.URL+api.PathPrefix+"/run", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+	if warm.StatusCode != http.StatusOK {
+		b.Fatalf("warming run: HTTP %d", warm.StatusCode)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		hc := &http.Client{}
+		for pb.Next() {
+			resp, err := hc.Post(ts.URL+api.PathPrefix+"/run", "application/json", bytes.NewReader(reqBody))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("HTTP %d", resp.StatusCode)
+			}
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/api"
+)
+
+// handleProgress streams the server's counters as server-sent events:
+// one `data: {...}` Progress line per SSEInterval, starting with an
+// immediate event so a subscriber never waits a full interval for its
+// first observation.
+//
+// The stream ends when the client disconnects (the request context
+// cancels — no goroutine outlives its request) or the server closes.
+// Events serialize through api.AppendProgress into one buffer reused
+// for the connection's lifetime, so a steady subscriber costs zero
+// allocations per event.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.fail(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	tick := time.NewTicker(s.sseEvery)
+	defer tick.Stop()
+	buf := make([]byte, 0, 512)
+	for {
+		buf = append(buf[:0], "data: "...)
+		buf = api.AppendProgress(buf, s.progress())
+		buf = append(buf, '\n', '\n')
+		if _, err := w.Write(buf); err != nil {
+			return
+		}
+		fl.Flush()
+		select {
+		case <-tick.C:
+		case <-r.Context().Done():
+			return
+		case <-s.quit:
+			return
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/sim"
+)
+
+// waitNoServeGoroutines fails the test if goroutines running this
+// package's code are still alive after a grace period — the leak check
+// behind the SSE disconnect and shutdown tests. Handler goroutines
+// belong to net/http, but a live SSE handler's stack contains
+// serve.(*Server).handleProgress, so it is visible here.
+func waitNoServeGoroutines(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var leaked []string
+		buf := make([]byte, 1<<20)
+		stacks := string(buf[:runtime.Stack(buf, true)])
+		for _, g := range strings.Split(stacks, "\n\n") {
+			if strings.Contains(g, "repro/internal/serve.") &&
+				!strings.Contains(g, "waitNoServeGoroutines") {
+				leaked = append(leaked, g)
+			}
+		}
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines still in internal/serve:\n%s",
+				len(leaked), strings.Join(leaked, "\n\n"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSSEStream subscribes through the real client and checks events
+// arrive, carry the counters, and stop when the consumer has had
+// enough.
+func TestSSEStream(t *testing.T) {
+	_, ts := newEngineServer(t)
+	postRun(t, ts.URL, api.RunRequest{Spec: api.Spec{Bench: "gcc", Scheme: "PosSel"}})
+
+	cl := api.NewClient(ts.URL, sim.Options{})
+	var events []api.Progress
+	err := cl.StreamProgress(context.Background(), func(p api.Progress) bool {
+		events = append(events, p)
+		return len(events) < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	for _, p := range events {
+		if p.Done != 1 || p.EngineRuns != 1 {
+			t.Errorf("event counters: %+v", p)
+		}
+	}
+	if events[2].ElapsedMS < events[0].ElapsedMS {
+		t.Error("elapsed time ran backwards across events")
+	}
+	waitNoServeGoroutines(t)
+}
+
+// TestSSEClientDisconnect cancels a subscriber mid-stream and checks
+// the server handler winds down instead of writing into the void
+// forever.
+func TestSSEClientDisconnect(t *testing.T) {
+	_, ts := newEngineServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		got <- api.NewClient(ts.URL, sim.Options{}).StreamProgress(ctx, func(api.Progress) bool {
+			return true // never leave voluntarily
+		})
+	}()
+	// Let the stream establish, then yank the client.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("stream error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled subscriber never returned")
+	}
+	waitNoServeGoroutines(t)
+}
+
+// TestSSEServerClose shuts the server down under live subscribers and
+// checks every stream ends and no handler goroutine survives.
+func TestSSEServerClose(t *testing.T) {
+	srv, ts := newEngineServer(t)
+	const subscribers = 4
+	got := make(chan error, subscribers)
+	for i := 0; i < subscribers; i++ {
+		go func() {
+			got <- api.NewClient(ts.URL, sim.Options{}).StreamProgress(context.Background(),
+				func(api.Progress) bool { return true })
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	srv.Close()
+	for i := 0; i < subscribers; i++ {
+		select {
+		case err := <-got:
+			// The stream simply ends; EOF-clean or a connection reset are
+			// both acceptable shutdown shapes, a hang is not.
+			_ = err
+		case <-time.After(5 * time.Second):
+			t.Fatal("subscriber still streaming after server close")
+		}
+	}
+	waitNoServeGoroutines(t)
+}
+
+// TestSSEImmediateFirstEvent checks a subscriber gets its first
+// observation right away rather than one interval later.
+func TestSSEImmediateFirstEvent(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(testOpts())
+	defer eng.Close()
+	// An interval far longer than the test: only the immediate event
+	// can arrive in time.
+	srv, err := New(Config{Store: store, Engine: eng, SSEInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	sawOne := false
+	err = api.NewClient(ts.URL, sim.Options{}).StreamProgress(ctx, func(api.Progress) bool {
+		sawOne = true
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawOne {
+		t.Fatal("no immediate first event")
+	}
+	waitNoServeGoroutines(t)
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/sim"
+)
+
+// workerPoll is how often an idle worker re-checks the pending
+// directory for work.
+const workerPoll = 10 * time.Millisecond
+
+// RunWorker is the body of one shard worker: claim a request from the
+// shared queue, simulate it on a private engine, publish the result
+// (or a failure marker) to the shared store, release the claim,
+// repeat. It returns nil on a clean ctx-driven shutdown — any claim
+// interrupted mid-run is requeued for a surviving worker first.
+//
+// Each worker journals its completed runs to
+// <dataDir>/shards/shard-<shard>.jsonl; the coordinator folds those
+// into the store at startup (MergeShardJournals), which is what makes
+// a worker crash between journal append and store publish lose no
+// work.
+func RunWorker(ctx context.Context, dataDir string, shard int, opts sim.Options) error {
+	store, err := OpenStore(filepath.Join(dataDir, "store"))
+	if err != nil {
+		return err
+	}
+	queue, err := OpenQueue(filepath.Join(dataDir, "queue"))
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Join(dataDir, "shards"), 0o755); err != nil {
+		return fmt.Errorf("serve: worker %d: %w", shard, err)
+	}
+	opts.Journal = filepath.Join(dataDir, "shards", fmt.Sprintf("shard-%d.jsonl", shard))
+	engine := sim.NewEngine(opts)
+	defer engine.Close()
+	eopts := engine.Options()
+	for {
+		key, req, ok, err := queue.Claim(shard)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(workerPoll):
+			}
+			continue
+		}
+		if err := workOne(ctx, engine, store, key, req, eopts); err != nil {
+			// Canceled mid-run: hand the claim back and shut down.
+			queue.Requeue(shard, key)
+			return nil
+		}
+		queue.Done(shard, key)
+	}
+}
+
+// workOne executes one claimed request to a terminal state: a stored
+// result, or a stored failure marker. The only non-nil return is
+// cancellation, which is not terminal — the claim must be requeued.
+func workOne(ctx context.Context, engine *sim.Engine, store *Store,
+	key string, req api.RunRequest, opts sim.Options) error {
+	spec, err := req.Spec.ToSim()
+	var out *sim.RunOut
+	if err == nil {
+		out, err = engine.Run(ctx, spec)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		store.PutFailure(key, err.Error())
+		return nil
+	}
+	res := api.FromRunOut(out, opts.Insts, opts.Warmup, opts.Seed)
+	if res.Key != key {
+		// The coordinator and this worker disagree on content
+		// addressing — run-length flag skew. Surface it instead of
+		// storing under a name nobody will ask for.
+		store.PutFailure(key, fmt.Sprintf(
+			"key skew: worker computed %s for queued %s (run-length flags must match the coordinator)",
+			res.Key, key))
+		return nil
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		store.PutFailure(key, err.Error())
+		return nil
+	}
+	if err := store.Put(key, b); err != nil {
+		store.PutFailure(key, err.Error())
+	}
+	return nil
+}
+
+// MergeShardJournals folds every per-shard journal under dataDir into
+// the store, returning how many results were added. The coordinator
+// runs it at startup: a worker that crashed after its journal append
+// but before its store publish still contributes its run, and a store
+// wiped for space rebuilds from the journals.
+func MergeShardJournals(dataDir string, store *Store, opts sim.Options) (int, error) {
+	paths, err := filepath.Glob(filepath.Join(dataDir, "shards", "shard-*.jsonl"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(paths)
+	added := 0
+	for _, p := range paths {
+		runs, _, err := sim.ReadJournal(p, opts)
+		if err != nil {
+			return added, fmt.Errorf("serve: merging %s: %w", p, err)
+		}
+		for _, out := range runs {
+			key := api.Key(out.Spec, opts.Insts, opts.Warmup, opts.Seed)
+			if _, ok := store.Get(key); ok {
+				continue
+			}
+			res := api.FromRunOut(out, opts.Insts, opts.Warmup, opts.Seed)
+			b, merr := json.Marshal(res)
+			if merr != nil {
+				return added, fmt.Errorf("serve: merging %s: %w", p, merr)
+			}
+			if err := store.Put(key, b); err != nil {
+				return added, err
+			}
+			added++
+		}
+	}
+	return added, nil
+}

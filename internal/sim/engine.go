@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -180,7 +181,7 @@ func NewEngine(opts Options) *Engine {
 		e.machines <- nil
 	}
 	if o.Journal != "" {
-		runs, skipped, err := loadJournal(o.Journal, o)
+		runs, skipped, truncateAt, err := loadJournal(o.Journal, o)
 		if err != nil {
 			e.journalErr = fmt.Errorf("sim: reading journal %s: %w", o.Journal, err)
 			return e
@@ -190,6 +191,16 @@ func NewEngine(opts Options) *Engine {
 		for s, out := range runs {
 			e.cache[s] = out
 			e.fromJournal[s] = true
+		}
+		if truncateAt >= 0 {
+			// The file ends in a torn or corrupt region (an interrupted
+			// append). Cut it back to the last intact line so the next
+			// append continues a clean JSONL stream instead of gluing
+			// onto the fragment.
+			if terr := os.Truncate(o.Journal, truncateAt); terr != nil {
+				e.journalErr = fmt.Errorf("sim: repairing journal %s: %w", o.Journal, terr)
+				return e
+			}
 		}
 		j, err := openJournal(o.Journal)
 		if err != nil {
@@ -239,12 +250,7 @@ func (e *Engine) Close() error {
 // normalize canonicalizes a spec against the engine's options: specs
 // that leave Check at the zero level inherit Options.DefaultCheck
 // before the usual Table 3 normalization.
-func (e *Engine) normalize(s Spec) Spec {
-	if s.Over.Check == core.CheckOff {
-		s.Over.Check = e.opts.DefaultCheck
-	}
-	return s.Normalize()
-}
+func (e *Engine) normalize(s Spec) Spec { return e.opts.NormalizeSpec(s) }
 
 // Run executes (or recalls) one simulation.
 func (e *Engine) Run(ctx context.Context, spec Spec) (*RunOut, error) {

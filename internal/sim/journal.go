@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -38,31 +39,71 @@ type journal struct {
 	w  *bufio.Writer
 }
 
+// ReadJournal loads the replayable runs a journal holds for the given
+// options (normalized-spec keyed), plus the count of lines it skipped.
+// The sharded service coordinator uses it to merge per-worker journals
+// into the content-addressed store; the engine's own resume path goes
+// through loadJournal so it can also repair a torn tail.
+func ReadJournal(path string, opts Options) (map[Spec]*RunOut, int, error) {
+	runs, skipped, _, err := loadJournal(path, opts.withDefaults())
+	return runs, skipped, err
+}
+
 // loadJournal reads every checkpoint line that matches the engine's
 // options and returns the replayable runs keyed by normalized spec.
-// Unparseable lines — typically one torn tail line from an interrupted
-// write — and entries from different options or unknown schemes are
-// counted, not fatal: a journal is a cache, and a stale entry just
-// means re-simulating.
-func loadJournal(path string, opts Options) (map[Spec]*RunOut, int, error) {
+// Unparseable lines and entries from different options or unknown
+// schemes are counted, not fatal: a journal is a cache, and a stale
+// entry just means re-simulating.
+//
+// The returned truncateAt handles the torn tail an interrupted write
+// leaves behind: a final line without its newline never finished
+// writing (its entry is not trusted, even when the bytes happen to
+// parse), and a trailing run of corrupt lines is dead weight that the
+// next append would otherwise sit after forever. truncateAt is the
+// offset just past the last intact line — the caller truncates the
+// file there before reopening it for append, so the journal continues
+// from its last good record instead of concatenating new lines onto a
+// torn fragment. It is -1 when the file needs no repair. Corrupt lines
+// with intact lines after them stay where they are (truncating would
+// discard the good entries behind them); they are merely counted.
+func loadJournal(path string, opts Options) (map[Spec]*RunOut, int, int64, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, 0, nil
+		return nil, 0, -1, nil
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, -1, err
 	}
 	runs := make(map[Spec]*RunOut)
 	skipped := 0
-	for _, line := range strings.Split(string(data), "\n") {
-		if strings.TrimSpace(line) == "" {
+	var goodEnd int64 // offset just past the last intact line
+	for start := 0; start < len(data); {
+		nl := bytes.IndexByte(data[start:], '\n')
+		terminated := nl >= 0
+		end := len(data)
+		if terminated {
+			end = start + nl + 1
+		}
+		line := data[start:end]
+		if terminated {
+			line = line[:len(line)-1]
+		}
+		start = end
+
+		if strings.TrimSpace(string(line)) == "" {
+			// Blank lines are harmless; an unterminated one is just
+			// trailing whitespace to trim away.
+			if terminated {
+				goodEnd = int64(end)
+			}
 			continue
 		}
 		var je journalEntry
-		if err := json.Unmarshal([]byte(line), &je); err != nil {
+		if err := json.Unmarshal(line, &je); err != nil || !terminated {
 			skipped++
 			continue
 		}
+		goodEnd = int64(end)
 		scheme, err := core.ParseScheme(je.Scheme)
 		if err != nil || je.Stats == nil || je.Meter == nil ||
 			je.Insts != opts.Insts || je.Warmup != opts.Warmup || je.Seed != opts.Seed {
@@ -76,7 +117,11 @@ func loadJournal(path string, opts Options) (map[Spec]*RunOut, int, error) {
 		spec = spec.Normalize()
 		runs[spec] = &RunOut{Spec: spec, Stats: je.Stats, Meter: je.Meter}
 	}
-	return runs, skipped, nil
+	truncateAt := int64(-1)
+	if goodEnd < int64(len(data)) {
+		truncateAt = goodEnd
+	}
+	return runs, skipped, truncateAt, nil
 }
 
 // openJournal opens the checkpoint file for appending, creating it if

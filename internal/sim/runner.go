@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// Runner is the execution backend behind the commands: something that
+// can run one spec or a whole matrix and return results. Two
+// implementations exist — *Engine simulates locally, and api.Client
+// submits to a simd server over the v1 wire API — and every command
+// drives whichever the flags select through this one interface, so
+// "run it here" and "run it against the service" are the same code
+// path.
+//
+// Contract (both implementations honor it):
+//   - specs are normalized before execution, so the returned
+//     RunOut.Spec may differ from the argument in redundant overrides;
+//   - RunAll never fails fast: outputs are in argument order, failed
+//     positions are nil, and the joined per-spec errors come back as
+//     the error value;
+//   - identical specs submitted concurrently execute once.
+type Runner interface {
+	Run(ctx context.Context, spec Spec) (*RunOut, error)
+	RunAll(ctx context.Context, specs []Spec) ([]*RunOut, error)
+}
+
+var _ Runner = (*Engine)(nil)
+
+// NormalizeSpec canonicalizes a spec exactly the way an engine built
+// from these options would: a spec that leaves Check at the zero level
+// inherits DefaultCheck, then the usual Table 3 normalization zeroes
+// redundant overrides. The service layer uses it so cache keys agree
+// with engine memoization.
+func (o Options) NormalizeSpec(s Spec) Spec {
+	if s.Over.Check == core.CheckOff {
+		s.Over.Check = o.DefaultCheck
+	}
+	return s.Normalize()
+}

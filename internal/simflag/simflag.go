@@ -17,6 +17,7 @@
 package simflag
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -44,6 +46,7 @@ type Sim struct {
 	Journal     string
 	Progress    bool
 	CheckName   string
+	Remote      string
 
 	// which flag groups were registered, so Validate only checks
 	// values the user could actually set.
@@ -102,6 +105,12 @@ func (s *Sim) RegisterBatch(fs *flag.FlagSet) {
 	fs.StringVar(&s.Journal, "journal", s.Journal,
 		"JSONL checkpoint file: completed runs are appended as they finish and replayed on restart")
 	fs.BoolVar(&s.Progress, "progress", s.Progress, "render a live status line on stderr")
+}
+
+// RegisterRemote registers -remote, the simd server URL.
+func (s *Sim) RegisterRemote(fs *flag.FlagSet) {
+	fs.StringVar(&s.Remote, "remote", s.Remote,
+		"simd server URL (e.g. http://localhost:8080); empty simulates locally")
 }
 
 // RegisterCheck registers -check, the invariant-monitoring level.
@@ -178,6 +187,44 @@ func (s *Sim) Options() sim.Options {
 		o.DefaultCheck, _ = s.Check() // Validate has already vetted it
 	}
 	return o
+}
+
+// Runner builds the execution backend the flags selected: the local
+// batch engine, or — when -remote was given — a client for a simd
+// server, behind the same sim.Runner interface, so commands are
+// written once against either. The returned stop function releases the
+// backend (closing the engine's journal, or ending the remote progress
+// stream) and must be called before reading final results.
+//
+// With a remote backend, opts' engine-only fields (Parallelism,
+// Journal, checkpoints) are the server's business and are ignored
+// here; opts.OnProgress still works — it is fed from the server's SSE
+// progress stream, so the same status line renders either way. Remote
+// snapshots carry server-wide counters rather than this batch's own.
+func (s *Sim) Runner(ctx context.Context, opts sim.Options) (sim.Runner, func() error) {
+	if s.Remote == "" {
+		eng := sim.NewEngine(opts)
+		return eng, eng.Close
+	}
+	cl := api.NewClient(s.Remote, opts)
+	if opts.OnProgress == nil {
+		return cl, func() error { return nil }
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Stream errors only cost the status line, never the batch.
+		cl.StreamProgress(sctx, func(p api.Progress) bool {
+			opts.OnProgress(p.Snapshot())
+			return true
+		})
+	}()
+	return cl, func() error {
+		cancel()
+		<-done
+		return nil
+	}
 }
 
 // Status renders engine progress snapshots as a single live status
