@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (comma-separated): all, table1, table3, table4, table5, table6, fig3, fig9, fig12, fig13, wires, ext")
+	exp := flag.String("exp", "all", "experiment to run (comma-separated): all, table1, table3, table4, table5, table6, fig3, fig9, fig12, fig13, wires, ext, frontier")
 	f := simflag.New()
 	f.RegisterLength(flag.CommandLine)
 	f.RegisterSeed(flag.CommandLine)
@@ -135,6 +135,14 @@ func main() {
 
 	emit("ext", func() (string, error) {
 		x, err := experiments.RunExtensions(eng)
+		if err != nil {
+			return "", err
+		}
+		return x.Render(), nil
+	})
+
+	emit("frontier", func() (string, error) {
+		x, err := experiments.RunFrontier(eng)
 		if err != nil {
 			return "", err
 		}

@@ -53,9 +53,10 @@ func main() {
 	opts := f.Options()
 	opts.Parallelism = 1
 	runner, stopRunner := f.Runner(ctx, opts)
+	over := sim.Overrides{Tokens: *tokens, Check: check}
+	f.ApplyFrontend(&over)
 	out, err := runner.Run(ctx, sim.Spec{
-		Bench: f.Bench, Wide8: f.Wide8, Scheme: scheme,
-		Over: sim.Overrides{Tokens: *tokens, Check: check},
+		Bench: f.Bench, Wide8: f.Wide8, Scheme: scheme, Over: over,
 	})
 	stopRunner()
 	if err != nil {

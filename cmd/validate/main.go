@@ -24,8 +24,10 @@ import (
 	"syscall"
 
 	"repro/internal/api"
+	"repro/internal/bpred"
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/prefetch"
 	"repro/internal/simflag"
 	"repro/internal/workload"
 )
@@ -38,6 +40,12 @@ func main() {
 	seeds := flag.Int("seeds", 1, "validate workload seeds 1..N")
 	levelsFlag := flag.String("levels", "off,cheap,full",
 		"comma-separated monitor levels to run and compare ("+strings.Join(core.CheckLevelNames(), ", ")+")")
+	bpredsFlag := flag.String("bpreds", bpred.KindCombined.String(),
+		"comma-separated branch predictors to cross with the matrix, or all ("+
+			strings.Join(bpred.KindNames(), ", ")+")")
+	prefetchersFlag := flag.String("prefetchers", prefetch.KindOff.String(),
+		"comma-separated data prefetchers to cross with the matrix, or all ("+
+			strings.Join(prefetch.KindNames(), ", ")+")")
 	wide8 := flag.Bool("wide8", false, "validate the 8-wide Table 3 machine")
 	insts := flag.Int64("insts", 50_000, "measured instructions per run")
 	warmup := flag.Int64("warmup", 10_000, "warmup instructions per run")
@@ -50,6 +58,14 @@ func main() {
 
 	opts, err := parseMatrix(*schemesFlag, *benchFlag, *levelsFlag, *seeds)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if opts.Bpreds, err = parseBpreds(*bpredsFlag); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if opts.Prefetchers, err = parsePrefetchers(*prefetchersFlag); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -110,9 +126,9 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("validate: %d runs, %d schemes x %d benchmarks x %d seeds x %d levels: %d finding(s)\n",
+	fmt.Printf("validate: %d runs, %d schemes x %d benchmarks x %d seeds x %d levels x %d bpreds x %d prefetchers: %d finding(s)\n",
 		report.Runs, len(opts.Schemes), len(opts.Benches), len(opts.Seeds), len(opts.Levels),
-		len(report.Findings))
+		len(opts.Bpreds), len(opts.Prefetchers), len(report.Findings))
 	if !report.OK() {
 		os.Exit(1)
 	}
@@ -152,4 +168,45 @@ func parseMatrix(schemes, benches, levels string, seeds int) (check.Options, err
 		opts.Seeds = append(opts.Seeds, int64(s))
 	}
 	return opts, nil
+}
+
+// parseBpreds resolves the -bpreds list to canonical override names
+// (the default kind becomes the zero override).
+func parseBpreds(list string) ([]string, error) {
+	if list == "all" {
+		list = strings.Join(bpred.KindNames(), ",")
+	}
+	var out []string
+	for _, name := range strings.Split(list, ",") {
+		k, err := bpred.ParseKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		if k == bpred.KindCombined {
+			out = append(out, "")
+		} else {
+			out = append(out, k.String())
+		}
+	}
+	return out, nil
+}
+
+// parsePrefetchers resolves the -prefetchers list the same way.
+func parsePrefetchers(list string) ([]string, error) {
+	if list == "all" {
+		list = strings.Join(prefetch.KindNames(), ",")
+	}
+	var out []string
+	for _, name := range strings.Split(list, ",") {
+		k, err := prefetch.ParseKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		if k == prefetch.KindOff {
+			out = append(out, "")
+		} else {
+			out = append(out, k.String())
+		}
+	}
+	return out, nil
 }

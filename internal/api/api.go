@@ -51,6 +51,10 @@ type Overrides struct {
 	ROBSize         int    `json:"rob,omitempty"`
 	LSQSize         int    `json:"lsq,omitempty"`
 	PredEntries     int    `json:"predEntries,omitempty"`
+	// Bpred and Prefetch select frontend kinds by registered name
+	// ("tage", "stride"); empty keeps the paper's default frontend.
+	Bpred           string `json:"bpred,omitempty"`
+	Prefetch        string `json:"prefetch,omitempty"`
 	ReplayQueue     bool   `json:"rq,omitempty"`
 	ValuePrediction bool   `json:"vp,omitempty"`
 	// Check is the invariant-monitoring level by name ("off", "cheap",
@@ -161,6 +165,10 @@ type Info struct {
 	Shards  int      `json:"shards"`
 	Schemes []string `json:"schemes"`
 	Benches []string `json:"benches"`
+	// Bpreds and Prefetchers list the selectable frontend kinds (new in
+	// the frontend-diversity revision; absent on older servers).
+	Bpreds      []string `json:"bpreds,omitempty"`
+	Prefetchers []string `json:"prefetchers,omitempty"`
 	// StoreEntries is the number of results in the content-addressed
 	// store.
 	StoreEntries int      `json:"storeEntries"`

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/bpred"
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/prefetch"
 	"repro/internal/sim"
 )
 
@@ -24,6 +26,8 @@ func FromSimSpec(s sim.Spec) Spec {
 		ROBSize:         s.Over.ROBSize,
 		LSQSize:         s.Over.LSQSize,
 		PredEntries:     s.Over.PredEntries,
+		Bpred:           s.Over.Bpred,
+		Prefetch:        s.Over.Prefetch,
 		ReplayQueue:     s.Over.ReplayQueue,
 		ValuePrediction: s.Over.ValuePrediction,
 	}
@@ -53,8 +57,20 @@ func (s Spec) ToSim() (sim.Spec, error) {
 		ROBSize:         s.Over.ROBSize,
 		LSQSize:         s.Over.LSQSize,
 		PredEntries:     s.Over.PredEntries,
+		Bpred:           s.Over.Bpred,
+		Prefetch:        s.Over.Prefetch,
 		ReplayQueue:     s.Over.ReplayQueue,
 		ValuePrediction: s.Over.ValuePrediction,
+	}
+	if s.Over.Bpred != "" {
+		if _, err := bpred.ParseKind(s.Over.Bpred); err != nil {
+			return sim.Spec{}, fmt.Errorf("api: spec %s/%s: %w", s.Bench, s.Scheme, err)
+		}
+	}
+	if s.Over.Prefetch != "" {
+		if _, err := prefetch.ParseKind(s.Over.Prefetch); err != nil {
+			return sim.Spec{}, fmt.Errorf("api: spec %s/%s: %w", s.Bench, s.Scheme, err)
+		}
 	}
 	if s.Over.Check != "" {
 		level, err := core.ParseCheckLevel(s.Over.Check)

@@ -29,6 +29,19 @@ type State struct {
 
 	Lookups     uint64 `json:"lookups"`
 	Mispredicts uint64 `json:"mispredicts"`
+
+	// Tage holds the tagged tables under KindTAGE (absent otherwise,
+	// so combined-predictor checkpoints keep their historical bytes).
+	Tage      []TageTableState `json:"tage,omitempty"`
+	TageRand  uint64           `json:"tage_rand,omitempty"`
+	TageTicks uint32           `json:"tage_ticks,omitempty"`
+}
+
+// TageTableState is one tagged table's serialized form, entry-major.
+type TageTableState struct {
+	Tags []uint16 `json:"tags"`
+	Ctrs []int8   `json:"ctrs"`
+	Us   []byte   `json:"us"`
 }
 
 // State snapshots the predictor for a checkpoint.
@@ -51,6 +64,22 @@ func (p *Predictor) State() State {
 			st.BTB = append(st.BTB, BTBEntryState{
 				PC: e.pc, Target: e.target, Valid: e.valid, LastUse: e.lastUse,
 			})
+		}
+	}
+	if t := p.tage; t != nil {
+		st.TageRand = t.rng
+		st.TageTicks = t.ticks
+		st.Tage = make([]TageTableState, len(t.tables))
+		for i, tbl := range t.tables {
+			ts := TageTableState{
+				Tags: make([]uint16, len(tbl)),
+				Ctrs: make([]int8, len(tbl)),
+				Us:   make([]byte, len(tbl)),
+			}
+			for j, e := range tbl {
+				ts.Tags[j], ts.Ctrs[j], ts.Us[j] = e.tag, e.ctr, e.u
+			}
+			st.Tage[i] = ts
 		}
 	}
 	return st
@@ -77,6 +106,21 @@ func (p *Predictor) RestoreState(st State) error {
 		st.RASDepth < 0 || st.RASDepth > len(p.ras.buf):
 		return fmt.Errorf("bpred: state RAS cursor %d/%d out of range for %d entries",
 			st.RASTop, st.RASDepth, len(p.ras.buf))
+	case p.tage == nil && len(st.Tage) != 0:
+		return fmt.Errorf("bpred: state carries %d TAGE tables but the configuration is %v",
+			len(st.Tage), p.cfg.Kind)
+	case p.tage != nil && len(st.Tage) != len(p.tage.tables):
+		return fmt.Errorf("bpred: state holds %d TAGE tables, configuration wants %d",
+			len(st.Tage), len(p.tage.tables))
+	}
+	if t := p.tage; t != nil {
+		for i, ts := range st.Tage {
+			n := len(t.tables[i])
+			if len(ts.Tags) != n || len(ts.Ctrs) != n || len(ts.Us) != n {
+				return fmt.Errorf("bpred: TAGE table %d state %d/%d/%d does not match %d entries",
+					i, len(ts.Tags), len(ts.Ctrs), len(ts.Us), n)
+			}
+		}
 	}
 	bytesToCounters(p.bimodal, st.Bimodal)
 	bytesToCounters(p.gshare, st.Gshare)
@@ -94,6 +138,16 @@ func (p *Predictor) RestoreState(st State) error {
 	copy(p.ras.buf, st.RAS)
 	p.ras.top, p.ras.depth = st.RASTop, st.RASDepth
 	p.lookups, p.mispredicts = st.Lookups, st.Mispredicts
+	if t := p.tage; t != nil {
+		for i, ts := range st.Tage {
+			tbl := t.tables[i]
+			for j := range tbl {
+				tbl[j] = tageEntry{tag: ts.Tags[j], ctr: ts.Ctrs[j], u: ts.Us[j]}
+			}
+		}
+		t.rng = st.TageRand
+		t.ticks = st.TageTicks
+	}
 	return nil
 }
 

@@ -1,0 +1,267 @@
+package bpred
+
+import "math"
+
+// tage is a tagged geometric-history direction predictor (Seznec &
+// Michaud style) over the predictor's shared bimodal base table: a
+// series of tagged tables indexed by pc hashed with geometrically
+// growing slices of global history. The longest-history hit provides
+// the prediction; on a direction mispredict an entry is allocated in a
+// longer-history table among those whose useful counter has decayed to
+// zero, and the useful counters age periodically so stale entries can
+// be reclaimed. A table whose history length is zero is inert — it
+// never hits and never allocates — so an all-zero history series
+// degrades exactly to the bimodal base.
+//
+// Global history is capped at 64 bits and hashed directly from the
+// uint64 snapshot carried in each Prediction, so updates recompute the
+// lookup's indices without folded-history registers and the
+// speculative-push/repair-on-mispredict discipline of the combined
+// predictor carries over unchanged.
+type tage struct {
+	// tables[i] is the i-th tagged table, shortest history first.
+	tables [][]tageEntry
+	// histLens[i] is the history length of table i; masks[i] is the
+	// matching history mask ((1<<len)-1, saturating at 64 bits).
+	histLens []int
+	masks    []uint64
+	tagMask  uint16
+	// rng is a deterministic xorshift state used only to skew
+	// allocation between candidate tables.
+	rng uint64
+	// ticks counts updates toward the next useful-counter aging sweep.
+	ticks uint32
+}
+
+// tageEntry is one tagged-table slot: a partial tag, a 3-bit signed
+// prediction counter (-4..3; non-negative predicts taken), and a 2-bit
+// useful counter gating reallocation.
+type tageEntry struct {
+	tag uint16
+	ctr int8
+	u   uint8
+}
+
+// tageRandSeed is the fixed nonzero xorshift seed; resets restore it
+// so pooled machines replay bit-identically.
+const tageRandSeed = 0x2545F4914F6CDD1D
+
+// tageAgeInterval is the update count between useful-counter aging
+// sweeps (a power of two; each sweep halves every u).
+const tageAgeInterval = 1 << 18
+
+func newTage(cfg Config) *tage {
+	t := &tage{
+		tables:   make([][]tageEntry, cfg.TageTables),
+		histLens: geomHistLens(cfg.TageMinHist, cfg.TageMaxHist, cfg.TageTables),
+		masks:    make([]uint64, cfg.TageTables),
+		tagMask:  uint16(1<<cfg.TageTagBits) - 1,
+		rng:      tageRandSeed,
+	}
+	for i := range t.tables {
+		t.tables[i] = make([]tageEntry, cfg.TageEntries)
+		t.masks[i] = histMaskFor(t.histLens[i])
+	}
+	return t
+}
+
+// geomHistLens spreads n history lengths geometrically from minH to
+// maxH. The sentinel -1 in either bound yields all-zero lengths
+// (inert tables; see Config.TageMinHist).
+func geomHistLens(minH, maxH, n int) []int {
+	out := make([]int, n)
+	if minH < 0 || maxH < 0 {
+		return out
+	}
+	for i := range out {
+		if n == 1 || minH == maxH {
+			out[i] = maxH
+			continue
+		}
+		f := float64(minH) * math.Pow(float64(maxH)/float64(minH), float64(i)/float64(n-1))
+		l := int(f + 0.5)
+		if l > 64 {
+			l = 64
+		}
+		out[i] = l
+	}
+	return out
+}
+
+// histMaskFor is the history mask for a length, saturating at 64 bits.
+func histMaskFor(l int) uint64 {
+	if l <= 0 {
+		return 0
+	}
+	if l >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(l)) - 1
+}
+
+// maxHist is the longest table history, bounding the global register.
+func (t *tage) maxHist() int {
+	m := 1 // keep at least one history bit so the register still shifts
+	for _, l := range t.histLens {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// index hashes pc with table i's history slice into a table slot.
+func (t *tage) index(i int, pc, hist uint64) int {
+	h := hist & t.masks[i]
+	x := (pc >> 2) + uint64(i)*0x9E3779B97F4A7C15
+	x ^= h ^ (h >> 17) ^ (h >> 34)
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return int(x & uint64(len(t.tables[i])-1))
+}
+
+// tag computes the partial tag for pc in table i.
+func (t *tage) tag(i int, pc, hist uint64) uint16 {
+	h := hist & t.masks[i]
+	x := (pc >> 2) * 0x9E3779B97F4A7C15
+	x ^= h * 0xC2B2AE3D27D4EB4F
+	x ^= uint64(i) << 7
+	x ^= x >> 31
+	return uint16(x) & t.tagMask
+}
+
+// lookup fills pr with the longest-history tagged hit (the bimodal
+// base when none hits) and the alternate prediction beneath it.
+func (t *tage) lookup(p *Predictor, pc uint64, pr *Prediction) {
+	base := p.bimodal[p.bimodalIdx(pc)].taken()
+	pr.Taken, pr.altTaken, pr.prov = base, base, 0
+	for i := range t.tables {
+		if t.histLens[i] == 0 {
+			continue
+		}
+		e := &t.tables[i][t.index(i, pc, pr.history)]
+		if e.tag == t.tag(i, pc, pr.history) {
+			pr.altTaken = pr.Taken
+			pr.Taken = e.ctr >= 0
+			pr.prov = int8(i + 1)
+		}
+	}
+	pr.provTaken = pr.Taken
+}
+
+// update trains the provider, maintains its useful counter against the
+// alternate prediction, allocates into a longer table on a direction
+// mispredict, and ages the useful counters on a fixed schedule.
+func (t *tage) update(p *Predictor, pc uint64, pr Prediction, taken bool) {
+	if pr.prov > 0 {
+		i := int(pr.prov) - 1
+		e := &t.tables[i][t.index(i, pc, pr.history)]
+		e.ctr = sat3(e.ctr, taken)
+		if pr.provTaken != pr.altTaken {
+			if pr.provTaken == taken {
+				if e.u < 3 {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+	} else {
+		bi := p.bimodalIdx(pc)
+		p.bimodal[bi] = p.bimodal[bi].update(taken)
+	}
+	if pr.provTaken != taken && int(pr.prov) < len(t.tables) {
+		t.allocate(pc, pr.history, int(pr.prov), taken)
+	}
+	t.ticks++
+	if t.ticks&(tageAgeInterval-1) == 0 {
+		t.age()
+	}
+}
+
+// allocate claims a slot in a longer-history table whose useful
+// counter is zero, skewing the start table by one with probability 1/2
+// so adjacent branches don't ping-pong over the same table. When every
+// candidate is useful, their counters decay instead so a later
+// mispredict can succeed.
+func (t *tage) allocate(pc, hist uint64, from int, taken bool) {
+	j := from // table index of the first longer table (prov is 1-based)
+	if j+1 < len(t.tables) && t.nextRand()&1 == 1 {
+		j++
+	}
+	for ; j < len(t.tables); j++ {
+		if t.histLens[j] == 0 {
+			continue
+		}
+		e := &t.tables[j][t.index(j, pc, hist)]
+		if e.u == 0 {
+			e.tag = t.tag(j, pc, hist)
+			e.ctr = weak3(taken)
+			return
+		}
+	}
+	for j := from; j < len(t.tables); j++ {
+		if t.histLens[j] == 0 {
+			continue
+		}
+		e := &t.tables[j][t.index(j, pc, hist)]
+		if e.u > 0 {
+			e.u--
+		}
+	}
+}
+
+// age halves every useful counter, gracefully forgetting entries that
+// stopped earning their keep.
+func (t *tage) age() {
+	for i := range t.tables {
+		tbl := t.tables[i]
+		for j := range tbl {
+			tbl[j].u >>= 1
+		}
+	}
+}
+
+// reset restores the freshly constructed state (zero tables, seeded
+// rng) so pooled machines replay bit-identically.
+func (t *tage) reset() {
+	for i := range t.tables {
+		tbl := t.tables[i]
+		for j := range tbl {
+			tbl[j] = tageEntry{}
+		}
+	}
+	t.rng = tageRandSeed
+	t.ticks = 0
+}
+
+// nextRand steps the deterministic xorshift64 state.
+func (t *tage) nextRand() uint64 {
+	t.rng ^= t.rng << 13
+	t.rng ^= t.rng >> 7
+	t.rng ^= t.rng << 17
+	return t.rng
+}
+
+// sat3 steps a 3-bit signed saturating counter (-4..3) toward taken.
+func sat3(c int8, taken bool) int8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -4 {
+		return c - 1
+	}
+	return c
+}
+
+// weak3 is the weakly-biased initial counter for a fresh allocation.
+func weak3(taken bool) int8 {
+	if taken {
+		return 0
+	}
+	return -1
+}

@@ -151,6 +151,34 @@ func (h *Hierarchy) Data(addr uint64, now int64) Result {
 	return Result{Latency: lat, Level: lvl}
 }
 
+// Prefetch starts a data-side fill for the line containing addr, as a
+// demand miss would, and returns true when a new fill was started.
+// Lines already resident or in flight are left undisturbed (the probe
+// does not touch LRU state). The fill shares the demand path's MSHR
+// tracking, so a demand access arriving before it completes observes
+// the residual latency as LevelInFlight — a late prefetch is still
+// partially useful — and the fill maps are already checkpointed, so
+// prefetch state warm-starts with the rest of the hierarchy.
+func (h *Hierarchy) Prefetch(addr uint64, now int64) bool {
+	h.rotate(now)
+	la := h.dl1.LineAddr(addr)
+	if _, ok := inFlight(h.fills, h.fillsPrev, la, now); ok {
+		return false
+	}
+	if h.dl1.Probe(addr) {
+		return false
+	}
+	var lat int
+	if h.l2.Access(addr) {
+		lat = h.cfg.DL1.Latency + h.cfg.L2.Latency
+	} else {
+		lat = h.cfg.DL1.Latency + h.cfg.L2.Latency + h.cfg.MemLatency
+	}
+	h.dl1.Access(addr) // install the line, evicting via true LRU
+	h.fills[la] = now + int64(lat)
+	return true
+}
+
 // Inst performs an instruction fetch access for the line containing pc.
 func (h *Hierarchy) Inst(pc uint64, now int64) Result {
 	h.rotate(now)

@@ -110,7 +110,7 @@ func TestAnalyzeFlagsDivergence(t *testing.T) {
 	}
 	kinds := func(results map[runKey]*core.Stats) map[string]int {
 		v := &validator{opts: opts.withDefaults()}
-		v.analyze(1, "gcc", core.PosSel, oracle, results)
+		v.analyze(1, "gcc", core.PosSel, "", "", oracle, results)
 		got := map[string]int{}
 		for _, f := range v.report.Findings {
 			got[f.Kind]++

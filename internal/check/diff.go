@@ -27,6 +27,13 @@ type Options struct {
 	// stream is simulated once per level and the architectural results
 	// must agree bit-for-bit. Nil means off, cheap and full.
 	Levels []core.CheckLevel
+	// Bpreds and Prefetchers are the frontend kinds to cross with the
+	// scheme matrix, as override names ("" or the default kind's name
+	// for the paper's frontend). Nil means the default frontend only;
+	// the oracle digest must hold in every cell, since frontends change
+	// timing but never the retired stream.
+	Bpreds      []string
+	Prefetchers []string
 	// Wide8 validates on the 8-wide Table 3 machine.
 	Wide8 bool
 	// Insts and Warmup set the run length (defaults 50k after 10k).
@@ -55,6 +62,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Levels == nil {
 		o.Levels = []core.CheckLevel{core.CheckOff, core.CheckCheap, core.CheckFull}
+	}
+	if len(o.Bpreds) == 0 {
+		o.Bpreds = []string{""}
+	}
+	if len(o.Prefetchers) == 0 {
+		o.Prefetchers = []string{""}
 	}
 	if o.Insts == 0 {
 		o.Insts = 50_000
@@ -122,6 +135,8 @@ type runKey struct {
 	seed  int64
 	bench string
 	sch   core.Scheme
+	bp    string
+	pf    string
 	level core.CheckLevel
 }
 
@@ -161,7 +176,11 @@ func Validate(ctx context.Context, opts Options) (*Report, error) {
 		for _, bench := range opts.Benches {
 			oracle := oracles[runKey{seed: seed, bench: bench}]
 			for _, sch := range opts.Schemes {
-				v.analyze(seed, bench, sch, oracle, results)
+				for _, bp := range opts.Bpreds {
+					for _, pf := range opts.Prefetchers {
+						v.analyze(seed, bench, sch, bp, pf, oracle, results)
+					}
+				}
 			}
 		}
 	}
@@ -197,12 +216,18 @@ func (v *validator) runSeed(ctx context.Context, seed int64, results map[runKey]
 	)
 	for _, bench := range opts.Benches {
 		for _, sch := range opts.Schemes {
-			for _, level := range opts.Levels {
-				specs = append(specs, sim.Spec{
-					Bench: bench, Wide8: opts.Wide8, Scheme: sch,
-					Over: sim.Overrides{Check: level},
-				})
-				keys = append(keys, runKey{seed: seed, bench: bench, sch: sch, level: level})
+			for _, bp := range opts.Bpreds {
+				for _, pf := range opts.Prefetchers {
+					for _, level := range opts.Levels {
+						specs = append(specs, sim.Spec{
+							Bench: bench, Wide8: opts.Wide8, Scheme: sch,
+							Over: sim.Overrides{Bpred: bp, Prefetch: pf, Check: level},
+						})
+						keys = append(keys, runKey{
+							seed: seed, bench: bench, sch: sch, bp: bp, pf: pf, level: level,
+						})
+					}
+				}
 			}
 		}
 	}
@@ -244,9 +269,9 @@ func (v *validator) runSeed(ctx context.Context, seed int64, results map[runKey]
 	return ctx.Err()
 }
 
-// analyze checks one (seed, bench, scheme) cell: per-level stats
-// identities, oracle agreement, and cross-level agreement.
-func (v *validator) analyze(seed int64, bench string, sch core.Scheme, oracle OracleResult, results map[runKey]*core.Stats) {
+// analyze checks one (seed, bench, scheme, frontend) cell: per-level
+// stats identities, oracle agreement, and cross-level agreement.
+func (v *validator) analyze(seed int64, bench string, sch core.Scheme, bp, pf string, oracle OracleResult, results map[runKey]*core.Stats) {
 	opts := v.opts
 	width := int64(4)
 	if opts.Wide8 {
@@ -255,13 +280,13 @@ func (v *validator) analyze(seed int64, bench string, sch core.Scheme, oracle Or
 	var ref *core.Stats
 	var refSpec sim.Spec
 	for _, level := range opts.Levels {
-		st := results[runKey{seed: seed, bench: bench, sch: sch, level: level}]
+		st := results[runKey{seed: seed, bench: bench, sch: sch, bp: bp, pf: pf, level: level}]
 		if st == nil {
 			continue // already reported as run-error or monitor finding
 		}
 		spec := sim.Spec{
 			Bench: bench, Wide8: opts.Wide8, Scheme: sch,
-			Over: sim.Overrides{Check: level},
+			Over: sim.Overrides{Bpred: bp, Prefetch: pf, Check: level},
 		}
 		fail := func(kind, format string, args ...any) {
 			v.add(Finding{Spec: spec, Seed: seed, Kind: kind, Msg: fmt.Sprintf(format, args...)})
@@ -306,6 +331,17 @@ func (v *validator) analyze(seed int64, bench string, sch core.Scheme, oracle Or
 				fail("stats", "token outcomes do not partition misses: %d + %d + %d != %d",
 					p.MissesWithToken, p.MissTokenStolen, p.MissTokenRefused, st.LoadSchedMisses)
 			}
+		}
+		if sch == core.LoadDelay && st.Policy.LoadDelayUnder != st.LoadSchedMisses {
+			// Every LoadDelay scheduling miss is by construction an
+			// under-prediction (cold loads schedule conservatively and
+			// cannot miss).
+			fail("stats", "under-predictions do not cover misses: %d != %d",
+				st.Policy.LoadDelayUnder, st.LoadSchedMisses)
+		}
+		if st.PrefetchUseful > st.PrefetchIssued || st.PrefetchLate > st.PrefetchUseful {
+			fail("stats", "prefetch counters out of order: issued %d, useful %d, late %d",
+				st.PrefetchIssued, st.PrefetchUseful, st.PrefetchLate)
 		}
 		// The dataflow bound only speaks about the whole run, so it can
 		// only be applied when nothing was subtracted as warmup.

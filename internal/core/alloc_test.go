@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/bpred"
+	"repro/internal/prefetch"
 	"repro/internal/workload"
 )
 
@@ -74,6 +76,44 @@ func BenchmarkMachineSteadyStateCancellable(b *testing.B) {
 		if m.canceled(done) {
 			b.Fatal("context canceled mid-benchmark")
 		}
+	}
+	b.StopTimer()
+	if m.stats.Retired == 0 {
+		b.Fatal("machine made no progress")
+	}
+	b.ReportMetric(float64(m.stats.Retired)/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
+// BenchmarkMachineSteadyStateFrontend measures the warm loop with the
+// full frontier frontend live: the LoadDelay scheme, the TAGE
+// predictor and the stride prefetcher. Guarded by the zero-alloc CI
+// gate, it pins the pluggable frontends to the same allocation-free
+// discipline as the paper's default machine.
+func BenchmarkMachineSteadyStateFrontend(b *testing.B) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config8Wide()
+	cfg.Scheme = LoadDelay
+	cfg.Bpred = bpred.DefaultTAGE()
+	cfg.Prefetch = prefetch.DefaultStride()
+	cfg.MaxInsts = 1 << 60
+	m, err := New(cfg, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 50_000; i++ {
+		m.step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.step()
 	}
 	b.StopTimer()
 	if m.stats.Retired == 0 {
@@ -159,45 +199,53 @@ func TestCheckedSteadyStateAllocBudget(t *testing.T) {
 }
 
 // Every scheme must stay on the pooled hot path: no per-cycle
-// allocations once warm. All nine run, not just the ones with
+// allocations once warm. All ten run, not just the ones with
 // auxiliary replay structures — the structure-of-arrays window is
 // shared state, and a scheme-specific path that strays off it (a
 // closure in a kill walk, a slice in a policy hook) is exactly what
-// this sweep exists to catch.
+// this sweep exists to catch. Each scheme also runs with the TAGE
+// predictor and the stride prefetcher live, holding the pluggable
+// frontends to the same discipline.
 func TestSteadyStateAllocBudgetSchemes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation accounting is slow under -short")
 	}
 	for _, sc := range Schemes() {
-		sc := sc
-		t.Run(sc.String(), func(t *testing.T) {
-			prof, err := workload.ByName("gcc")
-			if err != nil {
-				t.Fatal(err)
-			}
-			gen, err := workload.NewGenerator(prof, 1)
-			if err != nil {
-				t.Fatal(err)
-			}
-			cfg := Config4Wide()
-			cfg.Scheme = sc
-			cfg.MaxInsts = 1 << 60
-			m, err := New(cfg, gen)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for i := 0; i < 60_000; i++ {
-				m.step()
-			}
-			const cyclesPerRun = 2000
-			avg := testing.AllocsPerRun(5, func() {
-				for i := 0; i < cyclesPerRun; i++ {
+		for _, frontend := range []string{"", "+tage+stride"} {
+			sc, frontend := sc, frontend
+			t.Run(sc.String()+frontend, func(t *testing.T) {
+				prof, err := workload.ByName("gcc")
+				if err != nil {
+					t.Fatal(err)
+				}
+				gen, err := workload.NewGenerator(prof, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := Config4Wide()
+				cfg.Scheme = sc
+				cfg.MaxInsts = 1 << 60
+				if frontend != "" {
+					cfg.Bpred = bpred.DefaultTAGE()
+					cfg.Prefetch = prefetch.DefaultStride()
+				}
+				m, err := New(cfg, gen)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 60_000; i++ {
 					m.step()
 				}
+				const cyclesPerRun = 2000
+				avg := testing.AllocsPerRun(5, func() {
+					for i := 0; i < cyclesPerRun; i++ {
+						m.step()
+					}
+				})
+				if perCycle := avg / cyclesPerRun; perCycle > 0.02 {
+					t.Fatalf("%v%s: %.4f allocs/cycle over budget", sc, frontend, perCycle)
+				}
 			})
-			if perCycle := avg / cyclesPerRun; perCycle > 0.02 {
-				t.Fatalf("%v: %.4f allocs/cycle over budget", sc, perCycle)
-			}
-		})
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
+	"repro/internal/prefetch"
 	"repro/internal/smpred"
 	"repro/internal/vpred"
 )
@@ -57,6 +58,14 @@ const (
 	// cycle (§2.1, Figure 2a); it exists to reproduce Figure 3's
 	// runaway-wavefront behaviour.
 	SerialVerify
+	// LoadDelay tracks observed load latencies per PC and delays
+	// dependent wakeup to the predicted latency instead of speculating
+	// on a hit (after Diavastos & Carlson's real-time load-delay
+	// tracking): a load whose table predicts a long latency broadcasts
+	// late, and a cold load waits for its actual latency. Scheduling
+	// misses only happen when a load beats its own prediction's
+	// history, so replay pressure trades against delayed wakeup.
+	LoadDelay
 	numSchemes
 )
 
@@ -157,10 +166,13 @@ type Config struct {
 	// power of two (the ring index is a mask); 0 means the default 64.
 	TraceDepth int
 
-	// Hierarchy, Bpred and SMPred configure the substrates.
+	// Hierarchy, Bpred, SMPred and Prefetch configure the substrates.
+	// Prefetch's zero value (KindOff) keeps the paper's prefetch-free
+	// machine.
 	Hierarchy cache.HierarchyConfig
 	Bpred     bpred.Config
 	SMPred    smpred.Config
+	Prefetch  prefetch.Config
 
 	// MaxInsts is how many instructions to retire before stopping.
 	MaxInsts int64

@@ -74,6 +74,21 @@ func (m *Machine) execLoad(u *uop) {
 				m.stats.MissMemory++
 			}
 		}
+		// The prefetcher observes each dynamic load once (replays of the
+		// same load would retrain zero deltas): settle the accounting for
+		// this demand line, then train and possibly start a fill.
+		if m.pf != nil && u.issues == 1 {
+			if m.pf.DemandUse(m.hier.DL1().LineAddr(u.inst.Addr)) {
+				m.stats.PrefetchUseful++
+				if res.Level == cache.LevelInFlight {
+					m.stats.PrefetchLate++
+				}
+			}
+			if pa, ok := m.pf.Observe(u.inst.PC, u.inst.Addr); ok && m.hier.Prefetch(pa, m.cycle) {
+				m.stats.PrefetchIssued++
+				m.pf.MarkIssued(m.hier.DL1().LineAddr(pa))
+			}
+		}
 	}
 
 	u.dataReadyAt = dataAt
@@ -114,6 +129,14 @@ func (m *Machine) execLoad(u *uop) {
 	if kind == missNone {
 		u.actualLat = int(dataAt - u.execStart)
 		u.completeCycle = dataAt
+		// Completion never precedes the advertised wakeup broadcast: a
+		// load scheduled past its actual latency (LoadDelay's inflated
+		// predictions) must stay live until its dependents are woken,
+		// or retirement would recycle the uop out from under the
+		// pending broadcast event.
+		if u.broadcastCycle != unknown && u.completeCycle < u.broadcastCycle {
+			u.completeCycle = u.broadcastCycle
+		}
 		m.schedule(u.completeCycle, event{kind: evComplete, u: u, gen: u.gen})
 		return
 	}

@@ -9,7 +9,7 @@ import (
 // FuzzCheckedMachine drives randomized (config, seed) pairs through
 // full-level checked runs: whatever corner the fuzzer finds, every
 // invariant monitor and the run itself must hold. The seed corpus
-// covers all nine schemes plus the replay-queue, value-prediction and
+// covers all ten schemes plus the replay-queue, value-prediction and
 // tight-token corners from the golden configurations.
 func FuzzCheckedMachine(f *testing.F) {
 	for i, s := range Schemes() {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/prefetch"
 	"repro/internal/smpred"
 	"repro/internal/vpred"
 	"repro/internal/workload"
@@ -32,6 +33,9 @@ type Machine struct {
 	pol replayPolicy
 	// vp is the load value predictor (nil unless ValuePrediction).
 	vp *vpred.Predictor
+	// pf is the data prefetcher (nil unless Prefetch.Kind is set), fed
+	// by execLoad and filling DL1 through the hierarchy's demand MSHRs.
+	pf *prefetch.Prefetcher
 
 	cycle int64
 
@@ -233,6 +237,8 @@ func (m *Machine) init(cfg Config, src workload.Stream) {
 	reuseBp := m.bp != nil && m.cfg.Bpred == cfg.Bpred
 	reuseSp := m.sp != nil && m.cfg.SMPred == cfg.SMPred
 	reuseVp := m.vp != nil && cfg.ValuePrediction && m.cfg.VPred == cfg.VPred
+	reusePf := m.pf != nil && cfg.Prefetch.Kind != prefetch.KindOff &&
+		m.cfg.Prefetch == cfg.Prefetch
 
 	m.cfg = cfg
 	m.src = src
@@ -259,6 +265,11 @@ func (m *Machine) init(cfg Config, src workload.Stream) {
 		m.vp.Reset()
 	default:
 		m.vp = vpred.New(cfg.VPred)
+	}
+	if reusePf {
+		m.pf.Reset()
+	} else {
+		m.pf = prefetch.New(cfg.Prefetch) // nil for KindOff
 	}
 
 	m.cycle = 0

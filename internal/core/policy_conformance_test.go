@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bpred"
+	"repro/internal/prefetch"
 	"repro/internal/workload"
 )
 
@@ -42,16 +44,32 @@ func TestPolicyRegistryComplete(t *testing.T) {
 	}
 }
 
-// conformanceConfigs returns one representative configuration per
-// scheme plus the replay-queue and value-prediction variants each
-// scheme's policy claims to support.
+// conformanceConfigs returns every (scheme, bpred, prefetcher) cell
+// plus the replay-queue and value-prediction variants each scheme's
+// policy claims to support (on the default frontend). A new scheme or
+// frontend lands in the matrix with zero bespoke test code: the
+// registry and the kind lists drive the cross product.
 func conformanceConfigs() []Config {
+	frontends := []struct {
+		bp bpred.Config
+		pf prefetch.Config
+	}{
+		{bpred.Default(), prefetch.Config{}},
+		{bpred.DefaultTAGE(), prefetch.Config{}},
+		{bpred.Default(), prefetch.DefaultStride()},
+		{bpred.DefaultTAGE(), prefetch.DefaultStride()},
+	}
 	var out []Config
 	for s := Scheme(0); s < numSchemes; s++ {
 		cfg := Config4Wide()
 		cfg.Scheme = s
 		cfg.MaxInsts = 8_000
-		out = append(out, cfg)
+		for _, fe := range frontends {
+			c := cfg
+			c.Bpred = fe.bp
+			c.Prefetch = fe.pf
+			out = append(out, c)
+		}
 		if policyRegistry[s].rq {
 			rq := cfg
 			rq.ReplayQueue = true
@@ -69,6 +87,12 @@ func conformanceConfigs() []Config {
 
 func conformanceLabel(cfg Config) string {
 	l := cfg.Scheme.String()
+	if cfg.Bpred.Kind != bpred.KindCombined {
+		l += "+" + cfg.Bpred.Kind.String()
+	}
+	if cfg.Prefetch.Kind != prefetch.KindOff {
+		l += "+" + cfg.Prefetch.Kind.String()
+	}
 	if cfg.ReplayQueue {
 		l += "+rq"
 	}
@@ -182,6 +206,13 @@ func TestMachineResetBitIdentical(t *testing.T) {
 			ocfg := Config4Wide()
 			ocfg.Scheme = o
 			ocfg.MaxInsts = 2_000
+			if o%2 == 1 {
+				// Alternate frontends through the chain so TAGE tables
+				// and prefetcher state from a previous run cannot bleed
+				// into the final measured run either.
+				ocfg.Bpred = bpred.DefaultTAGE()
+				ocfg.Prefetch = prefetch.DefaultStride()
+			}
 			gen, _ := workload.NewGenerator(p, 3)
 			if err := m.Reset(ocfg, gen); err != nil {
 				t.Fatal(err)

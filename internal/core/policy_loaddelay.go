@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/isa"
+	"repro/internal/smpred"
+)
+
+func init() {
+	registerPolicy(LoadDelay, "LoadDelay", func() replayPolicy {
+		return &loaddelayPolicy{}
+	})
+}
+
+// loaddelayPolicy tracks observed load latencies per PC and schedules
+// each load's wakeup broadcast at the predicted latency instead of
+// speculating on a hit (after Diavastos & Carlson's real-time
+// load-delay tracking). A load whose PC hits the table inflates its
+// scheduled latency to the table's running estimate, so dependents wake
+// when the data is expected rather than assumed; a cold PC schedules
+// conservatively and waits for the actual latency. Scheduling misses
+// remain possible only when a load's latency exceeds its own history
+// (the table decays toward faster observations), and those residual
+// misses recover by re-insert like the other prediction-based schemes.
+type loaddelayPolicy struct {
+	noopPolicy
+	// table is the direct-mapped, tagged latency table, indexed like
+	// the scheduling-miss predictor (it borrows SMPred's geometry
+	// knobs: same entry count and tag width).
+	table   []ldEntry
+	idxMask uint64
+	idxBits uint
+	tagMask uint64
+	// maxLat caps trained latencies at the worst-case memory path so
+	// an inflated schedule can never push events past the wheel
+	// horizon.
+	maxLat int
+}
+
+// ldEntry is one latency-table entry: the last predicted latency for a
+// load PC, jumped up to slower observations and decayed halfway toward
+// faster ones.
+type ldEntry struct {
+	tag   uint64
+	valid bool
+	lat   int32
+}
+
+func (p *loaddelayPolicy) scheme() Scheme { return LoadDelay }
+
+func (p *loaddelayPolicy) reset(m *Machine) {
+	n := m.cfg.SMPred.Entries
+	if n == 0 {
+		n = smpred.Default().Entries
+	}
+	if len(p.table) != n {
+		p.table = make([]ldEntry, n)
+	} else {
+		for i := range p.table {
+			p.table[i] = ldEntry{}
+		}
+	}
+	p.idxMask = uint64(n - 1)
+	p.idxBits = uint(bits.Len64(p.idxMask))
+	tb := m.cfg.SMPred.TagBits
+	if tb == 0 {
+		tb = smpred.Default().TagBits
+	}
+	p.tagMask = (1 << uint(tb)) - 1
+	h := m.cfg.Hierarchy
+	p.maxLat = isa.MaxExecLatency() + 2*h.DL1.Latency + h.L2.Latency + h.MemLatency
+}
+
+// slot mirrors the scheduling-miss predictor's word-granular indexing.
+func (p *loaddelayPolicy) slot(pc uint64) (int, uint64) {
+	word := pc >> 2
+	return int(word & p.idxMask), (word >> p.idxBits) & p.tagMask
+}
+
+// lookup returns the predicted latency for a load PC, if the table
+// holds one.
+func (p *loaddelayPolicy) lookup(pc uint64) (int, bool) {
+	i, tag := p.slot(pc)
+	e := &p.table[i]
+	if !e.valid || e.tag != tag {
+		return 0, false
+	}
+	return int(e.lat), true
+}
+
+// train folds one observed latency into the PC's entry: slower
+// observations are adopted immediately (the safe direction — the next
+// prediction covers them), faster ones decay the estimate halfway so a
+// single early hit does not discard a miss history.
+func (p *loaddelayPolicy) train(pc uint64, lat int) {
+	if lat <= 0 {
+		return
+	}
+	if lat > p.maxLat {
+		lat = p.maxLat
+	}
+	i, tag := p.slot(pc)
+	e := &p.table[i]
+	if !e.valid || e.tag != tag {
+		*e = ldEntry{tag: tag, valid: true, lat: int32(lat)}
+		return
+	}
+	switch l := int32(lat); {
+	case l > e.lat:
+		e.lat = l
+	case l < e.lat:
+		e.lat -= (e.lat - l + 1) / 2
+	}
+}
+
+func (p *loaddelayPolicy) onRename(m *Machine, u *uop, wantValue bool) bool {
+	if u.isLoad() {
+		if lat, ok := p.lookup(u.inst.PC); ok {
+			if lat > u.schedLat {
+				u.schedLat = lat
+			}
+			m.stats.Policy.LoadDelayPredicted++
+		} else {
+			// Cold PC: no history to delay against, so schedule
+			// pessimistically — dependents wake only once the actual
+			// latency is known at execute.
+			u.conservative = true
+			m.stats.Policy.LoadDelayCold++
+		}
+	}
+	return wantValue
+}
+
+// onKill fires only for predicted loads that beat their history (cold
+// loads schedule conservatively and cannot miss): adopt the observed
+// latency and recover by re-insert.
+func (p *loaddelayPolicy) onKill(m *Machine, u *uop) {
+	m.stats.Policy.LoadDelayUnder++
+	if u.dataReadyAt != unknown {
+		p.train(u.inst.PC, int(u.dataReadyAt-u.execStart))
+	}
+	m.replayLoad(u)
+	m.startReinsert(u)
+}
+
+// onVerify trains on each load's first execution only: a replayed
+// execution observes the residual latency of a fill its own miss
+// started, and decaying toward that would oscillate the entry between
+// miss and hit latencies (the miss itself already trained upward in
+// onKill).
+func (p *loaddelayPolicy) onVerify(m *Machine, u *uop) {
+	if u.isLoad() && u.issues == 1 {
+		p.train(u.inst.PC, u.actualLat)
+	}
+	m.releaseIQ(u)
+}

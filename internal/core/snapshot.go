@@ -6,6 +6,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/prefetch"
 	"repro/internal/smpred"
 	"repro/internal/token"
 	"repro/internal/vpred"
@@ -18,7 +19,7 @@ import (
 // the stream cursors. A machine restored from it (Restore) continues
 // the run bit-identically to one that simulated from cycle zero — the
 // warm-start equivalence tests prove RetireHash and final Stats match
-// across all nine schemes.
+// across all ten schemes.
 //
 // Everything is stored verbatim (ring heads included) so restore is a
 // field-for-field copy rather than a reconstruction; uop references
@@ -80,6 +81,9 @@ type MachineState struct {
 	Bpred  bpred.State          `json:"bpred"`
 	SMPred smpred.State         `json:"smpred"`
 	VPred  *vpred.State         `json:"vpred,omitempty"`
+	// Prefetch is present exactly when the configuration runs a
+	// prefetcher; the in-flight fill maps it feeds live in Hier.
+	Prefetch *prefetch.State `json:"prefetch,omitempty"`
 
 	// Policy is the replay policy's private state; nil for the schemes
 	// that keep none (everything but TkSel and SerialVerify).
@@ -189,13 +193,22 @@ type RenameVecState struct {
 	Vec uint64 `json:"vec,omitempty"`
 }
 
+// LoadDelayEntryState is one latency-table entry (LoadDelay).
+type LoadDelayEntryState struct {
+	Tag   uint64 `json:"tag"`
+	Valid bool   `json:"valid,omitempty"`
+	Lat   int32  `json:"lat"`
+}
+
 // PolicyState carries the replay policy's private state. Only the
 // fields for the snapshotted scheme are populated: Tokens/RenameVec
-// for TkSel, SerialChains (per-chain max depths) for SerialVerify.
+// for TkSel, SerialChains (per-chain max depths) for SerialVerify,
+// LoadDelay (the positional latency table) for LoadDelay.
 type PolicyState struct {
-	Tokens       *token.State     `json:"tokens,omitempty"`
-	RenameVec    []RenameVecState `json:"rename_vec,omitempty"`
-	SerialChains []int            `json:"serial_chains,omitempty"`
+	Tokens       *token.State          `json:"tokens,omitempty"`
+	RenameVec    []RenameVecState      `json:"rename_vec,omitempty"`
+	SerialChains []int                 `json:"serial_chains,omitempty"`
+	LoadDelay    []LoadDelayEntryState `json:"load_delay,omitempty"`
 }
 
 // policySnapshotter is the optional capability a policy with private
@@ -295,6 +308,10 @@ func (m *Machine) snapshot() *MachineState {
 	if m.vp != nil {
 		vs := m.vp.State()
 		st.VPred = &vs
+	}
+	if m.pf != nil {
+		ps := m.pf.State()
+		st.Prefetch = &ps
 	}
 	if ps, ok := m.pol.(policySnapshotter); ok {
 		st.Policy = ps.snapshotState()
@@ -536,6 +553,14 @@ func (m *Machine) Restore(cfg Config, src workload.Stream, st *MachineState) err
 	case m.vp != nil || st.VPred != nil:
 		return fmt.Errorf("core: snapshot and configuration disagree about value prediction")
 	}
+	switch {
+	case m.pf != nil && st.Prefetch != nil:
+		if err := m.pf.RestoreState(*st.Prefetch); err != nil {
+			return err
+		}
+	case m.pf != nil || st.Prefetch != nil:
+		return fmt.Errorf("core: snapshot and configuration disagree about prefetching")
+	}
 
 	ps, needs := m.pol.(policySnapshotter)
 	switch {
@@ -656,6 +681,27 @@ func (p *serialPolicy) restoreState(st *PolicyState) error {
 	p.chains = p.chains[:0]
 	for _, d := range st.SerialChains {
 		p.chains = append(p.chains, serialChain{maxDepth: d})
+	}
+	return nil
+}
+
+// snapshotState captures the latency table verbatim (empty slots
+// included — the table is positional, direct-mapped).
+func (p *loaddelayPolicy) snapshotState() *PolicyState {
+	st := &PolicyState{LoadDelay: make([]LoadDelayEntryState, len(p.table))}
+	for i, e := range p.table {
+		st.LoadDelay[i] = LoadDelayEntryState{Tag: e.tag, Valid: e.valid, Lat: e.lat}
+	}
+	return st
+}
+
+func (p *loaddelayPolicy) restoreState(st *PolicyState) error {
+	if len(st.LoadDelay) != len(p.table) {
+		return fmt.Errorf("core: LoadDelay snapshot table holds %d entries, want %d",
+			len(st.LoadDelay), len(p.table))
+	}
+	for i, e := range st.LoadDelay {
+		p.table[i] = ldEntry{tag: e.Tag, valid: e.Valid, lat: e.Lat}
 	}
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/bpred"
+	"repro/internal/prefetch"
 	"repro/internal/workload"
 )
 
@@ -106,6 +108,12 @@ func TestWarmStartEquivalence(t *testing.T) {
 				// Exercise the value-prediction state too on the scheme
 				// with the richest policy snapshot.
 				cfg.ValuePrediction = true
+			}
+			if s == LoadDelay {
+				// Exercise the frontend state too: the TAGE tables and
+				// the stride prefetcher ride this scheme's checkpoints.
+				cfg.Bpred = bpred.DefaultTAGE()
+				cfg.Prefetch = prefetch.DefaultStride()
 			}
 
 			plain, _ := coldRun(t, cfg, 1, 0)

@@ -68,6 +68,16 @@ type Stats struct {
 	// dependents squashed by value-misprediction recovery.
 	ValuePredictions, ValueMispredicts, ValueKilledInsts uint64
 
+	// PrefetchIssued counts data-side fills started by the prefetcher;
+	// PrefetchUseful the prefetched lines a demand load later touched
+	// before eviction; PrefetchLate the useful subset whose fill was
+	// still in flight at demand time (timeliness). Tagged omitempty so
+	// prefetch-free runs keep their historical JSON bytes — the golden
+	// equivalence matrix pins them.
+	PrefetchIssued uint64 `json:",omitempty"`
+	PrefetchUseful uint64 `json:",omitempty"`
+	PrefetchLate   uint64 `json:",omitempty"`
+
 	// RetireHash is the order-sensitive digest of the retired
 	// instruction stream over the first Warmup+MaxInsts retirements
 	// (isa.HashInst chain). Two runs of the same spec must agree on it
@@ -109,6 +119,17 @@ type PolicyStats struct {
 	// under SerialVerify (Figure 3).
 	//lint:allow stats distributional; keeps full history, folded once at end of Run
 	SerialDepth stats.Histogram
+
+	// LoadDelayPredicted counts loads the LoadDelay scheme scheduled at
+	// a table-predicted latency; LoadDelayCold counts loads held
+	// conservatively because their PC had no table entry;
+	// LoadDelayUnder counts predicted loads whose actual latency still
+	// exceeded the prediction (the residual scheduling misses). Tagged
+	// omitempty like the prefetch counters so the nine legacy schemes'
+	// JSON bytes are unchanged.
+	LoadDelayPredicted uint64 `json:",omitempty"`
+	LoadDelayCold      uint64 `json:",omitempty"`
+	LoadDelayUnder     uint64 `json:",omitempty"`
 }
 
 // subtract removes a warmup snapshot from the counters. RQOccupancyMax
@@ -122,6 +143,9 @@ func (p *PolicyStats) subtract(base *PolicyStats) {
 	p.TokensGranted -= base.TokensGranted
 	p.TokenSteals -= base.TokenSteals
 	p.TokenDenials -= base.TokenDenials
+	p.LoadDelayPredicted -= base.LoadDelayPredicted
+	p.LoadDelayCold -= base.LoadDelayCold
+	p.LoadDelayUnder -= base.LoadDelayUnder
 }
 
 // subtract removes a warmup snapshot from the numeric counters so the
@@ -157,6 +181,9 @@ func (s *Stats) subtract(base *Stats) {
 	s.ValuePredictions -= base.ValuePredictions
 	s.ValueMispredicts -= base.ValueMispredicts
 	s.ValueKilledInsts -= base.ValueKilledInsts
+	s.PrefetchIssued -= base.PrefetchIssued
+	s.PrefetchUseful -= base.PrefetchUseful
+	s.PrefetchLate -= base.PrefetchLate
 	s.Policy.subtract(&base.Policy)
 }
 
@@ -195,4 +222,25 @@ func (s *Stats) ReplayRate() float64 {
 // with a token (Table 6).
 func (s *Stats) TokenCoverage() float64 {
 	return stats.Ratio(s.Policy.MissesWithToken, s.LoadSchedMisses)
+}
+
+// PrefetchAccuracy returns useful prefetches per issued prefetch.
+func (s *Stats) PrefetchAccuracy() float64 {
+	return stats.Ratio(s.PrefetchUseful, s.PrefetchIssued)
+}
+
+// PrefetchCoverage returns the fraction of would-be cache scheduling
+// misses the prefetcher absorbed: useful prefetches over useful
+// prefetches plus the cache misses that still happened.
+func (s *Stats) PrefetchCoverage() float64 {
+	return stats.Ratio(s.PrefetchUseful, s.PrefetchUseful+s.CacheMisses)
+}
+
+// PrefetchTimeliness returns the fraction of useful prefetches that
+// completed before their demand access arrived.
+func (s *Stats) PrefetchTimeliness() float64 {
+	if s.PrefetchUseful == 0 {
+		return 0
+	}
+	return 1 - stats.Ratio(s.PrefetchLate, s.PrefetchUseful)
 }

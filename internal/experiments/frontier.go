@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// frontierBenches is the benchmark sample for the scheme x frontend
+// matrix: a branchy integer code, the memory-bound pointer chaser and
+// a cache-miss-heavy placer — the three regimes where a predictor or
+// prefetcher upgrade could plausibly reorder the schemes.
+var frontierBenches = []string{"gcc", "mcf", "twolf"}
+
+// Frontier reports the beyond-the-paper frontend study: does the
+// paper's replay-scheme ranking survive a machine whose frontend the
+// paper never evaluated — a TAGE direction predictor and a stride
+// data prefetcher?
+type Frontier struct {
+	// Matrix: per scheme, geometric-mean IPC over frontierBenches under
+	// the paper frontend, TAGE alone, and TAGE plus the stride
+	// prefetcher.
+	Schemes              []core.Scheme
+	Base, Tage, TagePref []float64
+
+	// Prefetch: per benchmark under PosSel, IPC without/with the
+	// stride prefetcher and the prefetcher's own quality metrics.
+	PrefBench                      []string
+	PrefOff, PrefOn                []float64
+	Coverage, Accuracy, Timeliness []float64
+
+	// LoadDelay: per benchmark, the tenth scheme against the two
+	// schemes it interpolates between, with its prediction outcome
+	// counts.
+	LDBench                      []string
+	LDPosSel, LDCons, LDTracking []float64
+	LDPredicted, LDCold, LDUnder []uint64
+}
+
+// RunFrontier measures all three studies through the shared engine, so
+// overlapping cells (the stock PosSel runs, the scheme baselines) are
+// simulated once and memoized.
+func RunFrontier(e *Engine) (*Frontier, error) {
+	x := &Frontier{
+		Schemes:   core.Schemes(),
+		PrefBench: Benchmarks(),
+		LDBench:   Benchmarks(),
+	}
+
+	var specs []RunSpec
+	for _, s := range x.Schemes {
+		for _, bench := range frontierBenches {
+			specs = append(specs,
+				RunSpec{Bench: bench, Wide8: true, Scheme: s},
+				RunSpec{Bench: bench, Wide8: true, Scheme: s,
+					Over: sim.Overrides{Bpred: "tage"}},
+				RunSpec{Bench: bench, Wide8: true, Scheme: s,
+					Over: sim.Overrides{Bpred: "tage", Prefetch: "stride"}})
+		}
+	}
+	for _, bench := range x.PrefBench {
+		specs = append(specs,
+			RunSpec{Bench: bench, Wide8: true, Scheme: core.PosSel},
+			RunSpec{Bench: bench, Wide8: true, Scheme: core.PosSel,
+				Over: sim.Overrides{Prefetch: "stride"}})
+	}
+	for _, bench := range x.LDBench {
+		specs = append(specs,
+			RunSpec{Bench: bench, Wide8: true, Scheme: core.PosSel},
+			RunSpec{Bench: bench, Wide8: true, Scheme: core.Conservative},
+			RunSpec{Bench: bench, Wide8: true, Scheme: core.LoadDelay})
+	}
+	outs, err := e.runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	geomean := func(cells []*RunOut) float64 {
+		logSum := 0.0
+		for _, o := range cells {
+			logSum += math.Log(o.Stats.IPC())
+		}
+		return math.Exp(logSum / float64(len(cells)))
+	}
+	i := 0
+	for range x.Schemes {
+		var base, tage, pref []*RunOut
+		for range frontierBenches {
+			base = append(base, outs[i])
+			tage = append(tage, outs[i+1])
+			pref = append(pref, outs[i+2])
+			i += 3
+		}
+		x.Base = append(x.Base, geomean(base))
+		x.Tage = append(x.Tage, geomean(tage))
+		x.TagePref = append(x.TagePref, geomean(pref))
+	}
+	for range x.PrefBench {
+		a, b := outs[i].Stats, outs[i+1].Stats
+		i += 2
+		x.PrefOff = append(x.PrefOff, a.IPC())
+		x.PrefOn = append(x.PrefOn, b.IPC())
+		x.Coverage = append(x.Coverage, b.PrefetchCoverage())
+		x.Accuracy = append(x.Accuracy, b.PrefetchAccuracy())
+		x.Timeliness = append(x.Timeliness, b.PrefetchTimeliness())
+	}
+	for range x.LDBench {
+		p, c, l := outs[i].Stats, outs[i+1].Stats, outs[i+2].Stats
+		i += 3
+		x.LDPosSel = append(x.LDPosSel, p.IPC())
+		x.LDCons = append(x.LDCons, c.IPC())
+		x.LDTracking = append(x.LDTracking, l.IPC())
+		x.LDPredicted = append(x.LDPredicted, l.Policy.LoadDelayPredicted)
+		x.LDCold = append(x.LDCold, l.Policy.LoadDelayCold)
+		x.LDUnder = append(x.LDUnder, l.Policy.LoadDelayUnder)
+	}
+	return x, nil
+}
+
+// Render formats the three studies.
+func (x *Frontier) Render() string {
+	var b strings.Builder
+	b.WriteString("Frontier A: scheme x frontend matrix, 8-wide, geomean IPC over " +
+		strings.Join(frontierBenches, "/") + "\n")
+	tb := stats.NewTable("scheme", "IPC paper frontend", "IPC +TAGE", "IPC +TAGE+stride", "frontend gain")
+	for i, s := range x.Schemes {
+		tb.AddRow(s.String(), x.Base[i], x.Tage[i], x.TagePref[i],
+			fmt.Sprintf("%+.1f%%", 100*(x.TagePref[i]/x.Base[i]-1)))
+	}
+	b.WriteString(tb.String())
+
+	b.WriteString("\nFrontier B: stride prefetcher under PosSel, 8-wide\n")
+	tb = stats.NewTable("bench", "IPC off", "IPC stride", "speedup", "coverage", "accuracy", "timeliness")
+	for i, bench := range x.PrefBench {
+		tb.AddRow(bench, x.PrefOff[i], x.PrefOn[i],
+			fmt.Sprintf("%+.1f%%", 100*(x.PrefOn[i]/x.PrefOff[i]-1)),
+			fmt.Sprintf("%.2f", x.Coverage[i]),
+			fmt.Sprintf("%.2f", x.Accuracy[i]),
+			fmt.Sprintf("%.2f", x.Timeliness[i]))
+	}
+	b.WriteString(tb.String())
+
+	b.WriteString("\nFrontier C: load-delay tracking vs its neighbours, 8-wide\n")
+	tb = stats.NewTable("bench", "IPC PosSel", "IPC Conservative", "IPC LoadDelay",
+		"predicted", "cold", "under")
+	for i, bench := range x.LDBench {
+		tb.AddRow(bench, x.LDPosSel[i], x.LDCons[i], x.LDTracking[i],
+			fmt.Sprintf("%d", x.LDPredicted[i]),
+			fmt.Sprintf("%d", x.LDCold[i]),
+			fmt.Sprintf("%d", x.LDUnder[i]))
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}

@@ -203,6 +203,57 @@ func ServeEscape(module string) *Escape {
 	}
 }
 
+// bpredHotFuncs is the branch predictor's per-branch path: the lookup
+// the front end makes for every fetched branch and the update the
+// resolve path makes for every executed one, plus every component
+// helper they drive — the combined tables, the TAGE tagged tables and
+// their hash/allocation machinery, the BTB and the RAS. Construction,
+// Reset and the State/RestoreState checkpoint pair are cold.
+var bpredHotFuncs = []string{
+	"Predictor.Lookup", "Predictor.Update",
+	"Predictor.PushRAS", "Predictor.PopRAS",
+	"Predictor.bimodalIdx", "Predictor.gshareIdx", "Predictor.selectorIdx",
+	"counter.taken", "counter.update", "boolBit",
+	"tage.lookup", "tage.update", "tage.allocate", "tage.age",
+	"tage.index", "tage.tag", "tage.nextRand", "sat3", "weak3",
+	"btb.set", "btb.lookup", "btb.insert",
+	"ras.push", "ras.pop",
+}
+
+func bpredManifest(u *Unit, p *Package) map[string]bool {
+	return listManifest(u, p, bpredHotFuncs)
+}
+
+// BpredEscape gates the branch predictor's per-branch path.
+func BpredEscape(module string) *Escape {
+	return &Escape{
+		PkgPath:  module + "/internal/bpred",
+		Manifest: bpredManifest,
+	}
+}
+
+// prefetchHotFuncs is the stride prefetcher's per-load path: the core
+// calls DemandUse and Observe on every first-issue load execution and
+// MarkIssued on every fired prefetch, so all three (and the slot hash
+// they share) live inside the simulator's zero-allocation cycle loop.
+// Construction, Reset and the checkpoint pair are cold.
+var prefetchHotFuncs = []string{
+	"Prefetcher.Observe", "Prefetcher.MarkIssued", "Prefetcher.DemandUse",
+	"Prefetcher.slot", "len64",
+}
+
+func prefetchManifest(u *Unit, p *Package) map[string]bool {
+	return listManifest(u, p, prefetchHotFuncs)
+}
+
+// PrefetchEscape gates the prefetcher's per-load path.
+func PrefetchEscape(module string) *Escape {
+	return &Escape{
+		PkgPath:  module + "/internal/prefetch",
+		Manifest: prefetchManifest,
+	}
+}
+
 // listManifest turns an explicit function list into a manifest with
 // the standard drift guard: an entry naming no declared function is
 // reported through u, never silently dropped — the gate must not

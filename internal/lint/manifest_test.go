@@ -130,3 +130,50 @@ func TestEvstreamManifestCoverage(t *testing.T) {
 		}
 	}
 }
+
+// TestFrontendManifestCoverage pins the pluggable-frontend escape
+// gates: the predictor's per-branch path (both organisations) and the
+// prefetcher's per-load path are watched, while construction, Reset
+// and the checkpoint pairs stay cold.
+func TestFrontendManifestCoverage(t *testing.T) {
+	u, err := Load(".", []string{"./internal/bpred", "./internal/prefetch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := u.Pkg(u.Module + "/internal/bpred")
+	pf := u.Pkg(u.Module + "/internal/prefetch")
+	if bp == nil || pf == nil {
+		t.Fatal("frontend packages not loaded")
+	}
+	bpm := bpredManifest(u, bp)
+	pfm := prefetchManifest(u, pf)
+	if f := u.Findings(); len(f) != 0 {
+		t.Fatalf("manifest has stale entries: %v", f[0])
+	}
+	for _, key := range []string{
+		"Predictor.Lookup", "Predictor.Update",
+		"tage.lookup", "tage.update", "tage.allocate",
+		"btb.lookup", "btb.insert", "ras.push", "ras.pop",
+	} {
+		if !bpm[key] {
+			t.Errorf("bpred manifest misses per-branch function %s", key)
+		}
+	}
+	for _, key := range []string{"New", "Predictor.Reset", "Predictor.State", "Predictor.RestoreState"} {
+		if bpm[key] {
+			t.Errorf("bpred manifest wrongly includes cold function %s", key)
+		}
+	}
+	for _, key := range []string{
+		"Prefetcher.Observe", "Prefetcher.MarkIssued", "Prefetcher.DemandUse",
+	} {
+		if !pfm[key] {
+			t.Errorf("prefetch manifest misses per-load function %s", key)
+		}
+	}
+	for _, key := range []string{"New", "Prefetcher.Reset", "Prefetcher.State", "Prefetcher.RestoreState"} {
+		if pfm[key] {
+			t.Errorf("prefetch manifest wrongly includes cold function %s", key)
+		}
+	}
+}

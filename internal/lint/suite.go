@@ -3,7 +3,8 @@ package lint
 // Default is repolint's production analyzer suite for the module:
 // determinism over the simulator packages, the hot-path escape gate on
 // the core (and the per-event paths of the event stream, the wire API
-// and the service), registry conformance, stats completeness, and
+// and the service, plus the per-branch and per-load paths of the
+// pluggable frontends), registry conformance, stats completeness, and
 // context hygiene on the batch engine and the service layer.
 func Default(module string) []Analyzer {
 	return []Analyzer{
@@ -12,6 +13,8 @@ func Default(module string) []Analyzer {
 		EvstreamEscape(module),
 		ApiEscape(module),
 		ServeEscape(module),
+		BpredEscape(module),
+		PrefetchEscape(module),
 		DefaultRegistry(module),
 		DefaultStatsComplete(module),
 		DefaultContextHygiene(module),

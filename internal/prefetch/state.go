@@ -1,0 +1,67 @@
+package prefetch
+
+import "fmt"
+
+// EntryState is one stride-table entry's serialized form.
+type EntryState struct {
+	Tag    uint64 `json:"tag"`
+	Valid  bool   `json:"valid,omitempty"`
+	Last   uint64 `json:"last"`
+	Stride int64  `json:"stride"`
+	Conf   uint8  `json:"conf"`
+}
+
+// MarkState is one accounting mark's serialized form.
+type MarkState struct {
+	LA    uint64 `json:"la"`
+	Valid bool   `json:"valid,omitempty"`
+}
+
+// State is a Prefetcher's serializable contents. Geometry is not part
+// of the state — a checkpoint pairs it with the Config that rebuilds
+// the same shape.
+type State struct {
+	Entries []EntryState `json:"entries"`
+	Marks   []MarkState  `json:"marks"`
+
+	Observes uint64 `json:"observes"`
+	Fires    uint64 `json:"fires"`
+}
+
+// State snapshots the prefetcher for a checkpoint.
+func (p *Prefetcher) State() State {
+	st := State{
+		Entries:  make([]EntryState, len(p.table)),
+		Marks:    make([]MarkState, len(p.marks)),
+		Observes: p.observes,
+		Fires:    p.fires,
+	}
+	for i, e := range p.table {
+		st.Entries[i] = EntryState{
+			Tag: e.tag, Valid: e.valid, Last: e.last, Stride: e.stride, Conf: e.conf,
+		}
+	}
+	for i, m := range p.marks {
+		st.Marks[i] = MarkState{LA: m.la, Valid: m.valid}
+	}
+	return st
+}
+
+// RestoreState loads a snapshot taken from a prefetcher of identical
+// configuration; a shape mismatch is an error.
+func (p *Prefetcher) RestoreState(st State) error {
+	if len(st.Entries) != len(p.table) || len(st.Marks) != len(p.marks) {
+		return fmt.Errorf("prefetch: state tables %d/%d do not match configuration %d/%d",
+			len(st.Entries), len(st.Marks), len(p.table), len(p.marks))
+	}
+	for i, e := range st.Entries {
+		p.table[i] = entry{
+			tag: e.Tag, valid: e.Valid, last: e.Last, stride: e.Stride, conf: e.Conf,
+		}
+	}
+	for i, m := range st.Marks {
+		p.marks[i] = mark{la: m.LA, valid: m.Valid}
+	}
+	p.observes, p.fires = st.Observes, st.Fires
+	return nil
+}

@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/bpred"
 	"repro/internal/core"
+	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -401,6 +403,8 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		Shards:       s.shards,
 		Schemes:      core.SchemeNames(),
 		Benches:      benches,
+		Bpreds:       bpred.KindNames(),
+		Prefetchers:  prefetch.KindNames(),
 		StoreEntries: s.store.Len(),
 		Progress:     s.progress(),
 	})

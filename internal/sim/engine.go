@@ -150,7 +150,7 @@ type Engine struct {
 	// both the concurrency semaphore and the freelist. Slots start nil
 	// and are built (core.New) on first use; thereafter each run resets
 	// a pooled machine instead of reallocating the window, event wheel
-	// and cache arrays — a full-paper sweep is 168 simulations.
+	// and cache arrays — a full-paper sweep is 265 simulations.
 	machines chan *core.Machine
 
 	journal        *journal

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/bpred"
 	"repro/internal/core"
+	"repro/internal/prefetch"
 )
 
 // Spec identifies one simulation: a benchmark, a machine width, a
@@ -37,6 +39,13 @@ type Overrides struct {
 	// PredEntries overrides the scheduling-miss predictor table size
 	// (must be a power of two).
 	PredEntries int `json:"predEntries,omitempty"`
+	// Bpred selects a branch-predictor kind by name ("tage"); empty or
+	// "combined" keeps the paper's bimodal/gshare combination. Stored
+	// as the canonical kind name so specs stay comparable.
+	Bpred string `json:"bpred,omitempty"`
+	// Prefetch selects a data-prefetcher kind by name ("stride");
+	// empty or "off" keeps the paper's prefetch-free machine.
+	Prefetch string `json:"prefetch,omitempty"`
 	// ReplayQueue selects the Figure 4b replay-queue model.
 	ReplayQueue bool `json:"rq,omitempty"`
 	// ValuePrediction enables load value prediction.
@@ -77,6 +86,12 @@ func (s Spec) String() string {
 	add("rob", s.Over.ROBSize)
 	add("lsq", s.Over.LSQSize)
 	add("predEntries", s.Over.PredEntries)
+	if s.Over.Bpred != "" {
+		d = append(d, "bpred="+s.Over.Bpred)
+	}
+	if s.Over.Prefetch != "" {
+		d = append(d, "prefetch="+s.Over.Prefetch)
+	}
 	if s.Over.ReplayQueue {
 		d = append(d, "rq")
 	}
@@ -113,6 +128,25 @@ func (s Spec) Normalize() Spec {
 	}
 	if o.PredEntries == base.SMPred.Entries {
 		o.PredEntries = 0
+	}
+	// Frontend names canonicalize through their registries: any
+	// spelling of the default kind is the zero override, and other
+	// kinds take their canonical (lower-case) name. Unknown names pass
+	// through — the construction layers (simflag, the wire API) reject
+	// them before a spec reaches the engine.
+	if k, err := bpred.ParseKind(o.Bpred); err == nil {
+		if k == bpred.KindCombined {
+			o.Bpred = ""
+		} else {
+			o.Bpred = k.String()
+		}
+	}
+	if k, err := prefetch.ParseKind(o.Prefetch); err == nil {
+		if k == prefetch.KindOff {
+			o.Prefetch = ""
+		} else {
+			o.Prefetch = k.String()
+		}
 	}
 	return s
 }
@@ -156,6 +190,12 @@ func (s Spec) config(opts Options) core.Config {
 	}
 	if o.PredEntries > 0 {
 		cfg.SMPred.Entries = o.PredEntries
+	}
+	if k, err := bpred.ParseKind(o.Bpred); err == nil && k == bpred.KindTAGE {
+		cfg.Bpred = bpred.DefaultTAGE()
+	}
+	if k, err := prefetch.ParseKind(o.Prefetch); err == nil && k == prefetch.KindStride {
+		cfg.Prefetch = prefetch.DefaultStride()
 	}
 	cfg.ReplayQueue = o.ReplayQueue
 	cfg.ValuePrediction = o.ValuePrediction

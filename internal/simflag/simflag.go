@@ -26,7 +26,9 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/bpred"
 	"repro/internal/core"
+	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -35,18 +37,20 @@ import (
 // via New to get the canonical defaults; override fields before
 // registering to give a command a different (documented) default.
 type Sim struct {
-	Bench       string
-	SchemeName  string
-	ListSchemes bool
-	Wide8       bool
-	Insts       int64
-	Warmup      int64
-	Seed        int64
-	Par         int
-	Journal     string
-	Progress    bool
-	CheckName   string
-	Remote      string
+	Bench        string
+	SchemeName   string
+	ListSchemes  bool
+	Wide8        bool
+	BpredName    string
+	PrefetchName string
+	Insts        int64
+	Warmup       int64
+	Seed         int64
+	Par          int
+	Journal      string
+	Progress     bool
+	CheckName    string
+	Remote       string
 
 	// which flag groups were registered, so Validate only checks
 	// values the user could actually set.
@@ -58,13 +62,15 @@ type Sim struct {
 // normalization baseline), gcc, seed 1.
 func New() *Sim {
 	return &Sim{
-		Bench:      "gcc",
-		SchemeName: "PosSel",
-		Insts:      200_000,
-		Warmup:     60_000,
-		Seed:       1,
-		Progress:   true,
-		CheckName:  core.CheckOff.String(),
+		Bench:        "gcc",
+		SchemeName:   "PosSel",
+		BpredName:    bpred.KindCombined.String(),
+		PrefetchName: prefetch.KindOff.String(),
+		Insts:        200_000,
+		Warmup:       60_000,
+		Seed:         1,
+		Progress:     true,
+		CheckName:    core.CheckOff.String(),
 	}
 }
 
@@ -88,6 +94,10 @@ func (s *Sim) RegisterMachine(fs *flag.FlagSet) {
 	fs.BoolVar(&s.ListSchemes, "list-schemes", false,
 		"list the registered replay schemes and exit")
 	fs.BoolVar(&s.Wide8, "wide8", s.Wide8, "use the 8-wide Table 3 machine")
+	fs.StringVar(&s.BpredName, "bpred", s.BpredName,
+		"branch predictor: "+strings.Join(bpred.KindNames(), ", "))
+	fs.StringVar(&s.PrefetchName, "prefetch", s.PrefetchName,
+		"data prefetcher: "+strings.Join(prefetch.KindNames(), ", "))
 }
 
 // RegisterLength registers -insts and -warmup.
@@ -140,6 +150,18 @@ func (s *Sim) Scheme() (core.Scheme, error) {
 	return core.ParseScheme(s.SchemeName)
 }
 
+// ApplyFrontend writes the -bpred/-prefetch selections into a spec's
+// overrides. Default kinds stay the zero override, so commands that
+// never expose the flags produce unchanged specs and cache keys.
+func (s *Sim) ApplyFrontend(o *sim.Overrides) {
+	if k, err := bpred.ParseKind(s.BpredName); err == nil && k != bpred.KindCombined {
+		o.Bpred = k.String()
+	}
+	if k, err := prefetch.ParseKind(s.PrefetchName); err == nil && k != prefetch.KindOff {
+		o.Prefetch = k.String()
+	}
+}
+
 // Validate checks the registered flag groups; the returned error is
 // ready to print.
 func (s *Sim) Validate() error {
@@ -150,6 +172,12 @@ func (s *Sim) Validate() error {
 	}
 	if s.hasMachine && !s.ListSchemes {
 		if _, err := s.Scheme(); err != nil {
+			return err
+		}
+		if _, err := bpred.ParseKind(s.BpredName); err != nil {
+			return err
+		}
+		if _, err := prefetch.ParseKind(s.PrefetchName); err != nil {
 			return err
 		}
 	}
