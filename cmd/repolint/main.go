@@ -1,24 +1,33 @@
-// Command repolint runs the repository's static invariant suite: the
-// determinism contract of the simulator packages, the zero-allocation
-// hot path (proved from the compiler's escape analysis), replay-policy
-// and checker registry conformance, stats completeness, and context
-// hygiene in the batch engine. Built on the standard library's
-// go/parser, go/ast and go/types only — no external analysis
-// framework, so the gate needs nothing but the Go toolchain.
+// Command repolint runs the repository's static invariant suite —
+// eight analyzers: the determinism contract of the simulator packages,
+// the zero-allocation hot path (proved from the compiler's escape
+// analysis), replay-policy and checker registry conformance, stats
+// completeness, context hygiene in the batch engine, snapshot
+// completeness over every checkpoint pair, wire-API stability against
+// the committed manifest, and concurrency discipline over the threaded
+// packages. Built on the standard library's go/parser, go/ast and
+// go/types only — no external analysis framework, so the gate needs
+// nothing but the Go toolchain.
 //
 // Usage:
 //
-//	go run ./cmd/repolint [-json] [packages]
+//	go run ./cmd/repolint [-json] [-waivers] [-write-api-manifest] [packages]
 //
 // Packages default to ./... (the whole module). Exit status is 0 when
 // the tree is clean, 1 when findings were reported, 2 on driver
 // errors. A finding can be waived in place with
 //
-//	//lint:allow <rule> <reason>
+//	//lint:allow(<rule>): <reason>
 //
 // on the offending line or the line above — except for the
-// determinism and escape rules, whose waivers are themselves findings
-// (see internal/lint and DESIGN.md §11).
+// determinism, escape, snapshot and wireapi rules, whose waivers are
+// themselves findings (see internal/lint and DESIGN.md §11, §16).
+//
+// -waivers prints the repo-wide waiver inventory (every well-formed
+// allow pragma with its reason) instead of running the analyzers; CI
+// publishes it as an artifact. -write-api-manifest regenerates
+// internal/lint/api_manifest.json from the live wire API — the
+// sanctioned way to admit a wire-surface addition.
 package main
 
 import (
@@ -31,9 +40,11 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit findings (or waivers) as a JSON array")
+	waiversOut := flag.Bool("waivers", false, "print the repo-wide waiver inventory instead of findings")
+	writeManifest := flag.Bool("write-api-manifest", false, "regenerate internal/lint/api_manifest.json from the live wire API")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: repolint [-json] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: repolint [-json] [-waivers] [-write-api-manifest] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,20 +57,45 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *writeManifest {
+		path, err := lint.WriteAPIManifest(wd)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(path)
+		return
+	}
+
+	if *waiversOut {
+		waivers, err := lint.Waivers(wd, patterns)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			if waivers == nil {
+				waivers = []lint.Waiver{}
+			}
+			emitJSON(waivers)
+		} else {
+			for _, w := range waivers {
+				fmt.Println(w)
+			}
+			fmt.Fprintf(os.Stderr, "repolint: %d waiver(s)\n", len(waivers))
+		}
+		return
+	}
+
 	findings, err := lint.Run(wd, patterns, lint.Default(moduleOf(wd)))
 	if err != nil {
 		fatal(err)
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
 		if findings == nil {
 			findings = []lint.Finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
-			fatal(err)
-		}
+		emitJSON(findings)
 	} else {
 		for _, f := range findings {
 			fmt.Println(f)
@@ -70,6 +106,14 @@ func main() {
 	}
 	if len(findings) > 0 {
 		os.Exit(1)
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
 	}
 }
 

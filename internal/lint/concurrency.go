@@ -1,0 +1,583 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Concurrency audits the threaded packages (the batch engine and the
+// HTTP service) for three disciplines the race detector can only catch
+// dynamically:
+//
+//  1. Inferred mutex guards. For each struct that carries a sync.Mutex
+//     (or RWMutex) field, the guarded set is inferred: every field
+//     written in some method while that mutex is held. Every other
+//     access to a guarded field — read or write, in any method — must
+//     also hold the mutex. Constructors are free functions building
+//     the value before publication, so they are exempt by shape; the
+//     lock state is tracked lexically per block (an early Unlock
+//     inside a nested branch does not end the outer critical section,
+//     and a deferred Unlock holds to return).
+//
+//  2. Atomics-only fields. A field of a sync/atomic type must only be
+//     touched through its methods (Load/Store/Add/...); and a plain
+//     integer field that some call passes to an atomic.* function
+//     (atomic.AddInt64(&s.n, 1)) is atomic everywhere — a plain read
+//     or write elsewhere is a racy mixed access.
+//
+//  3. Tracked goroutine shutdown. Every `go` statement must have a
+//     shutdown path the code can see: a WaitGroup.Done, a context
+//     Done, or a receive on a quit channel (chan struct{}). This is
+//     the SSE-leak class — a goroutine pinned to nothing outlives its
+//     request.
+//
+// The rules are inference-based, so a deliberate exception is waived
+// in place: //lint:allow(concurrency): <why>.
+type Concurrency struct {
+	// Paths lists the audited package import paths.
+	Paths []string
+}
+
+// DefaultConcurrency audits the service and the batch engine — the
+// only packages that spawn goroutines or share state under locks.
+func DefaultConcurrency(module string) *Concurrency {
+	return &Concurrency{Paths: []string{
+		module + "/internal/serve",
+		module + "/internal/sim",
+	}}
+}
+
+func (*Concurrency) Name() string { return "concurrency" }
+
+func (c *Concurrency) Check(u *Unit) error {
+	for _, path := range c.Paths {
+		if p := u.Pkg(path); p != nil {
+			checkMutexGuards(u, c.Name(), p)
+			checkAtomics(u, c.Name(), p)
+			checkGoroutines(u, c.Name(), p)
+		}
+	}
+	return nil
+}
+
+// ---- rule 1: inferred mutex guards ----
+
+// fieldAccess is one selector touch of an owner-struct field inside a
+// method, with the set of owner mutexes held at that point.
+type fieldAccess struct {
+	field  *types.Var
+	mutex  map[*types.Var]bool
+	pos    token.Pos
+	write  bool
+	method string
+}
+
+func checkMutexGuards(u *Unit, rule string, p *Package) {
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		mutexes := make(map[types.Object]bool)
+		own := make(map[types.Object]bool)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			own[f] = true
+			if isMutexType(f.Type()) {
+				mutexes[f] = true
+			}
+		}
+		if len(mutexes) == 0 {
+			continue
+		}
+		var accesses []fieldAccess
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				rt := obj.Type().(*types.Signature).Recv().Type()
+				if ptr, ok := rt.(*types.Pointer); ok {
+					rt = ptr.Elem()
+				}
+				if rt != tn.Type() {
+					continue
+				}
+				cs := &concScan{
+					p: p, own: own, mutexes: mutexes,
+					writes: writeRoots(fd.Body), method: fd.Name.Name,
+					sink: &accesses,
+				}
+				cs.stmts(fd.Body.List, map[*types.Var]bool{})
+			}
+		}
+		// Inferred guarded sets: field -> the mutexes it is written
+		// under somewhere.
+		guards := make(map[*types.Var]map[*types.Var]bool)
+		for _, a := range accesses {
+			if !a.write {
+				continue
+			}
+			for m, held := range a.mutex {
+				if held {
+					if guards[a.field] == nil {
+						guards[a.field] = make(map[*types.Var]bool)
+					}
+					guards[a.field][m] = true
+				}
+			}
+		}
+		for _, a := range accesses {
+			for m := range guards[a.field] {
+				if !a.mutex[m] {
+					u.Report(rule, a.pos,
+						"%s.%s is written under %s.%s elsewhere but accessed in %s without holding it; guard every access, or waive with //lint:allow(concurrency): <why>",
+						name, a.field.Name(), name, m.Name(), a.method)
+				}
+			}
+		}
+	}
+}
+
+// concScan walks one method body tracking which owner mutexes are held
+// lexically: Lock/Unlock calls at a block level flip the state for the
+// rest of that block; nested blocks inherit a copy, so an early Unlock
+// on a branch that returns does not end the enclosing critical
+// section; a deferred Unlock never ends it. Function literals start
+// with no locks held (they may run on another goroutine).
+type concScan struct {
+	p       *Package
+	own     map[types.Object]bool
+	mutexes map[types.Object]bool
+	writes  map[*ast.SelectorExpr]bool
+	method  string
+	sink    *[]fieldAccess
+}
+
+func (c *concScan) stmts(list []ast.Stmt, held map[*types.Var]bool) {
+	h := make(map[*types.Var]bool, len(held))
+	for k, v := range held {
+		h[k] = v
+	}
+	for _, s := range list {
+		c.stmt(s, h)
+	}
+}
+
+func (c *concScan) stmt(s ast.Stmt, h map[*types.Var]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if f, locks, ok := c.lockOp(s.X); ok {
+			h[f] = locks
+			return
+		}
+		c.node(s.X, h)
+	case *ast.DeferStmt:
+		if _, locks, ok := c.lockOp(s.Call); ok && !locks {
+			return // defer mu.Unlock(): held to return
+		}
+		c.node(s.Call, h)
+	case *ast.BlockStmt:
+		c.stmts(s.List, h)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, h)
+		}
+		c.node(s.Cond, h)
+		c.stmts(s.Body.List, h)
+		if s.Else != nil {
+			c.stmt(s.Else, h)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			c.node(s.Cond, h)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post, h)
+		}
+		c.stmts(s.Body.List, h)
+	case *ast.RangeStmt:
+		if s.Key != nil {
+			c.node(s.Key, h)
+		}
+		if s.Value != nil {
+			c.node(s.Value, h)
+		}
+		c.node(s.X, h)
+		c.stmts(s.Body.List, h)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, h)
+		}
+		if s.Tag != nil {
+			c.node(s.Tag, h)
+		}
+		for _, cc := range s.Body.List {
+			cl := cc.(*ast.CaseClause)
+			for _, e := range cl.List {
+				c.node(e, h)
+			}
+			c.stmts(cl.Body, h)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, h)
+		}
+		c.stmt(s.Assign, h)
+		for _, cc := range s.Body.List {
+			c.stmts(cc.(*ast.CaseClause).Body, h)
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			cl := cc.(*ast.CommClause)
+			if cl.Comm != nil {
+				c.stmt(cl.Comm, h)
+			}
+			c.stmts(cl.Body, h)
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, h)
+	case nil:
+	default:
+		// Assignments, declarations, returns, sends, inc/dec, go
+		// statements, branches: record the accesses they contain.
+		c.node(s, h)
+	}
+}
+
+// node records every owner-field access under n with the current lock
+// state; function-literal bodies restart with no locks held.
+func (c *concScan) node(n ast.Node, h map[*types.Var]bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			c.stmts(x.Body.List, map[*types.Var]bool{})
+			return false
+		case *ast.SelectorExpr:
+			c.record(x, h)
+		}
+		return true
+	})
+}
+
+func (c *concScan) record(sel *ast.SelectorExpr, h map[*types.Var]bool) {
+	s := c.p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal || !c.own[s.Obj()] {
+		return
+	}
+	f := s.Obj().(*types.Var)
+	if c.mutexes[f] {
+		return // the mutex itself
+	}
+	held := make(map[*types.Var]bool, len(h))
+	for k, v := range h {
+		held[k] = v
+	}
+	*c.sink = append(*c.sink, fieldAccess{
+		field: f, mutex: held, pos: sel.Sel.Pos(),
+		write: c.writes[sel], method: c.method,
+	})
+}
+
+// lockOp recognizes recv.mu.Lock()/Unlock()/RLock()/RUnlock() on an
+// owner mutex field; locks reports whether the call acquires it.
+func (c *concScan) lockOp(e ast.Expr) (f *types.Var, locks, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return nil, false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+	default:
+		return nil, false, false
+	}
+	inner, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	s := c.p.Info.Selections[inner]
+	if s == nil || s.Kind() != types.FieldVal || !c.mutexes[s.Obj()] {
+		return nil, false, false
+	}
+	return s.Obj().(*types.Var), locks, true
+}
+
+// writeRoots marks the selector expressions that are mutated: the root
+// selector of every assignment target, inc/dec operand, and delete()
+// first argument (map fields are mutated through their selector).
+func writeRoots(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	out := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				out[x] = true
+				return
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				mark(n.Args[0])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// ---- rule 2: atomics-only fields ----
+
+func checkAtomics(u *Unit, rule string, p *Package) {
+	// Pass 1: fields sanctioned through atomic.* functions, and the
+	// exact &field nodes those calls bless.
+	fnFields := make(map[types.Object]bool)
+	blessed := make(map[*ast.SelectorExpr]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := p.Info.Uses[fn.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if s := p.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+					fnFields[s.Obj()] = true
+					blessed[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	// Pass 2: every field selector, with enough of the parent chain to
+	// tell a method call (s.n.Add(1)) from a plain touch.
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if s := p.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+					checkAtomicUse(u, rule, p, sel, s, stack, fnFields, blessed)
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+func checkAtomicUse(u *Unit, rule string, p *Package, sel *ast.SelectorExpr,
+	s *types.Selection, stack []ast.Node, fnFields map[types.Object]bool, blessed map[*ast.SelectorExpr]bool) {
+
+	field := s.Obj()
+	owner := ownerName(s)
+	switch {
+	case isAtomicType(field.Type()):
+		// Sanctioned shape: s.field.Method(...) — the parent is a
+		// selector on this expression whose parent is the call.
+		if len(stack) >= 2 {
+			if psel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && psel.X == sel {
+				if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == psel {
+					return
+				}
+			}
+		}
+		u.Report(rule, sel.Sel.Pos(),
+			"atomic field %s.%s is touched plainly; atomics-only fields must go through their methods (Load/Store/Add/...)",
+			owner, field.Name())
+	case fnFields[field]:
+		if blessed[sel] {
+			return
+		}
+		u.Report(rule, sel.Sel.Pos(),
+			"field %s.%s is updated through sync/atomic elsewhere but accessed plainly here; mixed plain/atomic access races",
+			owner, field.Name())
+	}
+}
+
+func ownerName(s *types.Selection) string {
+	t := s.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// ---- rule 3: tracked goroutine shutdown ----
+
+func checkGoroutines(u *Unit, rule string, p *Package) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				if !trackedBody(p, lit.Body) {
+					u.Report(rule, g.Pos(),
+						"goroutine has no tracked shutdown path (no WaitGroup.Done, context Done, or quit-channel receive); tie it to a WaitGroup or cancellation, or waive with //lint:allow(concurrency): <why>")
+				}
+				return true
+			}
+			if !callCarriesContext(p, g.Call) {
+				u.Report(rule, g.Pos(),
+					"goroutine calls a function with no context or WaitGroup in sight; give it a tracked shutdown path, or waive with //lint:allow(concurrency): <why>")
+			}
+			return true
+		})
+	}
+}
+
+// trackedBody reports whether a goroutine body visibly participates in
+// shutdown: it calls Done() on a WaitGroup or a context, or receives
+// from a struct{} channel (the quit-channel idiom).
+func trackedBody(p *Package, body *ast.BlockStmt) bool {
+	tracked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tracked {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Done" {
+				return true
+			}
+			t := p.Info.Types[sel.X].Type
+			if t == nil {
+				return true
+			}
+			if isWaitGroup(t) || isContext(t) {
+				tracked = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if t := p.Info.Types[n.X].Type; t != nil && isQuitChan(t) {
+				tracked = true
+			}
+		}
+		return true
+	})
+	return tracked
+}
+
+// callCarriesContext reports whether a `go f(...)` call hands the
+// callee a context (and therefore a cancellation path).
+func callCarriesContext(p *Package, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if t := p.Info.Types[arg].Type; t != nil && isContext(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isWaitGroup(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isQuitChan(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

@@ -10,12 +10,18 @@
 // of analyzers (see Default). Findings carry a rule name and a precise
 // position; a finding can be waived in place with an allow pragma:
 //
-//	//lint:allow <rule> <reason>
+//	//lint:allow(<rule>): <reason>
 //
-// on the offending line or the line above it. The determinism and
-// escape rules accept no pragmas — those invariants are load-bearing
-// for the reproduction (bit-identical reruns, zero-allocation cycle
-// loop), so a waiver is itself reported as a finding.
+// (the older `//lint:allow <rule> <reason>` spelling is equivalent) on
+// the offending line or the line above it. Every waiver must give a
+// reason — a bare pragma is itself a finding — and the full inventory
+// is printable with `repolint -waivers`. The determinism, escape,
+// snapshot and wireapi rules accept no pragmas at all — those
+// invariants are load-bearing for the reproduction (bit-identical
+// reruns and restores, a frozen wire format, zero-allocation cycle
+// loop), so a waiver is itself reported as a finding; the snapshot
+// rule's sanctioned exclusions live in its reviewed manifest instead
+// (see snapshot_manifest.go).
 package lint
 
 import (
@@ -72,7 +78,22 @@ type Unit struct {
 	// allow maps file -> line -> rules waived there (built from the
 	// //lint:allow pragmas of every loaded file).
 	allow    map[string]map[int][]string
+	waivers  []Waiver
 	findings []Finding
+}
+
+// Waiver is one well-formed allow pragma: where it is, which rule it
+// waives, and the reason its author gave. The repo-wide inventory
+// (`repolint -waivers`) is built from these.
+type Waiver struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Rule   string `json:"rule"`
+	Reason string `json:"reason"`
+}
+
+func (w Waiver) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", w.File, w.Line, w.Rule, w.Reason)
 }
 
 // Pkg returns the loaded package with the given import path, or nil.
@@ -123,12 +144,16 @@ func (u *Unit) relFile(name string) string {
 const rulePragma = "pragma"
 
 // noPragmaRules are the rules whose findings cannot be allow-listed:
-// the determinism contract and the zero-allocation hot path are the
-// repository's spine, and a local waiver would quietly void the global
-// guarantee they exist to give.
+// the determinism contract, the zero-allocation hot path, checkpoint
+// completeness and the frozen wire API are the repository's spine, and
+// a local waiver would quietly void the global guarantee they exist to
+// give. The snapshot rule's sanctioned gaps go through its reviewed
+// manifest (snapshot_manifest.go), never through pragmas.
 var noPragmaRules = map[string]bool{
 	"determinism": true,
 	"escape":      true,
+	"snapshot":    true,
+	"wireapi":     true,
 }
 
 // collectPragmas scans every loaded file for //lint:allow comments,
@@ -152,13 +177,27 @@ func (u *Unit) collectPragma(c *ast.Comment) {
 	if !ok {
 		return
 	}
-	fields := strings.Fields(text)
-	if len(fields) == 0 {
-		u.Report(rulePragma, c.Pos(), "allow pragma names no rule; want //lint:allow <rule> <reason>")
-		return
+	var rule, reason string
+	if rest, paren := strings.CutPrefix(text, "("); paren {
+		// //lint:allow(<rule>): <reason>
+		name, tail, closed := strings.Cut(rest, ")")
+		if !closed || name == "" || strings.ContainsAny(name, " \t") {
+			u.Report(rulePragma, c.Pos(), "allow pragma names no rule; want //lint:allow <rule> <reason>")
+			return
+		}
+		rule = name
+		reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(tail), ":"))
+	} else {
+		// //lint:allow <rule> <reason>
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			u.Report(rulePragma, c.Pos(), "allow pragma names no rule; want //lint:allow <rule> <reason>")
+			return
+		}
+		rule = fields[0]
+		reason = strings.Join(fields[1:], " ")
 	}
-	rule := fields[0]
-	if len(fields) == 1 {
+	if reason == "" {
 		u.Report(rulePragma, c.Pos(), "allow pragma for %q gives no reason; a waiver must say why", rule)
 		return
 	}
@@ -168,6 +207,9 @@ func (u *Unit) collectPragma(c *ast.Comment) {
 		return
 	}
 	p := u.Fset.Position(c.Pos())
+	u.waivers = append(u.waivers, Waiver{
+		File: u.relFile(p.Filename), Line: p.Line, Rule: rule, Reason: reason,
+	})
 	byLine := u.allow[p.Filename]
 	if byLine == nil {
 		byLine = make(map[int][]string)
@@ -190,6 +232,30 @@ func Run(dir string, patterns []string, analyzers []Analyzer) ([]Finding, error)
 		}
 	}
 	return u.Findings(), nil
+}
+
+// Waivers loads the packages matched by patterns and returns every
+// well-formed allow pragma in them, sorted by position — the repo-wide
+// waiver inventory `repolint -waivers` publishes as a CI artifact.
+// Malformed or reasonless pragmas are not waivers; they surface as
+// findings on a normal run.
+func Waivers(dir string, patterns []string) ([]Waiver, error) {
+	u, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ws := append([]Waiver(nil), u.waivers...)
+	sort.Slice(ws, func(i, j int) bool {
+		a, b := ws[i], ws[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return ws, nil
 }
 
 // Findings returns the findings reported so far, sorted by position

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -97,8 +98,12 @@ func TestRegistryFixture(t *testing.T) {
 }
 
 func TestStatsFixture(t *testing.T) {
-	findings := runFixture(t, "statfix",
-		&lint.StatsComplete{PkgPath: fixturePkg(t, "statfix")})
+	findings := runFixture(t, "statfix", &lint.StatsComplete{
+		PkgPath: fixturePkg(t, "statfix"),
+		// Gone does not exist on the fixture Stats — required-counter
+		// finding; Good does, so it stays silent.
+		Required: map[string][]string{"Stats": {"Good", "Gone"}},
+	})
 	golden(t, "statfix", findings)
 }
 
@@ -108,10 +113,100 @@ func TestContextFixture(t *testing.T) {
 	golden(t, "ctxfix", findings)
 }
 
+func TestSnapshotFixture(t *testing.T) {
+	pkg := fixturePkg(t, "snapfix")
+	findings := runFixture(t, "snapfix", &lint.SnapshotComplete{
+		Pairs: []lint.SnapshotPair{{PkgPath: pkg, State: "State", Restore: "RestoreState"}},
+		Waivers: map[string]string{
+			// Sanctioned gap — silent.
+			"snapfix.widget.scratch": "fixture scratch buffer, empty at every snapshot boundary",
+			// Both methods handle clock — stale-waiver finding.
+			"snapfix.widget.clock": "stale on purpose: the pair handles this field",
+			// No such field — stale-entry finding.
+			"snapfix.widget.missing": "stale on purpose: the field does not exist",
+		},
+	})
+	golden(t, "snapfix", findings)
+}
+
+func TestWireAPIFixture(t *testing.T) {
+	findings := runFixture(t, "apifix", &lint.WireAPI{
+		PkgPath:      fixturePkg(t, "apifix"),
+		ManifestPath: "internal/lint/testdata/apifix_manifest.json",
+	})
+	golden(t, "apifix", findings)
+}
+
+func TestConcurrencyFixture(t *testing.T) {
+	findings := runFixture(t, "concfix",
+		&lint.Concurrency{Paths: []string{fixturePkg(t, "concfix")}})
+	golden(t, "concfix", findings)
+}
+
+// TestWaiverInventory pins the `repolint -waivers` surface: the
+// statfix fixture's one reasoned pragma must come back with its
+// position, rule and reason intact.
+func TestWaiverInventory(t *testing.T) {
+	waivers, err := lint.Waivers(".", []string{"./internal/lint/testdata/src/statfix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(waivers) != 1 {
+		t.Fatalf("got %d waivers, want 1: %v", len(waivers), waivers)
+	}
+	w := waivers[0]
+	if w.File != "internal/lint/testdata/src/statfix/statfix.go" || w.Rule != "stats" {
+		t.Errorf("waiver = %+v", w)
+	}
+	if w.Reason != "fixture high-water mark, deliberately not subtracted" {
+		t.Errorf("reason = %q", w.Reason)
+	}
+	if w.Line == 0 {
+		t.Errorf("waiver has no line: %+v", w)
+	}
+}
+
+// TestJSONSchema pins the machine-readable output CI consumes: the
+// JSON encodings of a Finding and a Waiver are part of repolint's
+// interface, so a renamed key must show up as a golden diff here, not
+// as a broken pipeline.
+func TestJSONSchema(t *testing.T) {
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode([]lint.Finding{{
+		Rule: "snapshot", File: "internal/core/snapshot.go", Line: 42, Col: 7,
+		Msg: "example finding",
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode([]lint.Waiver{{
+		File: "internal/sim/engine.go", Line: 7, Rule: "context",
+		Reason: "example waiver",
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "json_schema.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test -run %s -update): %v", t.Name(), err)
+	}
+	if got != string(want) {
+		t.Errorf("JSON schema diverges from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
 // TestRepoIsClean is the meta-test: the live tree must pass the full
 // production suite with zero findings — and therefore with zero
-// pragmas on the determinism and escape rules, since those waivers are
-// themselves findings.
+// pragmas on the determinism, escape, snapshot and wireapi rules,
+// since those waivers are themselves findings.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-module lint is slow under -short")

@@ -1,6 +1,10 @@
 package lint
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -175,5 +179,83 @@ func TestFrontendManifestCoverage(t *testing.T) {
 		if pfm[key] {
 			t.Errorf("prefetch manifest wrongly includes cold function %s", key)
 		}
+	}
+}
+
+// TestSnapshotManifestCoverage pins the snapshot manifest the same way
+// the escape-gate tests pin theirs: the live tree must come back with
+// zero findings (no unwaived gaps, no stale waivers), the
+// deliberately-absent fields must be in the manifest, and the fields a
+// checkpoint actually carries must NOT be — so neither the manifest
+// nor the State/Restore pairs can drift silently.
+func TestSnapshotManifestCoverage(t *testing.T) {
+	u, err := Load(".", []string{
+		"./internal/cache", "./internal/bpred", "./internal/prefetch",
+		"./internal/token", "./internal/vpred", "./internal/smpred",
+		"./internal/core",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := DefaultSnapshotComplete(u.Module)
+	if err := sc.Check(u); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range u.Findings() {
+		t.Errorf("%s", f)
+	}
+
+	// Sanctioned gaps stay in the manifest: derived geometry, scratch
+	// buffers, harness wiring, the non-serializable stream.
+	for _, key := range []string{
+		"core.Machine.src", "core.Machine.mon", "core.Machine.ckptFn",
+		"core.Machine.killStack", "cache.Hierarchy.epochLen",
+		"token.Allocator.n", "bpred.Predictor.cfg",
+		"core.loaddelayPolicy.maxLat",
+	} {
+		if _, ok := sc.Waivers[key]; !ok {
+			t.Errorf("snapshot manifest misses sanctioned gap %s", key)
+		}
+	}
+
+	// Fields the checkpoint pairs carry must not be waived — a waiver
+	// for a handled field is the stale-entry finding the analyzer
+	// reports, so the manifest going stale fails this test twice over.
+	for _, key := range []string{
+		"core.Machine.stats", "core.Machine.cycle", "core.Machine.win",
+		"cache.Cache.sets", "token.Allocator.holder",
+		"bpred.Predictor.history", "vpred.Predictor.table",
+	} {
+		if _, ok := sc.Waivers[key]; ok {
+			t.Errorf("snapshot manifest wrongly waives checkpointed field %s", key)
+		}
+	}
+}
+
+// TestAPIManifestPinned proves the committed wire manifest matches the
+// live API package byte-for-byte: any wire-surface change must
+// regenerate it (go run ./cmd/repolint -write-api-manifest) in the
+// same change, which is exactly what puts the new surface in front of
+// review.
+func TestAPIManifestPinned(t *testing.T) {
+	u, err := Load(".", []string{"./internal/api"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := u.Pkg(u.Module + "/internal/api")
+	if p == nil {
+		t.Fatal("api package not loaded")
+	}
+	derived, err := json.MarshalIndent(DeriveAPIManifest(p), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived = append(derived, '\n')
+	committed, err := os.ReadFile(filepath.Join(u.Root, filepath.FromSlash(apiManifestPath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(derived, committed) {
+		t.Errorf("%s is stale; regenerate it with: go run ./cmd/repolint -write-api-manifest", apiManifestPath)
 	}
 }

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// SnapshotPair names one checkpoint method pair: every struct in
+// PkgPath that declares both methods is audited for completeness.
+type SnapshotPair struct {
+	// PkgPath is the package holding the audited structs.
+	PkgPath string
+	// State and Restore name the capture and restore methods — e.g.
+	// State/RestoreState for the substrates, snapshotState/restoreState
+	// for the policySnapshotter policies, snapshot/Restore for the
+	// machine itself.
+	State, Restore string
+}
+
+// SnapshotComplete proves the checkpoint layer keeps up with the
+// structs it serializes. Warm-start equivalence is a bit-identity
+// contract (RetireHash and final Stats match a cold run), and its
+// classic failure mode is silent: a newly added mutable field that the
+// State()/RestoreState() pair never copies only diverges when a test
+// happens to exercise it. This analyzer makes the gap structural: for
+// every struct with a snapshot method pair, every field must be
+// mentioned by BOTH methods — so deleting a field copy from either
+// side fails the lint — or be named in the snapshot manifest
+// (snapshot_manifest.go) with a reason (derived-on-reset geometry,
+// scratch buffers, harness wiring). Stale manifest entries — a waiver
+// for a field both methods in fact handle, or for a field no audited
+// struct declares — are findings too, exactly like the escape gate's
+// drift guard.
+//
+// "Mentioned" is a selector-level check against the owning struct's
+// field objects, so indirect captures (h.il1.State(), cloneFills(
+// h.fills), snapshotWindow(&m.win)) count at the call site. Embedded
+// fields whose type is an empty struct (stateless hook providers like
+// noopPolicy) are skipped.
+type SnapshotComplete struct {
+	// Pairs lists the audited packages and their method pairs.
+	Pairs []SnapshotPair
+	// Waivers maps "<pkg>.<Type>.<field>" to the reason that field is
+	// deliberately absent from its snapshot.
+	Waivers map[string]string
+}
+
+func (*SnapshotComplete) Name() string { return "snapshot" }
+
+func (s *SnapshotComplete) Check(u *Unit) error {
+	// known collects every waiver key that names a real field of an
+	// audited struct; the rest of the manifest is stale.
+	known := make(map[string]bool)
+	all := true
+	for _, pair := range s.Pairs {
+		p := u.Pkg(pair.PkgPath)
+		if p == nil {
+			all = false
+			continue
+		}
+		s.checkPackage(u, p, pair, known)
+	}
+	if !all {
+		// Partial load (a fixture or a scoped run): unknown keys may
+		// belong to the unloaded packages, so stale detection would lie.
+		return nil
+	}
+	var stale []string
+	for key := range s.Waivers {
+		if !known[key] {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+	for _, key := range stale {
+		u.Report(s.Name(), s.stalePos(u, key),
+			"snapshot manifest entry %q matches no audited struct field; delete the stale waiver", key)
+	}
+	return nil
+}
+
+// stalePos anchors an unknown-key finding to the package the key
+// claims to belong to, falling back to the first audited package.
+func (s *SnapshotComplete) stalePos(u *Unit, key string) token.Pos {
+	for _, pair := range s.Pairs {
+		p := u.Pkg(pair.PkgPath)
+		if p == nil || len(p.Files) == 0 {
+			continue
+		}
+		if pkgOfKey(key) == p.Types.Name() {
+			return p.Files[0].Pos()
+		}
+	}
+	for _, pair := range s.Pairs {
+		if p := u.Pkg(pair.PkgPath); p != nil && len(p.Files) > 0 {
+			return p.Files[0].Pos()
+		}
+	}
+	return token.NoPos
+}
+
+func pkgOfKey(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '.' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+func (s *SnapshotComplete) checkPackage(u *Unit, p *Package, pair SnapshotPair, known map[string]bool) {
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		stateFn := methodDecl(p, tn.Type(), pair.State)
+		restoreFn := methodDecl(p, tn.Type(), pair.Restore)
+		if stateFn == nil || restoreFn == nil {
+			continue
+		}
+		captured := mentionedFields(p, stateFn, st)
+		restored := mentionedFields(p, restoreFn, st)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Embedded() && isEmptyStruct(f.Type()) {
+				continue // stateless embedded hook provider (noopPolicy)
+			}
+			key := p.Types.Name() + "." + name + "." + f.Name()
+			known[key] = true
+			cap, res := captured[f], restored[f]
+			_, waived := s.Waivers[key]
+			switch {
+			case cap && res:
+				if waived {
+					u.Report(s.Name(), f.Pos(),
+						"snapshot manifest waives %s, but %s() and %s() both handle it; delete the stale waiver",
+						key, pair.State, pair.Restore)
+				}
+			case waived:
+				// Sanctioned gap; the manifest records why.
+			case !cap && !res:
+				u.Report(s.Name(), f.Pos(),
+					"%s.%s is neither captured by %s() nor restored by %s(); a restored run would silently diverge — snapshot it, or waive it in the snapshot manifest with a reason",
+					name, f.Name(), pair.State, pair.Restore)
+			case !cap:
+				u.Report(s.Name(), f.Pos(),
+					"%s.%s is restored by %s() but never captured by %s(); snapshot it, or waive it in the snapshot manifest with a reason",
+					name, f.Name(), pair.Restore, pair.State)
+			default:
+				u.Report(s.Name(), f.Pos(),
+					"%s.%s is captured by %s() but never restored by %s(); snapshot it, or waive it in the snapshot manifest with a reason",
+					name, f.Name(), pair.State, pair.Restore)
+			}
+		}
+	}
+}
+
+// methodDecl finds the body of the method with the given name declared
+// on recv (value or pointer receiver) in p.
+func methodDecl(p *Package, recv types.Type, name string) *ast.FuncDecl {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			rt := obj.Type().(*types.Signature).Recv().Type()
+			if ptr, ok := rt.(*types.Pointer); ok {
+				rt = ptr.Elem()
+			}
+			if rt == recv {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// mentionedFields collects the fields of st that fd's body selects —
+// any x.field where the selection resolves to one of st's own field
+// objects, whatever x is.
+func mentionedFields(p *Package, fd *ast.FuncDecl, st *types.Struct) map[*types.Var]bool {
+	own := make(map[types.Object]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		own[st.Field(i)] = true
+	}
+	out := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s := p.Info.Selections[sel]; s != nil && own[s.Obj()] {
+			out[s.Obj().(*types.Var)] = true
+		}
+		return true
+	})
+	return out
+}
+
+func isEmptyStruct(t types.Type) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

@@ -1,0 +1,90 @@
+package lint
+
+// This file is the snapshot manifest: the reviewed list of struct
+// fields deliberately absent from their checkpoint pair, each with the
+// reason. The SnapshotComplete analyzer reports every unlisted gap,
+// and — like the escape gate — every stale entry: a waiver for a field
+// the pair in fact handles, or for a field that no longer exists, is a
+// finding, so the manifest cannot drift from the code.
+//
+// Keys are "<package>.<Type>.<field>". Three reasons recur:
+//
+//   - geometry/config: rebuilt by the constructor from the machine
+//     Config a checkpoint travels with (masks, shifts, pool sizes);
+//   - scratch: reusable buffers that are empty at every cycle boundary
+//     a snapshot can be taken on;
+//   - harness wiring: observer/checkpoint hooks that belong to the run
+//     harness, not the simulated state (restore re-attaches them).
+var snapshotWaivers = map[string]string{
+	// cache: masks and shifts derive from Config geometry; the
+	// hierarchy's epoch length derives from the worst-case fill path.
+	"cache.Cache.setShift":     "derived from Config geometry by New; a checkpoint pairs state with the rebuilding Config",
+	"cache.Cache.setMask":      "derived from Config geometry by New; a checkpoint pairs state with the rebuilding Config",
+	"cache.Hierarchy.cfg":      "static configuration; NewHierarchy rebuilds the identical value from the machine Config",
+	"cache.Hierarchy.epochLen": "derived from the configuration's worst-case fill latency; never mutated after construction",
+
+	// bpred: configuration and the derived history mask.
+	"bpred.Predictor.cfg":      "static configuration (RestoreState only reads it for shape checks); rebuilt by New",
+	"bpred.Predictor.histMask": "derived from the configured history length by New; never mutated after construction",
+
+	// prefetch/vpred/smpred: configuration and index/tag masks.
+	"prefetch.Prefetcher.cfg":      "static configuration; rebuilt by New from the machine Config",
+	"prefetch.Prefetcher.idxMask":  "derived from Config table geometry by New; never mutated after construction",
+	"prefetch.Prefetcher.tagMask":  "derived from Config table geometry by New; never mutated after construction",
+	"prefetch.Prefetcher.markMask": "derived from Config table geometry by New; never mutated after construction",
+	"vpred.Predictor.cfg":          "static configuration; rebuilt by New from the machine Config",
+	"vpred.Predictor.idxMask":      "derived from Config table geometry by New; never mutated after construction",
+	"vpred.Predictor.tagMask":      "derived from Config table geometry by New; never mutated after construction",
+	"smpred.Predictor.cfg":         "static configuration; rebuilt by New from the machine Config",
+	"smpred.Predictor.idxMask":     "derived from Config table geometry by New; never mutated after construction",
+	"smpred.Predictor.tagMask":     "derived from Config table geometry by New; never mutated after construction",
+
+	// token: the pool size is configuration (RestoreState only reads it
+	// for shape checks).
+	"token.Allocator.n": "pool size is configuration; a checkpoint pairs state with the Config that rebuilds the pool",
+
+	// core policies: the LoadDelay table geometry and latency cap
+	// derive from the SMPred knobs at reset.
+	"core.loaddelayPolicy.idxMask": "derived from SMPred geometry at reset; never mutated during a run",
+	"core.loaddelayPolicy.idxBits": "derived from SMPred geometry at reset; never mutated during a run",
+	"core.loaddelayPolicy.tagMask": "derived from SMPred geometry at reset; never mutated during a run",
+	"core.loaddelayPolicy.maxLat":  "derived from the memory-path worst case at reset; never mutated during a run",
+
+	// core.Machine: configuration and derived shapes are rebuilt by
+	// init from the validated restore Config; the stream is re-created
+	// and fast-forwarded to the SrcPos cursor; scratch worklists are
+	// empty at the cycle boundaries snapshots are taken on; observer
+	// and checkpoint hooks belong to the harness, not the run.
+	"core.Machine.cfg":          "Restore validates the caller's Config against the snapshot's and hands it to init; the field itself is rebuilt, not copied",
+	"core.Machine.src":          "streams are not serializable; Restore rebuilds position by fast-forwarding a fresh stream to the SrcPos cursor",
+	"core.Machine.wheelMask":    "derived from the config's event horizon by init; never mutated during a run",
+	"core.Machine.killStack":    "reusable DFS scratch, always empty between cycles where snapshots are taken",
+	"core.Machine.refetchInsts": "reusable refetch scratch, always empty between cycles where snapshots are taken",
+	"core.Machine.sink":         "event-sink attachment is harness wiring (tooling), not simulated state; EvCount carries the deterministic cursor",
+	"core.Machine.ckptEvery":    "checkpoint cadence is harness wiring; SetCheckpoints re-arms it on the restored machine",
+	"core.Machine.nextCkpt":     "checkpoint cadence is harness wiring; SetCheckpoints re-arms it on the restored machine",
+	"core.Machine.ckptFn":       "checkpoint callback is harness wiring; functions are not serializable",
+	"core.Machine.mon":          "monitor state is not checkpointed by contract; Restore rejects monitored configurations outright",
+	"core.Machine.hashTarget":   "derived from Warmup+MaxInsts by init (MaxInsts may legitimately differ across a restore)",
+	"core.Machine.ran":          "single-use guard; Restore clears it so the restored machine can run, nothing to capture",
+}
+
+// DefaultSnapshotComplete audits every checkpoint pair in the module:
+// the six substrate State/RestoreState pairs, the policySnapshotter
+// implementations, and the machine's own snapshot/Restore.
+func DefaultSnapshotComplete(module string) *SnapshotComplete {
+	in := func(p string) string { return module + "/internal/" + p }
+	return &SnapshotComplete{
+		Pairs: []SnapshotPair{
+			{PkgPath: in("cache"), State: "State", Restore: "RestoreState"},
+			{PkgPath: in("bpred"), State: "State", Restore: "RestoreState"},
+			{PkgPath: in("prefetch"), State: "State", Restore: "RestoreState"},
+			{PkgPath: in("token"), State: "State", Restore: "RestoreState"},
+			{PkgPath: in("vpred"), State: "State", Restore: "RestoreState"},
+			{PkgPath: in("smpred"), State: "State", Restore: "RestoreState"},
+			{PkgPath: in("core"), State: "snapshotState", Restore: "restoreState"},
+			{PkgPath: in("core"), State: "snapshot", Restore: "Restore"},
+		},
+		Waivers: snapshotWaivers,
+	}
+}

@@ -22,13 +22,28 @@ type StatsComplete struct {
 	// JournalPath holds the checkpoint serialization; "" skips that
 	// check (fixtures).
 	JournalPath string
+	// Required pins counters by owning struct name: each listed field
+	// must exist (exported) on that struct, so a refactor cannot drop a
+	// counter the paper's tables are built from. Missing entries are
+	// findings on the struct declaration.
+	Required map[string][]string
 }
 
-// DefaultStatsComplete covers core.Stats and the sim journal.
+// DefaultStatsComplete covers core.Stats and the sim journal, and pins
+// the frontend and LoadDelay counters the experiment tables consume.
 func DefaultStatsComplete(module string) *StatsComplete {
 	return &StatsComplete{
 		PkgPath:     module + "/internal/core",
 		JournalPath: module + "/internal/sim",
+		Required: map[string][]string{
+			"Stats": {
+				"BranchLookups", "BranchMispredicts",
+				"PrefetchIssued", "PrefetchUseful", "PrefetchLate",
+			},
+			"PolicyStats": {
+				"LoadDelayPredicted", "LoadDelayCold", "LoadDelayUnder",
+			},
+		},
 	}
 }
 
@@ -101,6 +116,16 @@ func (s *StatsComplete) checkStruct(u *Unit, p *Package, name string) {
 	}
 	st := tn.Type().Underlying().(*types.Struct)
 	subtracted := subtractMentions(p, tn.Type())
+	present := make(map[string]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		present[st.Field(i).Name()] = true
+	}
+	for _, want := range s.Required[name] {
+		if !present[want] {
+			u.Report(s.Name(), tn.Pos(),
+				"required counter %s.%s is missing; the experiment tables consume it, and it must stay journal-reachable and JSON round-trippable", name, want)
+		}
+	}
 	for i := 0; i < st.NumFields(); i++ {
 		field := st.Field(i)
 		if !field.Exported() {

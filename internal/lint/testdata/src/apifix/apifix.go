@@ -1,0 +1,28 @@
+// Package apifix seeds wire-API stability violations against its own
+// committed manifest (testdata/apifix_manifest.json): a retagged field,
+// a retyped field, a removed field, an unmanifested addition, a removed
+// type, and an unmanifested new type — next to a type that matches the
+// manifest exactly.
+package apifix
+
+// Bench matches the manifest exactly — clean.
+type Bench struct {
+	Name string `json:"name"`
+}
+
+// Spec diverges from the manifest four ways: Scheme changed its json
+// tag, Width changed its type from int to int64, Extra is an addition
+// the manifest does not know, and the manifest's Seed field is gone.
+type Spec struct {
+	Extra  string `json:"extra"`
+	Scheme string `json:"kind"`
+	Width  int64  `json:"width"`
+}
+
+// Info is not in the manifest at all — addition finding.
+type Info struct {
+	API string `json:"api"`
+}
+
+// The manifest also pins a Result type this package no longer declares
+// — removed-type finding.

@@ -1,0 +1,97 @@
+// Package concfix seeds concurrency-discipline violations: an
+// unguarded read of a mutex-guarded field, a plain touch of an atomic
+// field, a mixed plain/atomic access, and goroutines with no tracked
+// shutdown path — next to the sanctioned shapes (defer-unlocked reads,
+// atomic methods, WaitGroup/quit-channel/context goroutines).
+package concfix
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// counterBox shares state three ways: n under mu, hits through
+// atomic.Int64 methods, raw through sync/atomic functions.
+type counterBox struct {
+	mu   sync.Mutex
+	n    int
+	hits atomic.Int64
+	raw  int64
+}
+
+// bump writes n under the lock — this is what infers the guard.
+func (b *counterBox) bump() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// peek reads n without the lock — finding.
+func (b *counterBox) peek() int {
+	return b.n
+}
+
+// good holds the lock to return — clean.
+func (b *counterBox) good() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// count goes through the atomic's methods — clean.
+func (b *counterBox) count() int64 {
+	return b.hits.Load()
+}
+
+// leak hands out the atomic field plainly — finding.
+func (b *counterBox) leak() *atomic.Int64 {
+	return &b.hits
+}
+
+// addRaw updates raw through sync/atomic — this blesses the field.
+func (b *counterBox) addRaw() {
+	atomic.AddInt64(&b.raw, 1)
+}
+
+// rawPlain reads raw plainly after addRaw blessed it — finding.
+func (b *counterBox) rawPlain() int64 {
+	return b.raw
+}
+
+// spawnBad starts a goroutine with no shutdown path — finding.
+func spawnBad() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+// spawnGood ties the goroutine to a WaitGroup — clean.
+func spawnGood(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// spawnQuit parks the goroutine on a quit channel — clean.
+func spawnQuit(quit chan struct{}) {
+	go func() {
+		<-quit
+	}()
+}
+
+func worker(ctx context.Context) { <-ctx.Done() }
+
+// spawnCtx hands the callee a context — clean.
+func spawnCtx(ctx context.Context) {
+	go worker(ctx)
+}
+
+func helper() {}
+
+// spawnNamed calls a function with no context in sight — finding.
+func spawnNamed() {
+	go helper()
+}

@@ -1,0 +1,53 @@
+// Package snapfix seeds snapshot-completeness violations: a field the
+// State/RestoreState pair never touches, a restore with no capture, a
+// capture with no restore, and two stale manifest entries (one for a
+// field the pair in fact handles, one for a field that does not exist)
+// — next to a fully handled field and a properly waived scratch buffer.
+package snapfix
+
+// widgetState is the serializable snapshot carrier; its own fields are
+// not audited (it declares no method pair).
+type widgetState struct {
+	Table []uint64
+	Clock uint64
+	Marks []uint8
+}
+
+// widget is the audited struct: it declares both State and
+// RestoreState.
+type widget struct {
+	// table is captured and restored — clean.
+	table []uint64
+	// clock is captured and restored, but the test manifest still
+	// waives it — stale-waiver finding here.
+	clock uint64
+	// seed is neither captured nor restored — finding.
+	seed uint64
+	// epoch is restored (zeroed) but never captured — finding.
+	epoch uint64
+	// marks is captured but never restored — finding.
+	marks []uint8
+	// scratch is neither, and waived with a reason — clean.
+	scratch []int
+}
+
+func (w *widget) State() widgetState {
+	return widgetState{
+		Table: append([]uint64(nil), w.table...),
+		Clock: w.clock,
+		Marks: append([]uint8(nil), w.marks...),
+	}
+}
+
+func (w *widget) RestoreState(st widgetState) {
+	w.table = append(w.table[:0], st.Table...)
+	w.clock = st.Clock
+	w.epoch = 0
+}
+
+// use keeps the unexercised fields referenced so the fixture compiles
+// without vet noise.
+func (w *widget) use() uint64 {
+	w.scratch = w.scratch[:0]
+	return w.seed
+}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+)
+
+// APIField is one exported field of a wire type as the manifest pins
+// it: the Go name, the fully qualified type, and the json struct tag
+// (verbatim, options included; "" when the field has no json tag).
+type APIField struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Tag  string `json:"tag"`
+}
+
+// APIManifest is the committed picture of the v1 wire surface: every
+// exported struct type in the API package with its exported fields,
+// sorted by name. encoding/json sorts the type map too, so the bytes
+// are deterministic and diff-able.
+type APIManifest struct {
+	Package string                `json:"package"`
+	Types   map[string][]APIField `json:"types"`
+}
+
+// WireAPI proves the v1 wire format stays frozen. PR 8's compatibility
+// contract — field names, JSON tags and meanings never change; only
+// additions are allowed — was guarded by golden fixtures, which only
+// fail when a test happens to serialize the changed field. This
+// analyzer checks the contract type-by-type against the committed
+// manifest: a removed, renamed, retyped or tag-changed field is a
+// finding wherever it hides, and an addition is a finding until the
+// manifest is regenerated in the same change
+// (`go run ./cmd/repolint -write-api-manifest`), which puts the new
+// surface in front of review.
+type WireAPI struct {
+	// PkgPath is the wire API package.
+	PkgPath string
+	// ManifestPath locates the committed manifest, relative to the
+	// module root.
+	ManifestPath string
+}
+
+// apiManifestPath is where the live tree's manifest is committed.
+const apiManifestPath = "internal/lint/api_manifest.json"
+
+// DefaultWireAPI pins repro/internal/api against the committed
+// manifest.
+func DefaultWireAPI(module string) *WireAPI {
+	return &WireAPI{PkgPath: module + "/internal/api", ManifestPath: apiManifestPath}
+}
+
+func (*WireAPI) Name() string { return "wireapi" }
+
+func (w *WireAPI) Check(u *Unit) error {
+	p := u.Pkg(w.PkgPath)
+	if p == nil {
+		return nil
+	}
+	data, err := os.ReadFile(filepath.Join(u.Root, filepath.FromSlash(w.ManifestPath)))
+	if err != nil {
+		return fmt.Errorf("reading API manifest: %w", err)
+	}
+	var want APIManifest
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("parsing API manifest %s: %w", w.ManifestPath, err)
+	}
+	got := DeriveAPIManifest(p)
+
+	// pos anchors findings: the field if it exists, else the type, else
+	// the package clause.
+	pos := func(typeName, fieldName string) token.Pos {
+		tn, _ := p.Types.Scope().Lookup(typeName).(*types.TypeName)
+		if tn == nil {
+			return p.Files[0].Pos()
+		}
+		if fieldName != "" {
+			if st, ok := tn.Type().Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					if st.Field(i).Name() == fieldName {
+						return st.Field(i).Pos()
+					}
+				}
+			}
+		}
+		return tn.Pos()
+	}
+
+	for _, name := range sortedKeys(want.Types) {
+		if _, ok := got.Types[name]; !ok {
+			u.Report(w.Name(), pos(name, ""),
+				"wire type %s is in the API manifest but not in %s; v1 types are frozen — renaming or removing one breaks deployed clients", name, p.Types.Name())
+		}
+	}
+	for _, name := range sortedKeys(got.Types) {
+		gf := got.Types[name]
+		wf, ok := want.Types[name]
+		if !ok {
+			u.Report(w.Name(), pos(name, ""),
+				"wire type %s is not in the API manifest; additions must regenerate it in the same change: go run ./cmd/repolint -write-api-manifest", name)
+			continue
+		}
+		wantByName := make(map[string]APIField, len(wf))
+		for _, f := range wf {
+			wantByName[f.Name] = f
+		}
+		gotByName := make(map[string]APIField, len(gf))
+		for _, f := range gf {
+			gotByName[f.Name] = f
+		}
+		for _, f := range wf {
+			if _, ok := gotByName[f.Name]; !ok {
+				u.Report(w.Name(), pos(name, ""),
+					"wire field %s.%s (json %q) was removed or renamed; v1 fields are frozen — restore it", name, f.Name, f.Tag)
+			}
+		}
+		for _, g := range gf {
+			f, ok := wantByName[g.Name]
+			if !ok {
+				u.Report(w.Name(), pos(name, g.Name),
+					"wire field %s.%s is not in the API manifest; additions must regenerate it in the same change: go run ./cmd/repolint -write-api-manifest", name, g.Name)
+				continue
+			}
+			if g.Type != f.Type {
+				u.Report(w.Name(), pos(name, g.Name),
+					"wire field %s.%s changed type from %s to %s; v1 field types are frozen", name, g.Name, f.Type, g.Type)
+			}
+			if g.Tag != f.Tag {
+				u.Report(w.Name(), pos(name, g.Name),
+					"wire field %s.%s changed its json tag from %q to %q; the wire format is frozen", name, g.Name, f.Tag, g.Tag)
+			}
+		}
+	}
+	return nil
+}
+
+// DeriveAPIManifest computes the wire surface of a loaded package:
+// every exported struct type's exported fields with fully qualified
+// types and verbatim json tags, sorted by field name.
+func DeriveAPIManifest(p *Package) APIManifest {
+	m := APIManifest{Package: p.Path, Types: make(map[string][]APIField)}
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		fields := []APIField{}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			tag, _ := reflect.StructTag(st.Tag(i)).Lookup("json")
+			fields = append(fields, APIField{
+				Name: f.Name(),
+				Type: qualifiedType(p, f.Type()),
+				Tag:  tag,
+			})
+		}
+		sort.Slice(fields, func(i, j int) bool { return fields[i].Name < fields[j].Name })
+		m.Types[name] = fields
+	}
+	return m
+}
+
+// qualifiedType prints a type with import paths for foreign packages,
+// so the manifest survives moves of the lint package itself.
+func qualifiedType(p *Package, t types.Type) string {
+	return types.TypeString(t, func(other *types.Package) string {
+		if other == p.Types {
+			return ""
+		}
+		return other.Path()
+	})
+}
+
+// WriteAPIManifest derives the manifest from the live tree rooted at
+// (or above) dir and rewrites the committed file, returning its path.
+// This is the sanctioned way to admit a wire-surface addition: the
+// regenerated manifest lands in the same change as the new field.
+func WriteAPIManifest(dir string) (string, error) {
+	module, err := ModulePath(dir)
+	if err != nil {
+		return "", err
+	}
+	w := DefaultWireAPI(module)
+	u, err := Load(dir, []string{"./internal/api"})
+	if err != nil {
+		return "", err
+	}
+	p := u.Pkg(w.PkgPath)
+	if p == nil {
+		return "", fmt.Errorf("lint: %s did not load", w.PkgPath)
+	}
+	m := DeriveAPIManifest(p)
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(u.Root, filepath.FromSlash(w.ManifestPath))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
